@@ -1,0 +1,1 @@
+bench/timings.ml: Analyze Array Bechamel Benchmark Fsa_align Fsa_csr Fsa_intervals Fsa_matching Fsa_seq Fsa_util Hashtbl Instance List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,127 @@
+(* Bechamel timing benches: one per performance-relevant kernel.  Shapes
+   (who is linear, who is cubic) matter more than absolute numbers. *)
+
+open Bechamel
+open Toolkit
+module Rng = Fsa_util.Rng
+
+let p_score_bench n =
+  let rng = Rng.create 7 in
+  let sigma =
+    Fsa_seq.Scoring.random_bijective rng ~regions:n ~lo:1.0 ~hi:5.0 ~reversed_fraction:0.3
+  in
+  let word k = Array.init k (fun _ -> Fsa_seq.Symbol.make (Rng.int rng n)) in
+  let a = word n and b = word n in
+  Test.make
+    ~name:(Printf.sprintf "p_score %dx%d" n n)
+    (Staged.stage (fun () -> ignore (Fsa_align.Region_align.p_score sigma a b)))
+
+let tpa_bench jobs cpj =
+  let rng = Rng.create 8 in
+  let isp =
+    Fsa_intervals.Isp.random_instance rng ~jobs ~candidates_per_job:cpj ~span:1000
+      ~max_len:40 ~max_profit:10.0
+  in
+  Test.make
+    ~name:(Printf.sprintf "TPA %d jobs x %d" jobs cpj)
+    (Staged.stage (fun () -> ignore (Fsa_intervals.Isp.tpa isp)))
+
+let hungarian_bench n =
+  let rng = Rng.create 9 in
+  let w = Array.init n (fun _ -> Array.init n (fun _ -> Rng.float rng 10.0)) in
+  Test.make
+    ~name:(Printf.sprintf "hungarian %dx%d" n n)
+    (Staged.stage (fun () -> ignore (Fsa_matching.Hungarian.solve w)))
+
+let seed_extend_bench len =
+  let rng = Rng.create 10 in
+  let target = Fsa_seq.Dna.random rng len in
+  let query =
+    Fsa_seq.Dna.concat
+      [ Fsa_seq.Dna.random rng (len / 4);
+        Fsa_seq.Dna.point_mutate rng ~rate:0.03 (Fsa_seq.Dna.sub target ~pos:(len / 4) ~len:(len / 2));
+        Fsa_seq.Dna.random rng (len / 4) ]
+  in
+  let idx = Fsa_align.Seed.build_index ~k:12 target in
+  Test.make
+    ~name:(Printf.sprintf "seed+extend %db" len)
+    (Staged.stage (fun () ->
+         ignore (Fsa_align.Seed.anchors idx ~target ~query)))
+
+let csr_improve_bench () =
+  let inst = Fsa_csr.Instance.paper_example () in
+  Test.make ~name:"CSR_Improve paper example"
+    (Staged.stage (fun () -> ignore (Fsa_csr.Csr_improve.solve inst)))
+
+let four_approx_bench () =
+  let rng = Rng.create 11 in
+  let inst =
+    Fsa_csr.Instance.random_planted rng ~regions:20 ~h_fragments:5 ~m_fragments:5
+      ~inversion_rate:0.2 ~noise_pairs:10
+  in
+  Test.make ~name:"ISP 4-approx (20 regions)"
+    (Staged.stage (fun () -> ignore (Fsa_csr.One_csr.four_approx inst)))
+
+let exact_bench () =
+  let rng = Rng.create 12 in
+  let inst =
+    Fsa_csr.Instance.random_planted rng ~regions:9 ~h_fragments:3 ~m_fragments:3
+      ~inversion_rate:0.2 ~noise_pairs:4
+  in
+  Test.make ~name:"exact solver (3x3 fragments)"
+    (Staged.stage (fun () -> ignore (Fsa_csr.Exact.solve inst)))
+
+let tests () =
+  Test.make_grouped ~name:"fsa" ~fmt:"%s %s"
+    [
+      p_score_bench 32;
+      p_score_bench 128;
+      tpa_bench 20 50;
+      tpa_bench 80 50;
+      hungarian_bench 32;
+      hungarian_bench 64;
+      seed_extend_bench 4096;
+      seed_extend_bench 16384;
+      csr_improve_bench ();
+      four_approx_bench ();
+      exact_bench ();
+    ]
+
+let run ~quick () =
+  Printf.printf "\n== timing benches (Bechamel, monotonic clock) ==\n\n";
+  let quota = if quick then 0.25 else 1.0 in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Fsa_util.Tablefmt.create
+      [ ("bench", Fsa_util.Tablefmt.Left); ("time/run", Fsa_util.Tablefmt.Right);
+        ("r²", Fsa_util.Tablefmt.Right) ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some [ est ] -> est | _ -> nan
+      in
+      let pretty =
+        if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with Some r -> Printf.sprintf "%.3f" r | None -> "-"
+      in
+      rows := (name, pretty, r2) :: !rows)
+    results;
+  List.iter
+    (fun (name, pretty, r2) -> Fsa_util.Tablefmt.add_row table [ name; pretty; r2 ])
+    (List.sort compare !rows);
+  Fsa_util.Tablefmt.print table

@@ -1,0 +1,1 @@
+bin/csr_solve.ml: Arg Array Border_improve Buffer Cmd Cmdliner Conjecture Csr_improve Exact Format Fsa_csr Fsa_seq Full_improve Greedy Instance List One_csr Printf Solution Species String Term

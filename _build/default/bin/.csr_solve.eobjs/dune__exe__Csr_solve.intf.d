@@ -1,0 +1,1 @@
+bin/csr_solve.mli:

@@ -1,0 +1,1 @@
+bin/genome_sim.ml: Arg Array Cmd Cmdliner Filename Format Fsa_csr Fsa_genome Fsa_seq Fsa_util List Printf Sys Term

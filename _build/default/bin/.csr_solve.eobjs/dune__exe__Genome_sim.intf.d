@@ -1,0 +1,1 @@
+bin/genome_sim.mli:

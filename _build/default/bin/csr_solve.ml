@@ -1,0 +1,139 @@
+(* csr_solve: solve a CSR instance from a text file (or stdin).
+
+   Instance format (see Fsa_csr.Instance.of_text):
+     H h1: a b c
+     M m1: s t
+     S a s 4          # sigma(a, s) = 4
+     S b t' 3         # sigma(b, t reversed) = 3
+
+   Example:
+     dune exec bin/csr_solve.exe -- --algorithm csr-improve instance.txt *)
+
+open Cmdliner
+open Fsa_csr
+
+type algorithm =
+  | Csr_improve_a
+  | Full_improve_a
+  | Border_improve_a
+  | Four_approx_a
+  | Matching_a
+  | Greedy_a
+  | Exact_a
+  | Best_a
+
+let algorithms =
+  [
+    ("csr-improve", Csr_improve_a);
+    ("full-improve", Full_improve_a);
+    ("border-improve", Border_improve_a);
+    ("four-approx", Four_approx_a);
+    ("matching", Matching_a);
+    ("greedy", Greedy_a);
+    ("exact", Exact_a);
+    ("best", Best_a);
+  ]
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let solve algorithm show_conjecture scaled epsilon output path =
+  let text =
+    match path with
+    | "-" -> read_all stdin
+    | p ->
+        let ic = open_in p in
+        let s = read_all ic in
+        close_in ic;
+        s
+  in
+  let inst = Instance.of_text text in
+  let sol =
+    match algorithm with
+    | Csr_improve_a ->
+        if scaled then Csr_improve.solve_scaled ~epsilon inst
+        else fst (Csr_improve.solve inst)
+    | Full_improve_a ->
+        if scaled then Full_improve.solve_scaled ~epsilon inst
+        else fst (Full_improve.solve inst)
+    | Border_improve_a ->
+        if scaled then Border_improve.solve_scaled ~epsilon inst
+        else fst (Border_improve.solve inst)
+    | Four_approx_a -> One_csr.four_approx inst
+    | Matching_a -> Border_improve.matching_2approx inst
+    | Greedy_a -> Greedy.solve inst
+    | Best_a -> Csr_improve.solve_best inst
+    | Exact_a ->
+        let _, hl, ml = Exact.solve inst in
+        Format.printf "exact optimum: %.4g@." (Conjecture.score_of_layouts inst hl ml);
+        (* report the layout and exit: the exact solver's witness is a
+           layout, not a match set *)
+        let show side (l : Conjecture.layout) =
+          String.concat " "
+            (Array.to_list
+               (Array.mapi
+                  (fun i f ->
+                    let n = Fsa_seq.Fragment.name (Instance.fragment inst side f) in
+                    if l.Conjecture.reversed.(i) then n ^ "'" else n)
+                  l.Conjecture.order))
+        in
+        Format.printf "H layout: %s@.M layout: %s@." (show Species.H hl) (show Species.M ml);
+        exit 0
+  in
+  (match Solution.validate sol with
+  | Ok () -> ()
+  | Error e -> failwith ("internal error: inconsistent solution: " ^ e));
+  Format.printf "%a@." Solution.pp sol;
+  (match output with
+  | Some out ->
+      let oc = open_out out in
+      output_string oc (Solution.to_text sol);
+      close_out oc;
+      Format.printf "solution written to %s@." out
+  | None -> ());
+  if show_conjecture then begin
+    let conj = Conjecture.of_solution sol in
+    Format.printf "@.H row: %a@.M row: %a@." Fsa_seq.Padded.pp conj.Conjecture.h_row
+      Fsa_seq.Padded.pp conj.Conjecture.m_row
+  end
+
+let algorithm_arg =
+  let doc =
+    Printf.sprintf "Algorithm: %s."
+      (String.concat ", " (List.map fst algorithms))
+  in
+  Arg.(value & opt (enum algorithms) Best_a & info [ "a"; "algorithm" ] ~doc)
+
+let conjecture_arg =
+  Arg.(value & flag & info [ "c"; "conjecture" ] ~doc:"Print the conjecture pair rows.")
+
+let scaled_arg =
+  Arg.(value & flag & info [ "scaled" ] ~doc:"Apply the Chandra-Halldorsson scaling wrapper.")
+
+let epsilon_arg =
+  Arg.(value & opt float 0.05 & info [ "epsilon" ] ~doc:"Scaling precision parameter.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the solution (reload with Solution.of_text).")
+
+let path_arg =
+  Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Instance file ('-' for stdin).")
+
+let cmd =
+  let doc = "solve consensus sequence reconstruction (CSR) instances" in
+  Cmd.v
+    (Cmd.info "csr_solve" ~doc)
+    Term.(
+      const solve $ algorithm_arg $ conjecture_arg $ scaled_arg $ epsilon_arg $ output_arg
+      $ path_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/adversarial_greedy.ml: Adversarial Border_improve Csr_improve Fsa_csr Fsa_util Greedy List One_csr Printf Solution

@@ -1,0 +1,1 @@
+examples/from_fasta.ml: Array Filename Fragmentation Fsa_csr Fsa_genome Fsa_seq Fsa_util List Pipeline Printf Sys

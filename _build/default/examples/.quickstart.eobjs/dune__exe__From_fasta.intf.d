@@ -1,0 +1,1 @@
+examples/from_fasta.mli:

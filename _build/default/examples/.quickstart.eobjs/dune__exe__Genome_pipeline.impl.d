@@ -1,0 +1,1 @@
+examples/genome_pipeline.ml: Array Format Fragmentation Fsa_csr Fsa_genome Fsa_seq Fsa_util List Metrics Pipeline Printf Sys

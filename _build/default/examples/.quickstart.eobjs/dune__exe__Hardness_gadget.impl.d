@@ -1,0 +1,1 @@
+examples/hardness_gadget.ml: Array Csop Fsa_csr Fsa_graph Fsa_util Instance List One_csr Printf Solution Species Sys

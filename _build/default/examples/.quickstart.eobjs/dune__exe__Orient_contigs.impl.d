@@ -1,0 +1,1 @@
+examples/orient_contigs.ml: Alphabet Array Csr_improve Format Fragment Fsa_csr Fsa_seq Instance Islands List Scoring Solution

@@ -1,0 +1,1 @@
+examples/orient_contigs.mli:

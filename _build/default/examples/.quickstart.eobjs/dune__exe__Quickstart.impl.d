@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Conjecture Csr_improve Exact Format Fsa_csr Fsa_seq Improve Instance Solution Species String

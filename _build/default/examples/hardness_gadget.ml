@@ -1,0 +1,57 @@
+(* Walking through the Theorem 2 reduction: 3-MIS -> CSoP -> CSR.
+
+   1. sample a random cubic graph and re-number it so consecutive vertices
+      are never adjacent (Dirac's theorem guarantees this is possible);
+   2. build the CSoP gadget: one 5-position block per vertex, a node pair
+      spanning each block, an edge pair per graph edge;
+   3. verify the exact correspondence  CSoP* = |E| + |V| + MIS* ;
+   4. embed CSoP as a CSR instance and watch the approximation algorithm
+      work within its factor - as MAX-SNP hardness promises, no polynomial
+      algorithm can close that gap on all inputs.
+
+   Run with:  dune exec examples/hardness_gadget.exe [vertices] *)
+
+open Fsa_csr
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 8 in
+  let rng = Fsa_util.Rng.create 42 in
+  let g0 = Fsa_graph.Cubic.random rng n in
+  let ord = Fsa_graph.Cubic.non_consecutive_ordering rng g0 in
+  let g = Fsa_graph.Cubic.relabel g0 ord in
+  Printf.printf "cubic graph: %d vertices, %d edges, consecutive-adjacent: %b\n"
+    (Fsa_graph.Graph.vertex_count g)
+    (Fsa_graph.Graph.edge_count g)
+    (Fsa_graph.Cubic.has_consecutive_edge g);
+
+  let w_star = Fsa_graph.Mis.exact g in
+  let w_greedy = Fsa_graph.Mis.greedy_min_degree g in
+  Printf.printf "maximum independent set: %d (greedy finds %d)\n"
+    (List.length w_star) (List.length w_greedy);
+
+  let csop = Csop.of_graph g in
+  Printf.printf "\nCSoP gadget: %d positions, %d pairs\n" csop.Csop.positions
+    (Array.length csop.Csop.pairs);
+  let constructed = Csop.solution_of_mis g w_star in
+  Printf.printf "constructed solution from MIS: %d elements (consistent: %b)\n"
+    (List.length constructed)
+    (Csop.is_consistent csop constructed);
+  let u = Csop.exact ~incumbent:constructed csop in
+  Printf.printf "exact CSoP optimum: %d;  |E| + |V| + MIS* = %d  =>  %s\n"
+    (List.length u)
+    (Csop.value_of_mis g w_star)
+    (if List.length u = Csop.value_of_mis g w_star then "Theorem 2 correspondence holds"
+     else "MISMATCH (bug!)");
+  let w_back = Csop.mis_of_solution g u in
+  Printf.printf "independent set extracted back from the optimum: %d (independent: %b)\n"
+    (List.length w_back)
+    (Fsa_graph.Graph.is_independent_set g w_back);
+
+  let inst = Csop.to_instance csop in
+  Printf.printf "\nas a CSR instance: %d pair-fragments vs one sequence of %d regions\n"
+    (Instance.fragment_count inst Species.H)
+    (Instance.total_length inst Species.M);
+  let sol = One_csr.four_approx inst in
+  Printf.printf "ISP 4-approximation scores %.0f of %d (ratio %.2f, bound 0.25)\n"
+    (Solution.score sol) (List.length u)
+    (Solution.score sol /. float_of_int (List.length u))

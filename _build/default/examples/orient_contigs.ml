@@ -1,0 +1,59 @@
+(* Ordering and orienting contigs (the Fig 1 scenario).
+
+   A small "two species" contig set at the region level: we build the
+   instance by hand, run the solver portfolio, and render the recovered
+   islands as ASCII layouts showing which m-contigs were ordered and
+   oriented relative to which h-contigs.
+
+   Run with:  dune exec examples/orient_contigs.exe *)
+
+open Fsa_seq
+open Fsa_csr
+
+let () =
+  (* Regions a..j; species H assembled them into three contigs in ancestral
+     order, species M into four contigs, one of them inverted. *)
+  let alphabet =
+    Alphabet.of_names [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h"; "i"; "j" ]
+  in
+  let sym = Alphabet.symbol_of_string alphabet in
+  let frag name syms = Fragment.make name (Array.of_list (List.map sym syms)) in
+  let sigma = Scoring.create () in
+  List.iteri
+    (fun i name ->
+      ignore i;
+      (* Each region matches itself; the M copies of d,e are inverted. *)
+      let m_sym = if name = "d" || name = "e" then sym (name ^ "'") else sym name in
+      Scoring.set sigma (sym name) m_sym (5.0 +. float_of_int (i mod 3)))
+    [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h"; "i"; "j" ];
+  let inst =
+    Instance.make ~alphabet
+      ~h:
+        [
+          frag "hA" [ "a"; "b"; "c"; "d" ];
+          frag "hB" [ "e"; "f"; "g" ];
+          frag "hC" [ "h"; "i"; "j" ];
+        ]
+      ~m:
+        [
+          frag "mW" [ "a"; "b" ];
+          (* the d-e block was inverted in M, and this contig was also
+             assembled on the opposite strand *)
+          frag "mX" [ "e"; "d"; "c'" ] |> Fragment.reverse;
+          frag "mY" [ "f"; "g"; "h" ];
+          frag "mZ" [ "i"; "j" ];
+        ]
+      ~sigma
+  in
+  Format.printf "Instance:@.%a@.@." Instance.pp inst;
+
+  let sol = Csr_improve.solve_best inst in
+  Format.printf "Solution (score %.1f):@.%a@.@." (Solution.score sol) Solution.pp sol;
+
+  (* The Islands report is the paper's user-facing deliverable: per island,
+     the inferred relative order and orientation of each species' contigs. *)
+  let report = Islands.infer sol in
+  Format.printf "%a@." (Islands.pp inst) report;
+  Format.printf
+    "Inter-island order is intentionally undetermined (paper, footnote 1):@.\
+     islands carry no distance information and cannot overlap.@."

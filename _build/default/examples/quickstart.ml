@@ -1,0 +1,43 @@
+(* Quickstart: the paper's running example (§1, Figs 2 and 4), end to end.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Fsa_csr
+
+let () =
+  (* The instance: h1 = <a b c>, h2 = <d>, m1 = <s t>, m2 = <u v> with
+     σ(a,s)=4, σ(a,t)=1, σ(b,tᴿ)=3, σ(c,u)=5, σ(d,t)=σ(d,vᴿ)=2. *)
+  let inst = Instance.paper_example () in
+  Format.printf "Instance:@.%a@.@." Instance.pp inst;
+
+  (* Exact optimum by exhaustive layout search (tiny instance). *)
+  let opt, hl, ml = Exact.solve inst in
+  let pp_layout side (l : Conjecture.layout) =
+    String.concat " "
+      (Array.to_list
+         (Array.mapi
+            (fun i f ->
+              let name =
+                Fsa_seq.Fragment.name (Instance.fragment inst side f)
+              in
+              if l.Conjecture.reversed.(i) then name ^ "R" else name)
+            l.Conjecture.order))
+  in
+  Format.printf "Exact optimum: %.1f via H = %s, M = %s@.@." opt
+    (pp_layout Species.H hl) (pp_layout Species.M ml);
+
+  (* The paper's algorithm: CSR_Improve (Theorem 6, ratio 3 + ε). *)
+  let sol, stats = Csr_improve.solve inst in
+  Format.printf "CSR_Improve found %.1f after %d improvements (%d attempts evaluated)@."
+    (Solution.score sol) stats.Improve.improvements stats.Improve.evaluated;
+  Format.printf "%a@.@." Solution.pp sol;
+
+  (* Every consistent match set materializes as a conjecture pair of equal
+     score (Remark 1). *)
+  let conj = Conjecture.of_solution sol in
+  (match Conjecture.check inst conj with
+  | Ok () -> Format.printf "Conjecture pair is structurally valid.@."
+  | Error e -> Format.printf "BUG: %s@." e);
+  Format.printf "Conjecture pair score: %.1f@." (Conjecture.score inst conj);
+  Format.printf "H row: %a@.M row: %a@." Fsa_seq.Padded.pp conj.Conjecture.h_row
+    Fsa_seq.Padded.pp conj.Conjecture.m_row

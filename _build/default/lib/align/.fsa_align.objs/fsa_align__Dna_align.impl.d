@@ -1,0 +1,1 @@
+lib/align/dna_align.ml: Dna Fsa_seq List Pairwise

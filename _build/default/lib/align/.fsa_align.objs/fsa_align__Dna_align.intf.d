@@ -1,0 +1,1 @@
+lib/align/dna_align.mli: Dna Fsa_seq Pairwise

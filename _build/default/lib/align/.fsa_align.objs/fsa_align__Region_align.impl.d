@@ -1,0 +1,1 @@
+lib/align/region_align.ml: Array Fsa_seq List Pairwise Scoring Symbol

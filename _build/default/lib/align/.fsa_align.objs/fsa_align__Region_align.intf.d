@@ -1,0 +1,1 @@
+lib/align/region_align.mli: Fsa_seq Padded Pairwise Scoring Symbol

@@ -1,0 +1,1 @@
+lib/align/seed.ml: Dna Dna_align Format Fsa_seq Hashtbl List Option Pairwise

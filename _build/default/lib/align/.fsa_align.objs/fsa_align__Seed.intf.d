@@ -1,0 +1,1 @@
+lib/align/seed.mli: Dna Dna_align Format Fsa_seq

@@ -1,0 +1,24 @@
+(** Nucleotide-level alignment front-end. *)
+
+open Fsa_seq
+
+type params = {
+  match_score : float;
+  mismatch : float;  (** score (usually negative) of a mismatched pair *)
+  gap : float;  (** linear gap cost, non-negative *)
+}
+
+val default : params
+(** +1 / -1 / 1.5 — a conservative BLAST-like parametrization. *)
+
+val global : ?params:params -> Dna.t -> Dna.t -> Pairwise.alignment
+
+val semiglobal : ?params:params -> Dna.t -> Dna.t -> Pairwise.alignment
+(** Overlap mode: end gaps free. *)
+
+val local : ?params:params -> Dna.t -> Dna.t -> Pairwise.local
+val banded_global : ?params:params -> band:int -> Dna.t -> Dna.t -> Pairwise.alignment
+
+val identity_of_alignment : Dna.t -> Dna.t -> Pairwise.alignment -> float
+(** Fraction of [Both] columns that pair equal bases; 0 for an empty
+    alignment. *)

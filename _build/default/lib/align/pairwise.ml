@@ -1,0 +1,300 @@
+type op = Both of int * int | A_only of int | B_only of int
+type alignment = { score : float; ops : op list }
+
+let score_of_ops ~score ops =
+  List.fold_left
+    (fun acc -> function Both (i, j) -> acc +. score i j | A_only _ | B_only _ -> acc)
+    0.0 ops
+
+(* Dense DP matrices are stored row-major in a flat float array of
+   (la+1)*(lb+1) cells; [idx] maps (i,j) with i elements of A and j of B
+   consumed. *)
+
+let max_weight_alignment ~score ~la ~lb =
+  let w = lb + 1 in
+  let idx i j = (i * w) + j in
+  let dp = Array.make ((la + 1) * w) 0.0 in
+  for i = 1 to la do
+    for j = 1 to lb do
+      let best = Float.max dp.(idx (i - 1) j) dp.(idx i (j - 1)) in
+      let diag = dp.(idx (i - 1) (j - 1)) +. score (i - 1) (j - 1) in
+      dp.(idx i j) <- Float.max best diag
+    done
+  done;
+  (* Traceback, preferring the diagonal so pairs are kept when ties occur. *)
+  let rec back i j acc =
+    if i = 0 && j = 0 then acc
+    else if i = 0 then back i (j - 1) (B_only (j - 1) :: acc)
+    else if j = 0 then back (i - 1) j (A_only (i - 1) :: acc)
+    else
+      let v = dp.(idx i j) in
+      if v = dp.(idx (i - 1) (j - 1)) +. score (i - 1) (j - 1) then
+        back (i - 1) (j - 1) (Both (i - 1, j - 1) :: acc)
+      else if v = dp.(idx (i - 1) j) then back (i - 1) j (A_only (i - 1) :: acc)
+      else back i (j - 1) (B_only (j - 1) :: acc)
+  in
+  { score = dp.(idx la lb); ops = back la lb [] }
+
+let max_weight_score ~score ~la ~lb =
+  (* Two-row rolling variant for hot paths (MS evaluations inside the local
+     search recompute scores constantly and never need the traceback). *)
+  let prev = Array.make (lb + 1) 0.0 in
+  let cur = Array.make (lb + 1) 0.0 in
+  let prev = ref prev and cur = ref cur in
+  for i = 1 to la do
+    !cur.(0) <- 0.0;
+    for j = 1 to lb do
+      let best = Float.max !prev.(j) !cur.(j - 1) in
+      let diag = !prev.(j - 1) +. score (i - 1) (j - 1) in
+      !cur.(j) <- Float.max best diag
+    done;
+    let tmp = !prev in
+    prev := !cur;
+    cur := tmp
+  done;
+  !prev.(lb)
+
+let global ~score ~gap ~la ~lb =
+  let w = lb + 1 in
+  let idx i j = (i * w) + j in
+  let dp = Array.make ((la + 1) * w) 0.0 in
+  for i = 1 to la do
+    dp.(idx i 0) <- -.(float_of_int i *. gap)
+  done;
+  for j = 1 to lb do
+    dp.(idx 0 j) <- -.(float_of_int j *. gap)
+  done;
+  for i = 1 to la do
+    for j = 1 to lb do
+      let diag = dp.(idx (i - 1) (j - 1)) +. score (i - 1) (j - 1) in
+      let up = dp.(idx (i - 1) j) -. gap in
+      let left = dp.(idx i (j - 1)) -. gap in
+      dp.(idx i j) <- Float.max diag (Float.max up left)
+    done
+  done;
+  let rec back i j acc =
+    if i = 0 && j = 0 then acc
+    else if i = 0 then back i (j - 1) (B_only (j - 1) :: acc)
+    else if j = 0 then back (i - 1) j (A_only (i - 1) :: acc)
+    else
+      let v = dp.(idx i j) in
+      if v = dp.(idx (i - 1) (j - 1)) +. score (i - 1) (j - 1) then
+        back (i - 1) (j - 1) (Both (i - 1, j - 1) :: acc)
+      else if v = dp.(idx (i - 1) j) -. gap then back (i - 1) j (A_only (i - 1) :: acc)
+      else back i (j - 1) (B_only (j - 1) :: acc)
+  in
+  { score = dp.(idx la lb); ops = back la lb [] }
+
+let semiglobal ~score ~gap ~la ~lb =
+  let w = lb + 1 in
+  let idx i j = (i * w) + j in
+  let dp = Array.make ((la + 1) * w) 0.0 in
+  (* Leading gaps free: row 0 and column 0 stay 0. *)
+  for i = 1 to la do
+    for j = 1 to lb do
+      let diag = dp.(idx (i - 1) (j - 1)) +. score (i - 1) (j - 1) in
+      let up = dp.(idx (i - 1) j) -. gap in
+      let left = dp.(idx i (j - 1)) -. gap in
+      dp.(idx i j) <- Float.max diag (Float.max up left)
+    done
+  done;
+  (* Trailing gaps free: the optimum ends anywhere on the last row or
+     column. *)
+  let best = ref (dp.(idx la lb)) and bi = ref la and bj = ref lb in
+  for j = 0 to lb do
+    if dp.(idx la j) > !best then begin
+      best := dp.(idx la j);
+      bi := la;
+      bj := j
+    end
+  done;
+  for i = 0 to la do
+    if dp.(idx i lb) > !best then begin
+      best := dp.(idx i lb);
+      bi := i;
+      bj := lb
+    end
+  done;
+  (* Traceback: interior as usual; row 0 / column 0 absorb leading gaps. *)
+  let rec back i j acc =
+    if i = 0 && j = 0 then acc
+    else if i = 0 then back i (j - 1) (B_only (j - 1) :: acc)
+    else if j = 0 then back (i - 1) j (A_only (i - 1) :: acc)
+    else
+      let v = dp.(idx i j) in
+      if v = dp.(idx (i - 1) (j - 1)) +. score (i - 1) (j - 1) then
+        back (i - 1) (j - 1) (Both (i - 1, j - 1) :: acc)
+      else if v = dp.(idx (i - 1) j) -. gap then back (i - 1) j (A_only (i - 1) :: acc)
+      else back i (j - 1) (B_only (j - 1) :: acc)
+  in
+  (* Trailing free gaps cover the elements after the end cell. *)
+  let tail = ref [] in
+  for i = la - 1 downto !bi do
+    tail := A_only i :: !tail
+  done;
+  for j = lb - 1 downto !bj do
+    tail := B_only j :: !tail
+  done;
+  { score = !best; ops = back !bi !bj [] @ !tail }
+
+let neg_inf = Float.neg_infinity
+
+let global_affine ~score ~gap_open ~gap_extend ~la ~lb =
+  let w = lb + 1 in
+  let idx i j = (i * w) + j in
+  let m = Array.make ((la + 1) * w) neg_inf in
+  (* x: gap in B (A element vs pad); y: gap in A. *)
+  let x = Array.make ((la + 1) * w) neg_inf in
+  let y = Array.make ((la + 1) * w) neg_inf in
+  m.(idx 0 0) <- 0.0;
+  for i = 1 to la do
+    x.(idx i 0) <- -.gap_open -. (float_of_int i *. gap_extend)
+  done;
+  for j = 1 to lb do
+    y.(idx 0 j) <- -.gap_open -. (float_of_int j *. gap_extend)
+  done;
+  let max3 a b c = Float.max a (Float.max b c) in
+  for i = 1 to la do
+    for j = 1 to lb do
+      let s = score (i - 1) (j - 1) in
+      m.(idx i j) <-
+        max3 m.(idx (i - 1) (j - 1)) x.(idx (i - 1) (j - 1)) y.(idx (i - 1) (j - 1)) +. s;
+      x.(idx i j) <-
+        Float.max
+          (m.(idx (i - 1) j) -. gap_open -. gap_extend)
+          (x.(idx (i - 1) j) -. gap_extend);
+      y.(idx i j) <-
+        Float.max
+          (m.(idx i (j - 1)) -. gap_open -. gap_extend)
+          (y.(idx i (j - 1)) -. gap_extend)
+    done
+  done;
+  let final = max3 m.(idx la lb) x.(idx la lb) y.(idx la lb) in
+  (* Traceback over the three matrices, tracking which one we are in. *)
+  let rec back state i j acc =
+    if i = 0 && j = 0 then acc
+    else
+      match state with
+      | `M ->
+          let prev = m.(idx i j) -. score (i - 1) (j - 1) in
+          let col = Both (i - 1, j - 1) in
+          if prev = m.(idx (i - 1) (j - 1)) then back `M (i - 1) (j - 1) (col :: acc)
+          else if prev = x.(idx (i - 1) (j - 1)) then back `X (i - 1) (j - 1) (col :: acc)
+          else back `Y (i - 1) (j - 1) (col :: acc)
+      | `X ->
+          let col = A_only (i - 1) in
+          if i = 1 && j = 0 then col :: acc
+          else if x.(idx i j) = m.(idx (i - 1) j) -. gap_open -. gap_extend then
+            back `M (i - 1) j (col :: acc)
+          else back `X (i - 1) j (col :: acc)
+      | `Y ->
+          let col = B_only (j - 1) in
+          if i = 0 && j = 1 then col :: acc
+          else if y.(idx i j) = m.(idx i (j - 1)) -. gap_open -. gap_extend then
+            back `M i (j - 1) (col :: acc)
+          else back `Y i (j - 1) (col :: acc)
+  in
+  let state =
+    if final = m.(idx la lb) then `M else if final = x.(idx la lb) then `X else `Y
+  in
+  let ops = if la = 0 && lb = 0 then [] else back state la lb [] in
+  { score = final; ops }
+
+type local = { a_lo : int; a_hi : int; b_lo : int; b_hi : int; alignment : alignment }
+
+let local ~score ~gap ~la ~lb =
+  let w = lb + 1 in
+  let idx i j = (i * w) + j in
+  let dp = Array.make ((la + 1) * w) 0.0 in
+  let best = ref 0.0 and best_i = ref 0 and best_j = ref 0 in
+  for i = 1 to la do
+    for j = 1 to lb do
+      let diag = dp.(idx (i - 1) (j - 1)) +. score (i - 1) (j - 1) in
+      let up = dp.(idx (i - 1) j) -. gap in
+      let left = dp.(idx i (j - 1)) -. gap in
+      let v = Float.max 0.0 (Float.max diag (Float.max up left)) in
+      dp.(idx i j) <- v;
+      if v > !best then begin
+        best := v;
+        best_i := i;
+        best_j := j
+      end
+    done
+  done;
+  if !best = 0.0 then
+    { a_lo = 0; a_hi = -1; b_lo = 0; b_hi = -1; alignment = { score = 0.0; ops = [] } }
+  else begin
+    let rec back i j acc =
+      if dp.(idx i j) = 0.0 then (i, j, acc)
+      else
+        let v = dp.(idx i j) in
+        if i > 0 && j > 0 && v = dp.(idx (i - 1) (j - 1)) +. score (i - 1) (j - 1) then
+          back (i - 1) (j - 1) (Both (i - 1, j - 1) :: acc)
+        else if i > 0 && v = dp.(idx (i - 1) j) -. gap then
+          back (i - 1) j (A_only (i - 1) :: acc)
+        else back i (j - 1) (B_only (j - 1) :: acc)
+    in
+    let start_i, start_j, ops = back !best_i !best_j [] in
+    {
+      a_lo = start_i;
+      a_hi = !best_i - 1;
+      b_lo = start_j;
+      b_hi = !best_j - 1;
+      alignment = { score = !best; ops };
+    }
+  end
+
+let banded_global ~score ~gap ~band ~la ~lb =
+  if band < 0 then invalid_arg "Pairwise.banded_global: negative band";
+  let w = lb + 1 in
+  let idx i j = (i * w) + j in
+  let dp = Array.make ((la + 1) * w) neg_inf in
+  let center i = if la = 0 then 0 else i * lb / la in
+  let in_band i j = abs (j - center i) <= band in
+  dp.(idx 0 0) <- 0.0;
+  for j = 1 to min lb band do
+    dp.(idx 0 j) <- -.(float_of_int j *. gap)
+  done;
+  for i = 1 to la do
+    let jlo = max 0 (center i - band) and jhi = min lb (center i + band) in
+    for j = jlo to jhi do
+      if j = 0 then dp.(idx i 0) <- -.(float_of_int i *. gap)
+      else begin
+        let diag =
+          if in_band (i - 1) (j - 1) then
+            dp.(idx (i - 1) (j - 1)) +. score (i - 1) (j - 1)
+          else neg_inf
+        in
+        let up = if in_band (i - 1) j then dp.(idx (i - 1) j) -. gap else neg_inf in
+        let left = if j - 1 >= jlo then dp.(idx i (j - 1)) -. gap else neg_inf in
+        dp.(idx i j) <- Float.max diag (Float.max up left)
+      end
+    done
+  done;
+  let rec back i j acc =
+    if i = 0 && j = 0 then acc
+    else if i = 0 then back i (j - 1) (B_only (j - 1) :: acc)
+    else if j = 0 then back (i - 1) j (A_only (i - 1) :: acc)
+    else
+      let v = dp.(idx i j) in
+      if
+        in_band (i - 1) (j - 1)
+        && v = dp.(idx (i - 1) (j - 1)) +. score (i - 1) (j - 1)
+      then back (i - 1) (j - 1) (Both (i - 1, j - 1) :: acc)
+      else if in_band (i - 1) j && v = dp.(idx (i - 1) j) -. gap then
+        back (i - 1) j (A_only (i - 1) :: acc)
+      else back i (j - 1) (B_only (j - 1) :: acc)
+  in
+  { score = dp.(idx la lb); ops = back la lb [] }
+
+let xdrop_extend ~score ~x_drop ~la ~lb ~a_start ~b_start =
+  let rec go k running best best_len =
+    let i = a_start + k and j = b_start + k in
+    if i >= la || j >= lb then (best, best_len)
+    else
+      let running = running +. score i j in
+      if running < best -. x_drop then (best, best_len)
+      else if running > best then go (k + 1) running running (k + 1)
+      else go (k + 1) running best best_len
+  in
+  go 0 0.0 0.0 0

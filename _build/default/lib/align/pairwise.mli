@@ -1,0 +1,78 @@
+(** Generic pairwise alignment dynamic programs.
+
+    All engines are generic over the pair-score function [score i j] giving
+    the value of aligning element [i] of the first sequence with element [j]
+    of the second; they only need the two lengths.  Concrete front-ends live
+    in {!Region_align} (region words, σ tables) and {!Dna_align}
+    (nucleotides). *)
+
+type op =
+  | Both of int * int  (** column pairing element i of A with element j of B *)
+  | A_only of int  (** element i of A against a pad *)
+  | B_only of int  (** a pad against element j of B *)
+
+type alignment = { score : float; ops : op list }
+(** [ops] lists the alignment columns left to right and covers every element
+    of both sequences exactly once (global engines) or of the reported local
+    region (local engines). *)
+
+val max_weight_alignment :
+  score:(int -> int -> float) -> la:int -> lb:int -> alignment
+(** The P_score DP of paper Def 4: pads are free (cost 0), pairing [i,j]
+    earns [score i j], pairs may be declined.  Equivalently global alignment
+    with zero gap penalty where negative-scoring pairings are never forced.
+    O(la·lb) time and space (with traceback). *)
+
+val max_weight_score : score:(int -> int -> float) -> la:int -> lb:int -> float
+(** Score only, O(min(la,lb)) space. *)
+
+val global :
+  score:(int -> int -> float) -> gap:float -> la:int -> lb:int -> alignment
+(** Needleman–Wunsch with linear gap penalty [gap] (a cost; pass a
+    non-negative number).  Every element appears in exactly one column. *)
+
+val global_affine :
+  score:(int -> int -> float) ->
+  gap_open:float ->
+  gap_extend:float ->
+  la:int ->
+  lb:int ->
+  alignment
+(** Gotoh three-matrix global alignment; a gap of length g costs
+    [gap_open + g * gap_extend]. *)
+
+val semiglobal :
+  score:(int -> int -> float) -> gap:float -> la:int -> lb:int -> alignment
+(** Overlap alignment: gaps at the start of either sequence and at the end
+    of either sequence are free; interior gaps cost [gap].  The natural
+    mode for detecting contig overlaps. *)
+
+type local = { a_lo : int; a_hi : int; b_lo : int; b_hi : int; alignment : alignment }
+(** Inclusive bounds of the aligned region in each sequence; empty optimum is
+    reported as score 0 with [a_lo > a_hi]. *)
+
+val local :
+  score:(int -> int -> float) -> gap:float -> la:int -> lb:int -> local
+(** Smith–Waterman local alignment with linear gaps. *)
+
+val banded_global :
+  score:(int -> int -> float) -> gap:float -> band:int -> la:int -> lb:int -> alignment
+(** Needleman–Wunsch restricted to |i - j·la/lb| within [band] of the main
+    diagonal; exact when the optimal path stays in the band. *)
+
+val xdrop_extend :
+  score:(int -> int -> float) ->
+  x_drop:float ->
+  la:int ->
+  lb:int ->
+  a_start:int ->
+  b_start:int ->
+  float * int
+(** Ungapped extension to the right from (a_start, b_start): accumulates
+    [score (a_start+k) (b_start+k)] and stops when the running score falls
+    more than [x_drop] below its maximum or a sequence ends.  Returns the
+    best prefix score and its length (number of aligned pairs). *)
+
+val score_of_ops : score:(int -> int -> float) -> op list -> float
+(** Recomputes an alignment's score from its columns (pads contribute 0).
+    Used by tests as an independent check on tracebacks. *)

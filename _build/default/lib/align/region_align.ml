@@ -1,0 +1,34 @@
+open Fsa_seq
+
+let reverse_word a =
+  let n = Array.length a in
+  Array.init n (fun i -> Symbol.reverse a.(n - 1 - i))
+
+let score_fn sigma a b i j = Scoring.get sigma a.(i) b.(j)
+
+let p_score sigma a b =
+  Pairwise.max_weight_score ~score:(score_fn sigma a b) ~la:(Array.length a)
+    ~lb:(Array.length b)
+
+let p_alignment sigma a b =
+  Pairwise.max_weight_alignment ~score:(score_fn sigma a b) ~la:(Array.length a)
+    ~lb:(Array.length b)
+
+let padded_pair_of_alignment a b (al : Pairwise.alignment) =
+  let cols = List.length al.ops in
+  let u = Array.make cols None and v = Array.make cols None in
+  List.iteri
+    (fun k op ->
+      match (op : Pairwise.op) with
+      | Both (i, j) ->
+          u.(k) <- Some a.(i);
+          v.(k) <- Some b.(j)
+      | A_only i -> u.(k) <- Some a.(i)
+      | B_only j -> v.(k) <- Some b.(j))
+    al.ops;
+  (u, v)
+
+let ms_full sigma a b =
+  let fwd = p_score sigma a b in
+  let rev = p_score sigma a (reverse_word b) in
+  if rev > fwd then (rev, true) else (fwd, false)

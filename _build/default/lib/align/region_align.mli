@@ -1,0 +1,25 @@
+(** Alignment of region words: the P_score of paper Def 4 and the
+    reconstruction of padded sequence pairs from alignments (Remark 1). *)
+
+open Fsa_seq
+
+val p_score : Scoring.t -> Symbol.t array -> Symbol.t array -> float
+(** P_score(h̄, m̄) = max over padded versions u ∈ P_h̄, v ∈ P_m̄ of
+    Score(u, v).  Always >= 0. *)
+
+val p_alignment : Scoring.t -> Symbol.t array -> Symbol.t array -> Pairwise.alignment
+(** Like {!p_score} with the witness alignment. *)
+
+val padded_pair_of_alignment :
+  Symbol.t array -> Symbol.t array -> Pairwise.alignment -> Padded.t * Padded.t
+(** Materializes an alignment as two equal-length padded sequences whose
+    {!Padded.score} equals the alignment score; the first/second component is
+    a padding of the first/second input word. *)
+
+val ms_full : Scoring.t -> Symbol.t array -> Symbol.t array -> float * bool
+(** Match score when one site is full (Def 4, Fig 7):
+    max(P_score(h̄, m̄), P_score(h̄, m̄ᴿ)).  The boolean is [true] when the
+    reversed orientation attains the maximum (ties prefer forward). *)
+
+val reverse_word : Symbol.t array -> Symbol.t array
+(** (a₁…aₙ)ᴿ = aₙᴿ…a₁ᴿ. *)

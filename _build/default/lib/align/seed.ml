@@ -1,0 +1,133 @@
+open Fsa_seq
+
+type index = { k : int; table : (int, int list) Hashtbl.t; max_occ : int }
+
+let build_index ?(max_occ = 32) ~k target =
+  let table = Hashtbl.create 1024 in
+  let add () ~pos ~kmer =
+    let old = Option.value ~default:[] (Hashtbl.find_opt table kmer) in
+    Hashtbl.replace table kmer (pos :: old)
+  in
+  Dna.fold_kmers ~k target ~init:() ~f:add;
+  (* Drop repeat k-mers: they seed quadratically many spurious diagonals. *)
+  Hashtbl.filter_map_inplace
+    (fun _ occs -> if List.length occs > max_occ then None else Some (List.rev occs))
+    table;
+  { k; table; max_occ }
+
+let index_k idx = idx.k
+let lookup idx kmer = Option.value ~default:[] (Hashtbl.find_opt idx.table kmer)
+
+type anchor = {
+  t_lo : int;
+  t_hi : int;
+  q_lo : int;
+  q_hi : int;
+  forward : bool;
+  score : float;
+}
+
+(* One strand: seeds as (diagonal, query-pos) pairs, merged into runs along
+   each diagonal, each run extended with x-drop.  Query coordinates here are
+   in the possibly reverse-complemented sequence [q]; the caller converts. *)
+let strand_runs ?(params = Dna_align.default) ~max_gap ~x_drop ~min_score idx ~target ~q =
+  let k = idx.k in
+  let hits =
+    Dna.fold_kmers ~k q ~init:[] ~f:(fun acc ~pos ~kmer ->
+        List.fold_left (fun acc t -> (t - pos, pos) :: acc) acc (lookup idx kmer))
+  in
+  let hits = List.sort compare hits in
+  (* Merge hits on a common diagonal whose starts are within k + max_gap. *)
+  let runs, last =
+    List.fold_left
+      (fun (runs, current) (d, j) ->
+        match current with
+        | Some (cd, j0, j1) when cd = d && j <= j1 + k + max_gap ->
+            (runs, Some (cd, j0, max j1 j))
+        | Some run -> (run :: runs, Some (d, j, j))
+        | None -> (runs, Some (d, j, j)))
+      ([], None) hits
+  in
+  let runs = match last with Some run -> run :: runs | None -> runs in
+  let tl = Dna.length target and ql = Dna.length q in
+  let pair_score i j =
+    if Dna.get target i = Dna.get q j then params.Dna_align.match_score
+    else params.Dna_align.mismatch
+  in
+  let extend (d, j0, j1) =
+    (* The run covers query [j0, j1 + k - 1] on diagonal d.  Extend right
+       from the run end and left from the run start. *)
+    let q_end = j1 + k in
+    let right_score, right_len =
+      Pairwise.xdrop_extend ~score:pair_score ~x_drop ~la:tl ~lb:ql
+        ~a_start:(q_end + d) ~b_start:q_end
+    in
+    (* Left extension = right extension on reversed coordinates. *)
+    let rev_score i j = pair_score (j0 + d - 1 - i) (j0 - 1 - j) in
+    let left_score, left_len =
+      if j0 = 0 || j0 + d = 0 then (0.0, 0)
+      else
+        Pairwise.xdrop_extend ~score:rev_score ~x_drop ~la:(min (j0 + d) tl)
+          ~lb:j0 ~a_start:0 ~b_start:0
+    in
+    let core_lo = j0 and core_hi = q_end - 1 in
+    let q_lo = core_lo - left_len and q_hi = core_hi + right_len in
+    let core_score = ref 0.0 in
+    for j = core_lo to core_hi do
+      core_score := !core_score +. pair_score (j + d) j
+    done;
+    let score = !core_score +. left_score +. right_score in
+    (d, q_lo, q_hi, score)
+  in
+  List.filter_map
+    (fun run ->
+      let d, q_lo, q_hi, score = extend run in
+      if score >= min_score then Some (d, q_lo, q_hi, score) else None)
+    runs
+
+let anchors ?(params = Dna_align.default) ?(max_gap = 4) ?(x_drop = 10.0)
+    ?(min_score = 20.0) idx ~target ~query =
+  let fwd =
+    strand_runs ~params ~max_gap ~x_drop ~min_score idx ~target ~q:query
+    |> List.map (fun (d, q_lo, q_hi, score) ->
+           { t_lo = q_lo + d; t_hi = q_hi + d; q_lo; q_hi; forward = true; score })
+  in
+  let qrc = Dna.reverse_complement query in
+  let ql = Dna.length query in
+  let rev =
+    strand_runs ~params ~max_gap ~x_drop ~min_score idx ~target ~q:qrc
+    |> List.map (fun (d, q_lo, q_hi, score) ->
+           (* Positions in qrc map back to forward-query coordinates by
+              j ↦ ql - 1 - j, flipping the interval. *)
+           {
+             t_lo = q_lo + d;
+             t_hi = q_hi + d;
+             q_lo = ql - 1 - q_hi;
+             q_hi = ql - 1 - q_lo;
+             forward = false;
+             score;
+           })
+  in
+  List.sort (fun a b -> compare b.score a.score) (fwd @ rev)
+
+let contains_range (lo1, hi1) (lo2, hi2) = lo1 <= lo2 && hi2 <= hi1
+
+let filter_dominated anchors =
+  (* Anchors arrive sorted by decreasing score; keep each unless an already
+     kept (hence at least as good) anchor covers it on both sequences. *)
+  let keep kept a =
+    let dominated =
+      List.exists
+        (fun b ->
+          contains_range (b.t_lo, b.t_hi) (a.t_lo, a.t_hi)
+          && contains_range (b.q_lo, b.q_hi) (a.q_lo, a.q_hi))
+        kept
+    in
+    if dominated then kept else a :: kept
+  in
+  List.rev (List.fold_left keep [] anchors)
+
+let pp_anchor ppf a =
+  Format.fprintf ppf "t[%d,%d] ~ q[%d,%d]%s score=%.1f" a.t_lo a.t_hi a.q_lo a.q_hi
+    (if a.forward then "" else " (rev)")
+    a.score

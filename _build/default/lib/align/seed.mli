@@ -1,0 +1,49 @@
+(** Seed-and-extend homology search (a miniature BLAST).
+
+    This is the conserved-region detector used by the genome pipeline: exact
+    k-mer seeds between a target and a query (both strands), merged along
+    diagonals and extended without gaps under an x-drop rule.  It substitutes
+    for the precomputed alignments the paper assumes as input. *)
+
+open Fsa_seq
+
+type index
+(** k-mer index of a target sequence. *)
+
+val build_index : ?max_occ:int -> k:int -> Dna.t -> index
+(** Positions of every k-mer; k-mers occurring more than [max_occ] times
+    (default 32) are dropped as repeats. *)
+
+val index_k : index -> int
+
+val lookup : index -> int -> int list
+(** Target positions of a packed k-mer. *)
+
+type anchor = {
+  t_lo : int;
+  t_hi : int;  (** inclusive target range *)
+  q_lo : int;
+  q_hi : int;  (** inclusive query range, always in forward-query coordinates *)
+  forward : bool;  (** false when the query matches the reverse strand *)
+  score : float;
+}
+
+val anchors :
+  ?params:Dna_align.params ->
+  ?max_gap:int ->
+  ?x_drop:float ->
+  ?min_score:float ->
+  index ->
+  target:Dna.t ->
+  query:Dna.t ->
+  anchor list
+(** All x-drop-extended diagonal runs of seeds with score at least
+    [min_score] (default 20), both strands, sorted by decreasing score.
+    [max_gap] (default 4) is the largest seed-to-seed gap merged into one run
+    along a diagonal. *)
+
+val filter_dominated : anchor list -> anchor list
+(** Removes anchors whose target *and* query ranges are contained in a
+    higher-scoring anchor's ranges. *)
+
+val pp_anchor : Format.formatter -> anchor -> unit

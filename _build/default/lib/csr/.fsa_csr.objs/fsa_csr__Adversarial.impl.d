@@ -1,0 +1,1 @@
+lib/csr/adversarial.ml: Alphabet Array Fragment Fsa_seq Instance List Printf Scoring Symbol

@@ -1,0 +1,1 @@
+lib/csr/adversarial.mli: Instance

@@ -1,0 +1,1 @@
+lib/csr/border_improve.ml: Array Cmatch Fragment Fsa_matching Fsa_seq Improve Instance List Printf Site Solution Species

@@ -1,0 +1,1 @@
+lib/csr/border_improve.mli: Cmatch Improve Instance Solution

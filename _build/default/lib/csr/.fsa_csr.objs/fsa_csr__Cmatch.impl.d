@@ -1,0 +1,1 @@
+lib/csr/cmatch.ml: Array Format Fragment Fsa_align Fsa_seq Hashtbl Instance Site Species

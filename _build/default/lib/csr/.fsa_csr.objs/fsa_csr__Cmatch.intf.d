@@ -1,0 +1,1 @@
+lib/csr/cmatch.mli: Format Fsa_seq Instance Site Species Symbol

@@ -1,0 +1,1 @@
+lib/csr/conjecture.ml: Array Cmatch Format Fragment Fsa_align Fsa_seq Hashtbl Instance List Option Padded Site Solution Species Symbol

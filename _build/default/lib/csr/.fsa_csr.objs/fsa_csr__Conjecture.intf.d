@@ -1,0 +1,1 @@
+lib/csr/conjecture.mli: Fsa_seq Instance Padded Solution Species Symbol

@@ -1,0 +1,1 @@
+lib/csr/csop.ml: Alphabet Array Fragment Fsa_graph Fsa_seq Hashtbl Instance List Printf Scoring Seq Symbol

@@ -1,0 +1,1 @@
+lib/csr/csop.mli: Fsa_graph Instance

@@ -1,0 +1,1 @@
+lib/csr/csr_improve.ml: Border_improve Cmatch Fragment Fsa_seq Full_improve Improve Instance List One_csr Printf Site Solution Species

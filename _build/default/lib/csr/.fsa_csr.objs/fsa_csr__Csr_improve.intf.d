@@ -1,0 +1,1 @@
+lib/csr/csr_improve.mli: Cmatch Full_improve Improve Instance Solution

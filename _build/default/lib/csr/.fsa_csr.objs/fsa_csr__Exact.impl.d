@@ -1,0 +1,1 @@
+lib/csr/exact.ml: Array Conjecture Fsa_align Instance List Species

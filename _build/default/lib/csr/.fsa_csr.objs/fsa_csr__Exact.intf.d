@@ -1,0 +1,1 @@
+lib/csr/exact.mli: Conjecture Instance

@@ -1,0 +1,1 @@
+lib/csr/full_improve.ml: Array Cmatch Format Fragment Fsa_intervals Fsa_seq Improve Instance List Printf Site Solution Species

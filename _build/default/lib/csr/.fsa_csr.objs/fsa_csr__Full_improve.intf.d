@@ -1,0 +1,1 @@
+lib/csr/full_improve.mli: Improve Instance Solution Species

@@ -1,0 +1,1 @@
+lib/csr/greedy.ml: Cmatch Fragment Fsa_seq Instance List Site Solution Species

@@ -1,0 +1,1 @@
+lib/csr/greedy.mli: Cmatch Instance Solution

@@ -1,0 +1,1 @@
+lib/csr/improve.ml: Cmatch Float Fragment Fsa_intervals Fsa_seq Instance List One_csr Site Solution Species

@@ -1,0 +1,1 @@
+lib/csr/improve.mli: Fsa_seq Instance Solution Species

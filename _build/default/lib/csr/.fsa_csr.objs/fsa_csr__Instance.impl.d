@@ -1,0 +1,1 @@
+lib/csr/instance.ml: Alphabet Array Buffer Format Fragment Fsa_seq Fsa_util List Printf Scoring Species String Symbol

@@ -1,0 +1,1 @@
+lib/csr/instance.mli: Alphabet Format Fragment Fsa_seq Fsa_util Scoring Species

@@ -1,0 +1,1 @@
+lib/csr/islands.ml: Buffer Cmatch Conjecture Format Fragment Fsa_seq Hashtbl Instance List Option Printf Solution Species String

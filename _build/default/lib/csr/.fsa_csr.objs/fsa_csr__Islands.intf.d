@@ -1,0 +1,1 @@
+lib/csr/islands.mli: Cmatch Format Instance Solution Species

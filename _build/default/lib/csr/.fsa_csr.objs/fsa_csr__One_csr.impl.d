@@ -1,0 +1,1 @@
+lib/csr/one_csr.ml: Array Cmatch Fragment Fsa_intervals Fsa_seq Instance List Site Solution Species

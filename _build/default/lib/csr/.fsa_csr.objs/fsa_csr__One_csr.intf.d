@@ -1,0 +1,1 @@
+lib/csr/one_csr.mli: Fsa_intervals Instance Solution Species

@@ -1,0 +1,1 @@
+lib/csr/reduction.ml: Alphabet Array Conjecture Float Fragment Fsa_align Fsa_seq Hashtbl Instance List Printf Scoring Species Symbol

@@ -1,0 +1,1 @@
+lib/csr/reduction.mli: Conjecture Fsa_seq Instance Symbol

@@ -1,0 +1,1 @@
+lib/csr/solution.ml: Array Buffer Cmatch Float Format Fragment Fsa_seq Fsa_util Instance List Printf Result Site Species String

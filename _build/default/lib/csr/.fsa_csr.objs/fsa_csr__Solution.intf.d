@@ -1,0 +1,1 @@
+lib/csr/solution.mli: Cmatch Format Fsa_seq Instance Site Species

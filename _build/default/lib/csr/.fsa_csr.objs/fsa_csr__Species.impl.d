@@ -1,0 +1,1 @@
+lib/csr/species.ml: Format

@@ -1,0 +1,1 @@
+lib/csr/species.mli: Format

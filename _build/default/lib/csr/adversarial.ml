@@ -1,0 +1,47 @@
+open Fsa_seq
+
+(* Region id layout per gadget g (base = g * 4 * width):
+   [0, width)           H-host regions
+   [width, 2·width)     M-host regions
+   [2·width, 3·width)   M singleton regions (plug into the H-host)
+   [3·width, 4·width)   H singleton regions (plug into the M-host) *)
+let trap ?(w = 10.0) ?(delta = 1.0) ~k ~width () =
+  if k < 1 || width < 1 then invalid_arg "Adversarial.trap: k and width must be >= 1";
+  if delta <= 0.0 then invalid_arg "Adversarial.trap: delta must be positive";
+  if delta >= w then invalid_arg "Adversarial.trap: need delta < w";
+  let per = 4 * width in
+  let names = ref [] in
+  for g = k - 1 downto 0 do
+    for r = per - 1 downto 0 do
+      names := Printf.sprintf "g%dr%d" g r :: !names
+    done
+  done;
+  let alphabet = Alphabet.of_names !names in
+  let sigma = Scoring.create () in
+  let h = ref [] and m = ref [] in
+  for g = 0 to k - 1 do
+    let base = g * per in
+    let h_host = Array.init width (fun i -> Symbol.make (base + i)) in
+    let m_host = Array.init width (fun i -> Symbol.make (base + width + i)) in
+    h := Fragment.make (Printf.sprintf "hHost%d" g) h_host :: !h;
+    m := Fragment.make (Printf.sprintf "mHost%d" g) m_host :: !m;
+    for i = 0 to width - 1 do
+      (* Bait: host-to-host, worth w + delta in total. *)
+      Scoring.set sigma h_host.(i) m_host.(i) ((w +. delta) /. float_of_int width);
+      (* Singletons: each scores w against one host region. *)
+      let m_single = Symbol.make (base + (2 * width) + i) in
+      let h_single = Symbol.make (base + (3 * width) + i) in
+      Scoring.set sigma h_host.(i) m_single w;
+      Scoring.set sigma h_single m_host.(i) w;
+      m :=
+        Fragment.make (Printf.sprintf "mLeaf%d_%d" g i) [| m_single |] :: !m;
+      h :=
+        Fragment.make (Printf.sprintf "hLeaf%d_%d" g i) [| h_single |] :: !h
+    done
+  done;
+  Instance.make ~alphabet ~h:(List.rev !h) ~m:(List.rev !m) ~sigma
+
+let trap_optimum ~w ~k ~width = 2.0 *. float_of_int (k * width) *. w
+let trap_greedy_score ~w ~delta ~k ~width =
+  ignore width;
+  float_of_int k *. (w +. delta)

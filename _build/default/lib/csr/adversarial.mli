@@ -1,0 +1,23 @@
+(** Instance families on which the greedy heuristic collapses (§1's
+    motivation for approximation algorithms).
+
+    {!trap} builds k independent gadgets.  Each gadget has an H-host and an
+    M-host of [width] regions: plugging the H-host into the M-host as one
+    unit scores W + δ, but the optimal solution instead uses both hosts as
+    scaffolds, each hosting [width] singleton fragments worth W apiece —
+    2·width·W per gadget.  Greedy grabs the W + δ match, consuming both
+    hosts; its ratio degrades like 1/(2·width), unboundedly.  The
+    approximation algorithms escape because detaching a host frees sites
+    that TPA immediately refills. *)
+
+val trap :
+  ?w:float -> ?delta:float -> k:int -> width:int -> unit -> Instance.t
+(** [k >= 1] gadgets of [width >= 1] regions per host; [w] (default 10) is
+    the singleton score, [delta] (default 1) the greedy bait margin.
+    Requires [delta > 0] (otherwise greedy may tie-break correctly). *)
+
+val trap_optimum : w:float -> k:int -> width:int -> float
+(** The planted optimum 2·k·width·w (proved optimal for delta < w). *)
+
+val trap_greedy_score : w:float -> delta:float -> k:int -> width:int -> float
+(** What greedy scores: k·(width·((w + delta) / width)) = k·(w + delta). *)

@@ -1,0 +1,32 @@
+(** Border_Improve (§4.3): iterative improvement for Border CSR, ratio 3 + ε
+    (Theorem 5), plus the Lemma 9 matching-based 2-approximation.
+
+    Improvement methods (standalone border versions — no TPA refills):
+
+    - I2(f̄, ḡ): prepare two border sites on fragments of different species
+      and match them.  Any existing border match of either fragment is
+      removed first, so islands never grow past two multiple fragments.
+    - I3(f̄₁, ḡ₁, f̄₂, ḡ₂): break the 2-island of multiple fragments f₁, g₁
+      and make two new border matches pairing each of them with an outside
+      fragment. *)
+
+val border_candidates : Instance.t -> Cmatch.t list
+(** Every positive-score border match of the instance (all shape-compatible
+    border-site pairs).  Precomputed once per solve. *)
+
+val attempts : Instance.t -> Cmatch.t list -> Solution.t -> Improve.attempt list
+(** I2 attempts from the candidate list plus I3 attempts for each current
+    2-island. *)
+
+val solve :
+  ?min_gain:float ->
+  ?max_improvements:int ->
+  Instance.t ->
+  Solution.t * Improve.stats
+
+val solve_scaled : ?epsilon:float -> Instance.t -> Solution.t
+
+val matching_2approx : Instance.t -> Solution.t
+(** Lemma 9: a maximum-weight bipartite matching under the full-fragment
+    match score MS(h, m).  Guarantees half the Border-CSR optimum (and is a
+    useful general-purpose baseline). *)

@@ -1,0 +1,128 @@
+open Fsa_seq
+
+type t = {
+  h_frag : int;
+  h_site : Site.t;
+  m_frag : int;
+  m_site : Site.t;
+  m_reversed : bool;
+  score : float;
+}
+
+type kind = Full_match | Border_match
+
+let site_kind inst side frag site =
+  Fragment.site_kind (Instance.fragment inst side frag) site
+
+let classify inst t =
+  let hk = site_kind inst Species.H t.h_frag t.h_site in
+  let mk = site_kind inst Species.M t.m_frag t.m_site in
+  match (hk, mk) with
+  | Site.Full, _ | _, Site.Full -> Some Full_match
+  | Site.Inner, _ | _, Site.Inner -> None
+  | (Site.Prefix | Site.Suffix), (Site.Prefix | Site.Suffix) ->
+      (* Opposite shapes are realizable forward; equal shapes reversed. *)
+      let equal_shapes = hk = mk in
+      if equal_shapes = t.m_reversed then Some Border_match else None
+
+let oriented_site_words inst t =
+  let hw = Fragment.sub (Instance.fragment inst Species.H t.h_frag) t.h_site in
+  let mfrag = Instance.fragment inst Species.M t.m_frag in
+  let mw =
+    if t.m_reversed then Fragment.sub_reversed mfrag t.m_site
+    else Fragment.sub mfrag t.m_site
+  in
+  (hw, mw)
+
+let recompute_score inst t =
+  let hw, mw = oriented_site_words inst t in
+  Fsa_align.Region_align.p_score inst.Instance.sigma hw mw
+
+(* MS values depend only on the instance's σ and the site geometry, never
+   on the current solution, so they are memoized per instance uid.  The
+   local-search algorithms evaluate the same (fragment, site) pairs
+   thousands of times; this table turns those into lookups. *)
+let ms_cache : (int * bool * int * int * int * int, float * bool) Hashtbl.t =
+  Hashtbl.create 4096
+
+let clear_cache () = Hashtbl.reset ms_cache
+
+let full inst ~full_side idx ~other_frag ~other_site =
+  let other_side = Species.other full_side in
+  let full_word =
+    Fragment.symbols (Instance.fragment inst full_side idx)
+  in
+  let other_word =
+    Fragment.sub (Instance.fragment inst other_side other_frag) other_site
+  in
+  (* Arrange as (h word, m word) for σ's argument order. *)
+  let h_word, m_word =
+    match full_side with
+    | Species.H -> (full_word, other_word)
+    | Species.M -> (other_word, full_word)
+  in
+  let key =
+    ( inst.Instance.uid,
+      full_side = Species.H,
+      idx,
+      other_frag,
+      other_site.Site.lo,
+      other_site.Site.hi )
+  in
+  let score, m_reversed =
+    match Hashtbl.find_opt ms_cache key with
+    | Some r -> r
+    | None ->
+        let r = Fsa_align.Region_align.ms_full inst.Instance.sigma h_word m_word in
+        if Hashtbl.length ms_cache > 2_000_000 then Hashtbl.reset ms_cache;
+        Hashtbl.add ms_cache key r;
+        r
+  in
+  let full_site_of w = Site.make 0 (Array.length w - 1) in
+  match full_side with
+  | Species.H ->
+      {
+        h_frag = idx;
+        h_site = full_site_of full_word;
+        m_frag = other_frag;
+        m_site = other_site;
+        m_reversed;
+        score;
+      }
+  | Species.M ->
+      {
+        h_frag = other_frag;
+        h_site = other_site;
+        m_frag = idx;
+        m_site = full_site_of full_word;
+        m_reversed;
+        score;
+      }
+
+let border inst ~h_frag ~h_site ~m_frag ~m_site =
+  let hk = site_kind inst Species.H h_frag h_site in
+  let mk = site_kind inst Species.M m_frag m_site in
+  match (hk, mk) with
+  | (Site.Prefix | Site.Suffix), (Site.Prefix | Site.Suffix) ->
+      let m_reversed = hk = mk in
+      let draft = { h_frag; h_site; m_frag; m_site; m_reversed; score = 0.0 } in
+      Some { draft with score = recompute_score inst draft }
+  | _ -> None
+
+let site_of t = function Species.H -> t.h_site | Species.M -> t.m_site
+let frag_of t = function Species.H -> t.h_frag | Species.M -> t.m_frag
+
+let equal a b =
+  a.h_frag = b.h_frag && a.m_frag = b.m_frag
+  && Site.equal a.h_site b.h_site
+  && Site.equal a.m_site b.m_site
+  && a.m_reversed = b.m_reversed
+
+let pp inst ppf t =
+  Format.fprintf ppf "(%s%a ~ %s%a%s : %.2f)"
+    (Fragment.name (Instance.fragment inst Species.H t.h_frag))
+    Site.pp t.h_site
+    (Fragment.name (Instance.fragment inst Species.M t.m_frag))
+    Site.pp t.m_site
+    (if t.m_reversed then "ᴿ" else "")
+    t.score

@@ -1,0 +1,65 @@
+(** Matches: pairs of sites from fragments of different species, and the
+    match score MS of Def 4.
+
+    A match records which fragment and site it uses on each side and the
+    relative orientation: [m_reversed = true] means the H-site content is
+    aligned against the reversal of the M-site content.
+
+    Classification (Def 3): a match is a {e full match} when at least one
+    site is the full fragment, and a {e border match} when both sites are
+    border-shaped (a proper prefix or suffix).  Any other shape combination
+    cannot arise from a conjecture pair.
+
+    Border geometry (Fig 8): in a layout, a border match glues an end of one
+    fragment to an end of the other, so with both fragments forward an
+    H-suffix can meet an M-prefix or vice versa; equal shapes
+    (prefix/prefix, suffix/suffix) are only realizable with one fragment
+    reversed.  Hence the orientation is {e determined} by the shapes:
+    opposite shapes ⇒ forward, equal shapes ⇒ reversed. *)
+
+open Fsa_seq
+
+type t = {
+  h_frag : int;
+  h_site : Site.t;
+  m_frag : int;
+  m_site : Site.t;
+  m_reversed : bool;
+  score : float;
+}
+
+type kind = Full_match | Border_match
+
+val classify : Instance.t -> t -> kind option
+(** [None] when the shape combination is not realizable (inner×inner,
+    inner×border, or a border×border pair whose orientation contradicts its
+    shapes). *)
+
+val oriented_site_words : Instance.t -> t -> Symbol.t array * Symbol.t array
+(** The two aligned words: H-site content forward, M-site content reversed
+    iff [m_reversed]. *)
+
+val recompute_score : Instance.t -> t -> float
+(** P_score of the oriented site words — the match's score under σ with the
+    recorded orientation. *)
+
+val full :
+  Instance.t -> full_side:Species.t -> int -> other_frag:int -> other_site:Site.t -> t
+(** Best full match plugging the whole fragment [full_side, index] into
+    [other_site] of fragment [other_frag] on the other side: evaluates both
+    orientations (Def 4 / Fig 7) and records the winner.  Results are
+    memoized per instance uid (σ must not be mutated after construction;
+    see {!Instance.with_sigma}). *)
+
+val clear_cache : unit -> unit
+(** Drops the MS memo table (it is also bounded and self-resetting). *)
+
+val border :
+  Instance.t -> h_frag:int -> h_site:Site.t -> m_frag:int -> m_site:Site.t -> t option
+(** Border match on two border-shaped sites; the orientation is forced by
+    the shapes (see above).  [None] if either site is not border-shaped. *)
+
+val site_of : t -> Species.t -> Site.t
+val frag_of : t -> Species.t -> int
+val equal : t -> t -> bool
+val pp : Instance.t -> Format.formatter -> t -> unit

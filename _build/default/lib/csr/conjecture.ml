@@ -1,0 +1,319 @@
+open Fsa_seq
+
+type t = {
+  h_row : Padded.t;
+  m_row : Padded.t;
+  h_order : (int * bool) list;
+  m_order : (int * bool) list;
+}
+
+(* Mutable build state: rows accumulate reversed; orders accumulate
+   reversed. *)
+type builder = {
+  mutable h_cells : Padded.cell list;
+  mutable m_cells : Padded.cell list;
+  mutable h_ord : (int * bool) list;
+  mutable m_ord : (int * bool) list;
+}
+
+let new_builder () = { h_cells = []; m_cells = []; h_ord = []; m_ord = [] }
+
+let emit_col b hc mc =
+  b.h_cells <- hc :: b.h_cells;
+  b.m_cells <- mc :: b.m_cells
+
+let record b side frag rev =
+  match side with
+  | Species.H -> b.h_ord <- (frag, rev) :: b.h_ord
+  | Species.M -> b.m_ord <- (frag, rev) :: b.m_ord
+
+(* Emit unmatched symbols of a fragment occurrence against pads. *)
+let emit_gap b side word lo hi =
+  for i = lo to hi do
+    match side with
+    | Species.H -> emit_col b (Some word.(i)) None
+    | Species.M -> emit_col b None (Some word.(i))
+  done
+
+(* Emit an alignment block between an H-side layout word and an M-side
+   layout word. *)
+let emit_block b sigma h_word m_word =
+  let al = Fsa_align.Region_align.p_alignment sigma h_word m_word in
+  let u, v = Fsa_align.Region_align.padded_pair_of_alignment h_word m_word al in
+  Array.iteri (fun k hc -> emit_col b hc v.(k)) u;
+  al.Fsa_align.Pairwise.score
+
+let oriented_word inst side frag rev =
+  let f = Instance.fragment inst side frag in
+  let f = if rev then Fragment.reverse f else f in
+  Fragment.symbols f
+
+let orient_site ~len rev (s : Site.t) =
+  if rev then Site.make (len - 1 - s.Site.hi) (len - 1 - s.Site.lo) else s
+
+(* The M-side layout orientation follows from the H-side one and the match's
+   relative orientation flag (see the geometric argument in Cmatch's doc). *)
+let partner_orientation host_side host_rev (m : Cmatch.t) =
+  match host_side with
+  | Species.H -> host_rev <> m.Cmatch.m_reversed
+  | Species.M -> host_rev <> m.Cmatch.m_reversed
+
+let of_solution sol =
+  let inst = Solution.instance sol in
+  let sigma = inst.Instance.sigma in
+  let b = new_builder () in
+  let visited = Hashtbl.create 32 in
+  let visit side frag = Hashtbl.replace visited (side, frag) () in
+  let seen side frag = Hashtbl.mem visited (side, frag) in
+
+  (* --- island chain discovery ------------------------------------------- *)
+  let border_edges side frag = Solution.border_matches_of sol side frag in
+  let edge_other side frag (m : Cmatch.t) =
+    ignore frag;
+    match side with
+    | Species.H -> (Species.M, m.Cmatch.m_frag)
+    | Species.M -> (Species.H, m.Cmatch.h_frag)
+  in
+  (* Walk the border path from an endpoint, returning fragments and edges. *)
+  let walk_chain start_side start_frag =
+    let rec go side frag prev_edge frags edges =
+      let frags = (side, frag) :: frags in
+      let nexts =
+        List.filter
+          (fun e ->
+            match prev_edge with None -> true | Some p -> not (Cmatch.equal p e))
+          (border_edges side frag)
+      in
+      match nexts with
+      | [] -> (List.rev frags, List.rev edges)
+      | e :: _ ->
+          let side', frag' = edge_other side frag e in
+          go side' frag' (Some e) frags (e :: edges)
+    in
+    go start_side start_frag None [] []
+  in
+
+  (* --- per-fragment emission -------------------------------------------- *)
+  (* Process one host fragment occurrence.  [prev_edge]: border match whose
+     block was already emitted by the previous host; [next] = (edge, side,
+     frag, rev) of the next host in the chain, whose block we emit. *)
+  let process_host side frag rev ~prev_edge ~next =
+    visit side frag;
+    let word = oriented_word inst side frag rev in
+    let len = Array.length word in
+    let mts = Solution.matches_on sol side frag in
+    let mts =
+      List.sort
+        (fun a b ->
+          Site.compare
+            (orient_site ~len rev (Cmatch.site_of a side))
+            (orient_site ~len rev (Cmatch.site_of b side)))
+        mts
+    in
+    let pos = ref 0 in
+    let handle (m : Cmatch.t) =
+      let osite = orient_site ~len rev (Cmatch.site_of m side) in
+      let is_prev = match prev_edge with Some p -> Cmatch.equal p m | None -> false in
+      let is_next =
+        match next with Some (e, _, _, _) -> Cmatch.equal e m | None -> false
+      in
+      emit_gap b side word !pos (osite.Site.lo - 1);
+      if is_prev then ()
+        (* Block already emitted while processing the previous host. *)
+      else if is_next then begin
+        let _e, nside, nfrag, nrev =
+          match next with Some x -> x | None -> assert false
+        in
+        record b nside nfrag nrev;
+        let nword = oriented_word inst nside nfrag nrev in
+        let nlen = Array.length nword in
+        let nosite = orient_site ~len:nlen nrev (Cmatch.site_of m nside) in
+        let host_slice = Array.sub word osite.Site.lo (Site.length osite) in
+        let next_slice = Array.sub nword nosite.Site.lo (Site.length nosite) in
+        let h_word, m_word =
+          match side with
+          | Species.H -> (host_slice, next_slice)
+          | Species.M -> (next_slice, host_slice)
+        in
+        ignore (emit_block b sigma h_word m_word)
+      end
+      else begin
+        (* Full match: the partner is plugged here as a unit. *)
+        let pside = Species.other side in
+        let pfrag = Cmatch.frag_of m pside in
+        let prev_ = partner_orientation side rev m in
+        visit pside pfrag;
+        record b pside pfrag prev_;
+        let pword = oriented_word inst pside pfrag prev_ in
+        let host_slice = Array.sub word osite.Site.lo (Site.length osite) in
+        let h_word, m_word =
+          match side with
+          | Species.H -> (host_slice, pword)
+          | Species.M -> (pword, host_slice)
+        in
+        ignore (emit_block b sigma h_word m_word)
+      end;
+      pos := osite.Site.hi + 1
+    in
+    List.iter handle mts;
+    emit_gap b side word !pos (len - 1)
+  in
+
+  (* Process a chain of hosts f0..fk (k >= 0) with its border edges. *)
+  let process_chain frags edges =
+    let arr = Array.of_list frags in
+    let earr = Array.of_list edges in
+    let n = Array.length arr in
+    (* Orientations: edge i-1's site on fragment i must sit at the left end
+       of the occurrence; edge 0's site on fragment 0 at the right end. *)
+    let shape side frag (e : Cmatch.t) =
+      Fragment.site_kind (Instance.fragment inst side frag) (Cmatch.site_of e side)
+    in
+    let orients =
+      Array.init n (fun i ->
+          let side, frag = arr.(i) in
+          if i = 0 then
+            if n = 1 then false
+            else
+              match shape side frag earr.(0) with
+              | Site.Suffix -> false
+              | Site.Prefix -> true
+              | Site.Full | Site.Inner -> assert false
+          else
+            match shape side frag earr.(i - 1) with
+            | Site.Prefix -> false
+            | Site.Suffix -> true
+            | Site.Full | Site.Inner -> assert false)
+    in
+    for i = 0 to n - 1 do
+      let side, frag = arr.(i) in
+      let prev_edge = if i = 0 then None else Some earr.(i - 1) in
+      let next =
+        if i = n - 1 then None
+        else
+          let nside, nfrag = arr.(i + 1) in
+          Some (earr.(i), nside, nfrag, orients.(i + 1))
+      in
+      if i = 0 then record b side frag orients.(0);
+      process_host side frag orients.(i) ~prev_edge ~next
+    done
+  in
+
+  (* --- main loop over islands ------------------------------------------- *)
+  let handle_island members =
+    (* Chain = fragments with border matches; find an endpoint, else the
+       island is a star. *)
+    let with_border =
+      List.filter (fun (s, f) -> border_edges s f <> []) members
+    in
+    match with_border with
+    | [] ->
+        (* Star island: the center is the unique fragment whose role is not
+           Simple; a two-fragment full/full island has no such fragment and
+           either end works (take the H one). *)
+        let center =
+          match
+            List.find_opt (fun (s, f) -> Solution.role sol s f = Solution.Multiple) members
+          with
+          | Some c -> c
+          | None -> (
+              match List.find_opt (fun (s, _) -> s = Species.H) members with
+              | Some c -> c
+              | None -> List.hd members)
+        in
+        process_chain [ center ] []
+    | _ ->
+        let endpoint =
+          match
+            List.find_opt
+              (fun (s, f) -> List.length (border_edges s f) = 1)
+              with_border
+          with
+          | Some e -> e
+          | None -> assert false (* paths have endpoints; cycles are invalid *)
+        in
+        let s, f = endpoint in
+        let frags, edges = walk_chain s f in
+        process_chain frags edges
+  in
+  List.iter handle_island (Solution.islands sol);
+
+  (* Unmatched fragments: emitted forward against pads. *)
+  let leftover side =
+    for frag = 0 to Instance.fragment_count inst side - 1 do
+      if not (seen side frag) then begin
+        visit side frag;
+        record b side frag false;
+        let word = oriented_word inst side frag false in
+        emit_gap b side word 0 (Array.length word - 1)
+      end
+    done
+  in
+  leftover Species.H;
+  leftover Species.M;
+  {
+    h_row = Array.of_list (List.rev b.h_cells);
+    m_row = Array.of_list (List.rev b.m_cells);
+    h_order = List.rev b.h_ord;
+    m_order = List.rev b.m_ord;
+  }
+
+let score inst t = Padded.score inst.Instance.sigma t.h_row t.m_row
+
+let check inst t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if Array.length t.h_row <> Array.length t.m_row then err "rows differ in length"
+  else begin
+    let check_side side row order =
+      let expected =
+        List.concat_map
+          (fun (frag, rev) ->
+            let f = Instance.fragment inst side frag in
+            let f = if rev then Fragment.reverse f else f in
+            Array.to_list (Fragment.symbols f))
+          order
+      in
+      let actual = Array.to_list (Padded.strip row) in
+      let counts = Hashtbl.create 16 in
+      List.iter
+        (fun (frag, _) ->
+          Hashtbl.replace counts frag (1 + Option.value ~default:0 (Hashtbl.find_opt counts frag)))
+        order;
+      let n = Instance.fragment_count inst side in
+      let rec all_once frag =
+        if frag >= n then Ok ()
+        else
+          match Hashtbl.find_opt counts frag with
+          | Some 1 -> all_once (frag + 1)
+          | Some k -> err "%a fragment %d occurs %d times" Species.pp side frag k
+          | None -> err "%a fragment %d missing" Species.pp side frag
+      in
+      if List.length actual <> List.length expected then
+        err "%a row strips to wrong length" Species.pp side
+      else if not (List.for_all2 Symbol.equal actual expected) then
+        err "%a row content does not match its occurrence order" Species.pp side
+      else all_once 0
+    in
+    match check_side Species.H t.h_row t.h_order with
+    | Error e -> Error e
+    | Ok () -> check_side Species.M t.m_row t.m_order
+  end
+
+type layout = { order : int array; reversed : bool array }
+
+let identity_layout n = { order = Array.init n (fun i -> i); reversed = Array.make n false }
+
+let concat_word inst side l =
+  Array.concat
+    (Array.to_list
+       (Array.mapi
+          (fun pos frag ->
+            let f = Instance.fragment inst side frag in
+            let f = if l.reversed.(pos) then Fragment.reverse f else f in
+            Fragment.symbols f)
+          l.order))
+
+let score_of_layouts inst hl ml =
+  Fsa_align.Region_align.p_score inst.Instance.sigma
+    (concat_word inst Species.H hl)
+    (concat_word inst Species.M ml)

@@ -1,0 +1,41 @@
+(** Conjecture pairs (Def 1) and their construction from consistent match
+    sets (Remark 1).
+
+    A conjecture pair is materialized as two equal-length padded rows.  The
+    builder lays every island out as a chain of border-linked fragments with
+    full-match partners plugged into their hosts, then appends unmatched
+    fragments; by Remark 1 the resulting pair's column score equals the
+    match set's total score, which the test suite verifies end to end. *)
+
+open Fsa_seq
+
+type t = {
+  h_row : Padded.t;
+  m_row : Padded.t;
+  h_order : (int * bool) list;  (** fragment occurrences (index, reversed) *)
+  m_order : (int * bool) list;
+}
+
+val of_solution : Solution.t -> t
+
+val score : Instance.t -> t -> float
+(** Column score of the two rows (Def of [Score], §2.1). *)
+
+val check : Instance.t -> t -> (unit, string) result
+(** Structural validity: rows have equal length, each row strips to the
+    concatenation of its oriented fragments in occurrence order, and every
+    fragment occurs exactly once. *)
+
+(** Explicit orientation/permutation layouts — the search space of the
+    exact solver. *)
+type layout = { order : int array; reversed : bool array }
+
+val identity_layout : int -> layout
+val concat_word : Instance.t -> Species.t -> layout -> Symbol.t array
+(** Fragments concatenated in [order], each reversed per [reversed]
+    (indexed by position in [order]). *)
+
+val score_of_layouts : Instance.t -> layout -> layout -> float
+(** Optimal conjecture-pair score for fixed layouts: since a padding of a
+    concatenation splits into paddings of the parts, this is exactly
+    P_score of the two concatenated words. *)

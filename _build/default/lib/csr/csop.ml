@@ -1,0 +1,254 @@
+open Fsa_seq
+
+type t = { pairs : (int * int) array; positions : int }
+
+let create pair_list =
+  let pairs =
+    Array.of_list
+      (List.map
+         (fun (i, j) ->
+           if i = j then invalid_arg "Csop.create: degenerate pair";
+           (min i j, max i j))
+         pair_list)
+  in
+  let positions = 2 * Array.length pairs in
+  let seen = Array.make positions false in
+  Array.iter
+    (fun (i, j) ->
+      List.iter
+        (fun p ->
+          if p < 0 || p >= positions || seen.(p) then
+            invalid_arg "Csop.create: pairs must partition a prefix of the naturals";
+          seen.(p) <- true)
+        [ i; j ])
+    pairs;
+  { pairs; positions }
+
+let partner_table t =
+  let partner = Array.make t.positions (-1) in
+  Array.iter
+    (fun (i, j) ->
+      partner.(i) <- j;
+      partner.(j) <- i)
+    t.pairs;
+  partner
+
+let is_consistent t u =
+  let chosen = Array.make t.positions false in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= t.positions then invalid_arg "Csop.is_consistent: bad position";
+      chosen.(p) <- true)
+    u;
+  Array.for_all
+    (fun (i, j) ->
+      if chosen.(i) && chosen.(j) then begin
+        let rec clean l = l >= j || ((not chosen.(l)) && clean (l + 1)) in
+        clean (i + 1)
+      end
+      else true)
+    t.pairs
+
+(* --- the Theorem 2 reduction ---------------------------------------------
+
+   Vertex k owns block [5k, 5k+4]: node pair (5k, 5k+4); the interior slot
+   5k+1+b holds vertex k's end of its b-th incident edge (neighbors in
+   increasing order). *)
+
+let check_gadget_graph g =
+  if not (Fsa_graph.Graph.is_regular g 3) then
+    invalid_arg "Csop.of_graph: graph must be 3-regular";
+  if Fsa_graph.Cubic.has_consecutive_edge g then
+    invalid_arg "Csop.of_graph: consecutive vertices must not be adjacent"
+
+let slot g k neighbor =
+  let rec index b = function
+    | [] -> invalid_arg "Csop.slot: not a neighbor"
+    | n :: rest -> if n = neighbor then b else index (b + 1) rest
+  in
+  (5 * k) + 1 + index 0 (Fsa_graph.Graph.neighbors g k)
+
+let of_graph g =
+  check_gadget_graph g;
+  let n = Fsa_graph.Graph.vertex_count g in
+  let node_pairs = List.init n (fun k -> ((5 * k), (5 * k) + 4)) in
+  let edge_pairs = List.map (fun (i, j) -> (slot g i j, slot g j i)) (Fsa_graph.Graph.edges g) in
+  create (node_pairs @ edge_pairs)
+
+let value_of_mis g w = Fsa_graph.Graph.edge_count g + Fsa_graph.Graph.vertex_count g + List.length w
+
+let solution_of_mis g w =
+  check_gadget_graph g;
+  if not (Fsa_graph.Graph.is_independent_set g w) then
+    invalid_arg "Csop.solution_of_mis: not an independent set";
+  let in_w = Array.make (Fsa_graph.Graph.vertex_count g) false in
+  List.iter (fun v -> in_w.(v) <- true) w;
+  let node_rights = List.init (Fsa_graph.Graph.vertex_count g) (fun k -> (5 * k) + 4) in
+  (* Each edge contributes its slot at an endpoint outside W (at most one
+     endpoint can be in W). *)
+  let edge_slots =
+    List.map
+      (fun (i, j) -> if in_w.(i) then slot g j i else slot g i j)
+      (Fsa_graph.Graph.edges g)
+  in
+  let w_lefts = List.map (fun k -> 5 * k) w in
+  List.sort compare (node_rights @ edge_slots @ w_lefts)
+
+(* Normalization (proof of Theorem 2): grow U to intersect every pair
+   without changing its size. *)
+let normalize t u =
+  let chosen = Array.make t.positions false in
+  List.iter (fun p -> chosen.(p) <- true) u;
+  let completed_containing p =
+    (* The completed pair strictly containing p, if any (completed pairs
+       have disjoint spans in a consistent solution). *)
+    Array.to_seq t.pairs
+    |> Seq.find (fun (i, j) -> chosen.(i) && chosen.(j) && i < p && p < j)
+  in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iter
+      (fun (i, j) ->
+        if (not chosen.(i)) && not chosen.(j) then begin
+          match completed_containing i with
+          | None ->
+              chosen.(i) <- true;
+              progress := true
+          | Some (i', _) ->
+              chosen.(i') <- false;
+              chosen.(i) <- true;
+              progress := true
+        end)
+      t.pairs
+  done;
+  let out = ref [] in
+  for p = t.positions - 1 downto 0 do
+    if chosen.(p) then out := p :: !out
+  done;
+  !out
+
+let mis_of_solution g u =
+  check_gadget_graph g;
+  let t = of_graph g in
+  if not (is_consistent t u) then
+    invalid_arg "Csop.mis_of_solution: inconsistent input";
+  let u = normalize t u in
+  let chosen = Array.make t.positions false in
+  List.iter (fun p -> chosen.(p) <- true) u;
+  let w = ref [] in
+  for k = Fsa_graph.Graph.vertex_count g - 1 downto 0 do
+    if chosen.(5 * k) && chosen.((5 * k) + 4) then w := k :: !w
+  done;
+  !w
+
+exception Node_limit
+
+(* Exact solver via a structural reformulation.  In any consistent U the
+   both-chosen ("full") pairs have pairwise disjoint spans whose interiors
+   contain no chosen element, and every other pair contributes at most one
+   element, which must lie outside those interiors.  Conversely, given any
+   set D of pairs with disjoint spans, taking both elements of every pair
+   in D plus one outside-the-interiors element of every other pair that has
+   one is consistent.  Hence
+
+     opt = n_pairs + max over D of (|D| - #buried(D))
+
+   where buried(D) counts pairs not in D with both elements strictly inside
+   interiors of D.  The branch & bound explores D over pairs sorted by left
+   endpoint (disjointness then means "starts after the previous end") with
+   the bound |D| - buried + remaining. *)
+
+let exact ?(node_limit = 200_000_000) ?(incumbent = []) t =
+  if not (is_consistent t incumbent) then
+    invalid_arg "Csop.exact: incumbent not consistent";
+  let n_pairs = Array.length t.pairs in
+  let partner = partner_table t in
+  let spans = Array.copy t.pairs in
+  Array.sort compare spans;
+  let covered = Array.make t.positions false in
+  let best_term = ref (max 0 (List.length incumbent - n_pairs)) in
+  let best_d = ref [] in
+  let nodes = ref 0 in
+  let rec go k last_end term chosen =
+    incr nodes;
+    if !nodes > node_limit then raise Node_limit;
+    if term > !best_term then begin
+      best_term := term;
+      best_d := chosen
+    end;
+    if k < n_pairs && term + (n_pairs - k) > !best_term then begin
+      let i, j = spans.(k) in
+      if i > last_end then begin
+        (* Choose pair k as full: cover its interior and count burials. *)
+        let newly = ref [] in
+        for p = i + 1 to j - 1 do
+          if not covered.(p) then begin
+            covered.(p) <- true;
+            newly := p :: !newly
+          end
+        done;
+        (* A pair becomes buried when both elements are covered and at
+           least one was covered in this step; count it once — at the
+           smaller position when both are new, else at the new element. *)
+        let increment = ref 0 in
+        List.iter
+          (fun p ->
+            let q = partner.(p) in
+            if covered.(q) then
+              if List.mem q !newly then begin
+                if p < q then incr increment
+              end
+              else incr increment)
+          !newly;
+        go (k + 1) j (term + 1 - !increment) ((i, j) :: chosen);
+        List.iter (fun p -> covered.(p) <- false) !newly
+      end;
+      (* Skip pair k. *)
+      go (k + 1) last_end term chosen
+    end
+  in
+  (try go 0 (-1) 0 []
+   with Node_limit -> failwith "Csop.exact: node limit exceeded");
+  (* Reconstruct U from the best D: both elements of each D pair, plus one
+     uncovered element of every other pair when available. *)
+  let d = !best_d in
+  Array.iteri (fun p _ -> covered.(p) <- false) covered;
+  List.iter
+    (fun (i, j) ->
+      for p = i + 1 to j - 1 do
+        covered.(p) <- true
+      done)
+    d;
+  let in_d = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace in_d s ()) d;
+  let u = ref [] in
+  Array.iter
+    (fun (i, j) ->
+      if Hashtbl.mem in_d (i, j) then u := i :: j :: !u
+      else if not covered.(i) then u := i :: !u
+      else if not covered.(j) then u := j :: !u)
+    t.pairs;
+  let u = List.sort compare !u in
+  assert (is_consistent t u);
+  (* When the incumbent was already optimal the strict-improvement search
+     records no witness D; the incumbent itself is then the answer. *)
+  if List.length u >= List.length incumbent then u
+  else List.sort compare incumbent
+
+let to_instance t =
+  let names = List.init t.positions (fun p -> Printf.sprintf "a%d" p) in
+  let alphabet = Alphabet.of_names names in
+  let sigma = Scoring.create () in
+  for p = 0 to t.positions - 1 do
+    Scoring.set sigma (Symbol.make p) (Symbol.make p) 1.0
+  done;
+  let m_frag = Fragment.make "m" (Array.init t.positions Symbol.make) in
+  let h =
+    Array.to_list
+      (Array.mapi
+         (fun k (i, j) ->
+           Fragment.make (Printf.sprintf "p%d" k) [| Symbol.make i; Symbol.make j |])
+         t.pairs)
+  in
+  Instance.make ~alphabet ~h ~m:[ m_frag ] ~sigma

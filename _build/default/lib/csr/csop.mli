@@ -1,0 +1,57 @@
+(** CSoP — consistent subsets of pairs (§3.2) — and the Theorem 2 reduction
+    from 3-MIS.
+
+    A CSoP instance partitions [{0, .., 2n-1}] into n pairs (i(k), j(k)),
+    i(k) < j(k).  A subset U is consistent when for every pair with both
+    elements in U, no element of U lies strictly between them; the goal is
+    to maximize |U|.  (In CSR terms: M is the single sequence a₀…a₂ₙ₋₁, H
+    is the set of two-letter fragments ⟨a_i(k) a_j(k)⟩, σ is diagonal 0/1 —
+    a fully matched pair must sit adjacent in the conjecture.)
+
+    The reduction: a 3-regular graph on N vertices with no edge between
+    consecutively numbered vertices becomes a CSoP instance on 5N positions
+    — vertex k owns the block [5k, 5k+4] with the {e node pair}
+    (5k, 5k+4) and one position 5k+1..5k+3 per incident edge; each edge
+    becomes an {e edge pair}.  Theorem 2: optimal CSoP value =
+    (5N/2) + MIS(G) ... in the paper's notation with 2n graph nodes,
+    5n + |W|; here with N vertices the value is 2N + MIS(G) node-pair
+    singles... see {!of_graph} for the exact accounting, verified by E7. *)
+
+type t = { pairs : (int * int) array; positions : int }
+(** [pairs.(k)] = (i(k), j(k)); every position in [0, positions) occurs in
+    exactly one pair. *)
+
+val create : (int * int) list -> t
+(** @raise Invalid_argument unless the pairs partition a prefix of ℕ. *)
+
+val is_consistent : t -> int list -> bool
+
+val value_of_mis : Fsa_graph.Graph.t -> int list -> int
+(** Size of the CSoP solution the reduction derives from an independent
+    set: |edges| + |vertices| + |W| (every edge pair and every node pair
+    contribute one element, W-vertices' node pairs contribute both). *)
+
+val of_graph : Fsa_graph.Graph.t -> t
+(** The Theorem 2 instance.  Requires a 3-regular graph with no
+    consecutive-vertex edges (see {!Cubic.non_consecutive_ordering}). *)
+
+val solution_of_mis : Fsa_graph.Graph.t -> int list -> int list
+(** The constructive direction: a consistent solution of [of_graph g] of
+    size [value_of_mis g w] built from an independent set [w]. *)
+
+val mis_of_solution : Fsa_graph.Graph.t -> int list -> int list
+(** The extraction direction: from any consistent solution, an independent
+    set of size at least |U| − |edges| − |vertices| (normalization included). *)
+
+val exact : ?node_limit:int -> ?incumbent:int list -> t -> int list
+(** Optimal consistent subset by branch & bound over the set of fully
+    chosen pairs: in a consistent solution the both-chosen pairs have
+    disjoint spans with chosen-free interiors and every other pair
+    contributes at most one element outside those interiors, so
+    opt = n + max (|D| − #buried(D)) with the search running over the n
+    pairs rather than the 2n positions.
+    @raise Failure when [node_limit] (default 200_000_000) is exceeded. *)
+
+val to_instance : t -> Instance.t
+(** The CSoP instance as a CSR instance (single M fragment, pair H
+    fragments, diagonal 0/1 σ). *)

@@ -1,0 +1,30 @@
+(** CSR_Improve (§4.4): the general algorithm, ratio 3 + ε (Theorem 6).
+
+    Combines method I1 of {!Full_improve} with border methods I2 and I3
+    generalized to carry containing sites and TPA refills: making a border
+    match prepares a containing site on each fragment, breaks any 2-islands
+    the two fragments belonged to, and TPA-refills the leftover zones and
+    every site freed by detachments (this refill also realizes the paper's
+    "combined I1" attempts on newly exposed border sites, delegating the
+    choice of plug-in fragment to TPA).
+
+    Solutions consist of 1-islands and 2-islands: stars of full matches
+    around multiple fragments, at most one border match per fragment. *)
+
+type config = {
+  site_mode : Full_improve.site_mode;  (** ĝ enumeration for I1 and I2 *)
+  min_gain : float;
+  max_improvements : int;
+}
+
+val default_config : config
+
+val attempts : config -> Instance.t -> Cmatch.t list -> Solution.t -> Improve.attempt list
+
+val solve : ?config:config -> Instance.t -> Solution.t * Improve.stats
+val solve_scaled : ?config:config -> ?epsilon:float -> Instance.t -> Solution.t
+
+val solve_best : Instance.t -> Solution.t
+(** Convenience used by examples and the genome pipeline: the best of
+    CSR_Improve, the ISP 4-approximation and the matching baseline (each
+    individually keeps its guarantee, so the maximum does too). *)

@@ -1,0 +1,80 @@
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+let side_layout_count k = factorial k * (1 lsl k)
+
+let layout_count inst =
+  let kh = Instance.fragment_count inst Species.H in
+  let km = Instance.fragment_count inst Species.M in
+  side_layout_count kh * side_layout_count km
+
+(* Enumerate permutations of [0..k-1] by Heap's algorithm, applying [f] to
+   each; the array is reused so [f] must not retain it. *)
+let iter_permutations k f =
+  let a = Array.init k (fun i -> i) in
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec go n =
+    if n = 1 then f a
+    else
+      for i = 0 to n - 1 do
+        go (n - 1);
+        if n mod 2 = 0 then swap i (n - 1) else swap 0 (n - 1)
+      done
+  in
+  if k = 0 then f a else go k
+
+let iter_orientations k f =
+  let flags = Array.make k false in
+  for mask = 0 to (1 lsl k) - 1 do
+    for i = 0 to k - 1 do
+      flags.(i) <- mask land (1 lsl i) <> 0
+    done;
+    f flags
+  done
+
+let solve ?(budget = 2_000_000) inst =
+  if layout_count inst > budget then
+    failwith "Exact.solve: layout budget exceeded (instance too large)";
+  let kh = Instance.fragment_count inst Species.H in
+  let km = Instance.fragment_count inst Species.M in
+  let best = ref neg_infinity in
+  let best_h = ref (Conjecture.identity_layout kh) in
+  let best_m = ref (Conjecture.identity_layout km) in
+  (* Precompute all M-side words once per (order, orientation); the H loop
+     is the outer one. *)
+  let m_layouts = ref [] in
+  iter_permutations km (fun order ->
+      iter_orientations km (fun reversed ->
+          let l =
+            { Conjecture.order = Array.copy order; reversed = Array.copy reversed }
+          in
+          m_layouts := (l, Conjecture.concat_word inst Species.M l) :: !m_layouts));
+  let m_layouts = !m_layouts in
+  iter_permutations kh (fun h_order ->
+      iter_orientations kh (fun h_rev ->
+          begin
+            let hl =
+              { Conjecture.order = Array.copy h_order; reversed = Array.copy h_rev }
+            in
+            let h_word = Conjecture.concat_word inst Species.H hl in
+            List.iter
+              (fun (ml, m_word) ->
+                let s =
+                  Fsa_align.Region_align.p_score inst.Instance.sigma h_word m_word
+                in
+                if s > !best then begin
+                  best := s;
+                  best_h := hl;
+                  best_m := ml
+                end)
+              m_layouts
+          end))
+    ;
+  (!best, !best_h, !best_m)
+
+let solve_score ?budget inst =
+  let s, _, _ = solve ?budget inst in
+  s

@@ -1,0 +1,17 @@
+(** Exact CSR solver by exhaustive search over layouts.
+
+    For fixed orientations and permutations of both sides, the optimal
+    padding is a single alignment DP ({!Conjecture.score_of_layouts}); the
+    optimum is the maximum over all (2^k·k!)² layout pairs.  Usable up to
+    ~5 fragments per side; this is the ground truth for every measured
+    approximation ratio. *)
+
+val solve :
+  ?budget:int -> Instance.t -> float * Conjecture.layout * Conjecture.layout
+(** Optimal score with witnessing layouts.
+    @raise Failure if the layout count exceeds [budget] (default 2_000_000). *)
+
+val solve_score : ?budget:int -> Instance.t -> float
+
+val layout_count : Instance.t -> int
+(** Number of layout pairs [solve] enumerates. *)

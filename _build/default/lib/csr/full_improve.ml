@@ -1,0 +1,189 @@
+open Fsa_seq
+
+type site_mode = [ `All_containing | `Extremes ]
+
+(* Containing sites ĝ tried for a target ḡ.  The full fragment site is never
+   hidden, so `Extremes tries the two ends of the containment lattice. *)
+let containing_sites mode inst g_side g (target : Site.t) =
+  let n = Fragment.length (Instance.fragment inst g_side g) in
+  match mode with
+  | `Extremes ->
+      let full = Site.make 0 (n - 1) in
+      if Site.equal target full then [ target ] else [ target; full ]
+  | `All_containing ->
+      let acc = ref [] in
+      for lo = 0 to target.Site.lo do
+        for hi = target.Site.hi to n - 1 do
+          acc := Site.make lo hi :: !acc
+        done
+      done;
+      !acc
+
+let apply_i1 ~f_side ~f ~g ~target ~container sol =
+  let inst = Solution.instance sol in
+  let g_side = Species.other f_side in
+  let plug = Cmatch.full inst ~full_side:f_side f ~other_frag:g ~other_site:target in
+  if plug.Cmatch.score <= 0.0 then None
+  else
+    match Solution.prepare sol g_side g container with
+    | None -> None (* container hidden *)
+    | Some (sol, freed_g) -> (
+        let f_full = Fragment.full_site (Instance.fragment inst f_side f) in
+        match Solution.prepare sol f_side f f_full with
+        | None -> None
+        | Some (sol, freed_f) -> (
+            match Solution.add sol plug with
+            | Error _ -> None
+            | Ok sol ->
+                (* Refill the rest of the prepared container, then every
+                   site freed by detachments. *)
+                let zones = Site.subtract container target in
+                let sol =
+                  if zones = [] then sol
+                  else Improve.tpa_fill sol ~host:(g_side, g) ~zones ~exclude:[ f ]
+                in
+                let fill sol (fr : Solution.freed) =
+                  let exclude =
+                    if Species.equal (Species.other fr.Solution.side) f_side then [ f ]
+                    else [ g ]
+                  in
+                  Improve.tpa_fill sol
+                    ~host:(fr.Solution.side, fr.Solution.frag)
+                    ~zones:[ fr.Solution.site ] ~exclude
+                in
+                Some (List.fold_left fill sol (freed_g @ freed_f))))
+
+let attempts ?(site_mode = `Extremes) inst =
+  let acc = ref [] in
+  let per_direction f_side =
+    let g_side = Species.other f_side in
+    for f = 0 to Instance.fragment_count inst f_side - 1 do
+      for g = 0 to Instance.fragment_count inst g_side - 1 do
+        let glen = Fragment.length (Instance.fragment inst g_side g) in
+        List.iter
+          (fun target ->
+            List.iter
+              (fun container ->
+                let label =
+                  Printf.sprintf "I1(%s%d -> %s%d%s in %s)"
+                    (Species.to_string f_side) f (Species.to_string g_side) g
+                    (Format.asprintf "%a" Site.pp target)
+                    (Format.asprintf "%a" Site.pp container)
+                in
+                acc :=
+                  { Improve.label; apply = apply_i1 ~f_side ~f ~g ~target ~container }
+                  :: !acc)
+              (containing_sites site_mode inst g_side g target))
+          (Site.all_subsites glen)
+      done
+    done
+  in
+  per_direction Species.H;
+  per_direction Species.M;
+  List.rev !acc
+
+let solve ?site_mode ?min_gain ?max_improvements inst =
+  (* The I1 parameter space does not depend on the current solution, so the
+     attempt list is built once; applicability is re-checked inside apply. *)
+  let atts = attempts ?site_mode inst in
+  Improve.run ?min_gain ?max_improvements ~attempts:(fun _ -> atts)
+    ~init:(Solution.empty inst) ()
+
+let solve_scaled ?site_mode ?epsilon inst =
+  Improve.with_scaling ?epsilon inst (fun scaled -> fst (solve ?site_mode scaled))
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3: the role-oracle 2-approximation.                            *)
+
+let lemma3_2approx inst ~multiple =
+  (* One global TPA run per direction: jobs are the simple fragments of
+     [simple_side]; intervals are all sites of all multiple fragments of
+     the other side, laid out on one line (as in One_csr's reduction).  A
+     single run over all hosts is essential: the per-host greedy variant
+     can burn a fragment on the wrong host and lose the factor 2. *)
+  let pass sol simple_side =
+    let host_side = Species.other simple_side in
+    let host_count = Instance.fragment_count inst host_side in
+    (* Line offsets for multiple hosts only. *)
+    let off = Array.make (host_count + 1) 0 in
+    for g = 0 to host_count - 1 do
+      let len =
+        if multiple host_side g then
+          Fragment.length (Instance.fragment inst host_side g)
+        else 0
+      in
+      off.(g + 1) <- off.(g) + len
+    done;
+    let jobs = Instance.fragment_count inst simple_side in
+    let cands = ref [] in
+    for job = 0 to jobs - 1 do
+      if not (multiple simple_side job) then
+        for g = 0 to host_count - 1 do
+          if multiple host_side g then begin
+            let len = Fragment.length (Instance.fragment inst host_side g) in
+            List.iter
+              (fun site ->
+                let m =
+                  Cmatch.full inst ~full_side:simple_side job ~other_frag:g
+                    ~other_site:site
+                in
+                if m.Cmatch.score > 0.0 then
+                  cands :=
+                    {
+                      Fsa_intervals.Isp.job;
+                      interval =
+                        Fsa_intervals.Interval.make
+                          (off.(g) + site.Site.lo)
+                          (off.(g) + site.Site.hi);
+                      profit = m.Cmatch.score;
+                    }
+                    :: !cands)
+              (Site.all_subsites len)
+          end
+        done
+    done;
+    if !cands = [] then sol
+    else begin
+      let isp = Fsa_intervals.Isp.create ~jobs !cands in
+      let _, selection = Fsa_intervals.Isp.tpa isp in
+      let frag_of_pos p =
+        let rec find g = if off.(g + 1) > p then g else find (g + 1) in
+        find 0
+      in
+      List.fold_left
+        (fun sol (c : Fsa_intervals.Isp.candidate) ->
+          let g = frag_of_pos c.interval.Fsa_intervals.Interval.lo in
+          let site =
+            Site.make
+              (c.interval.Fsa_intervals.Interval.lo - off.(g))
+              (c.interval.Fsa_intervals.Interval.hi - off.(g))
+          in
+          let m =
+            Cmatch.full inst ~full_side:simple_side c.job ~other_frag:g
+              ~other_site:site
+          in
+          match Solution.add sol m with Ok sol -> sol | Error _ -> sol)
+        sol selection
+    end
+  in
+  let sol = pass (Solution.empty inst) Species.M in
+  pass sol Species.H
+
+let roles_of_solution sol side frag =
+  match Solution.role sol side frag with
+  | Solution.Multiple -> true
+  | Solution.Unmatched -> false
+  | Solution.Simple -> (
+      (* Def 5 leaves the designation free in a two-fragment island; a
+         full-against-full match must still have one multiple end for the
+         TPA passes to host it, so designate the H end. *)
+      match Solution.matches_on sol side frag with
+      | [ m ] ->
+          let inst = Solution.instance sol in
+          let other = Species.other side in
+          let other_full =
+            Fsa_seq.Fragment.full_site
+              (Instance.fragment inst other (Cmatch.frag_of m other))
+          in
+          side = Species.H && Fsa_seq.Site.equal (Cmatch.site_of m other) other_full
+      | _ -> false)

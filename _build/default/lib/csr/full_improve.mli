@@ -1,0 +1,46 @@
+(** Full_Improve (§4.2): iterative improvement for Full CSR, ratio 3 + ε
+    (Theorem 4).
+
+    The single improvement method I1(f, ḡ, ĝ) plugs fragment [f] of one
+    species into site ḡ of fragment [g] of the other, after preparing the
+    containing, non-hidden site ĝ; TPA then refills ĝ − ḡ and every site
+    freed by detachments.
+
+    Attempt enumeration: [f] and [g] range over all cross-species pairs and
+    ḡ over all sites of [g]; for the containing site ĝ the paper's analysis
+    requires, in principle, all containing sites.  [site_mode] selects
+    between the faithful exhaustive enumeration ([`All_containing],
+    quadratic in fragment length per ḡ) and the two extremes
+    ([`Extremes]: ĝ = ḡ and ĝ = the maximal non-hidden extension), which is
+    what the experiments default to; E11 measures the quality difference. *)
+
+type site_mode = [ `All_containing | `Extremes ]
+
+val attempts : ?site_mode:site_mode -> Instance.t -> Improve.attempt list
+(** The I1 attempt space (solution-independent parameters; applicability is
+    checked when an attempt is applied). *)
+
+val solve :
+  ?site_mode:site_mode ->
+  ?min_gain:float ->
+  ?max_improvements:int ->
+  Instance.t ->
+  Solution.t * Improve.stats
+(** Runs the local search from the empty solution.  The output contains
+    full matches only. *)
+
+val solve_scaled : ?site_mode:site_mode -> ?epsilon:float -> Instance.t -> Solution.t
+(** [solve] under the §4.1 scaling wrapper (polynomial iteration bound). *)
+
+val lemma3_2approx : Instance.t -> multiple:(Species.t -> int -> bool) -> Solution.t
+(** Lemma 3: given an oracle for which fragments are multiple in some
+    full-match solution S-star, two global TPA runs — fill the multiple H
+    fragments with the simple M fragments, then the multiple M fragments
+    with the simple H fragments — score at least half of the score of S-star.  With an
+    optimal Full-CSR S-star this is a 2-approximation of Full CSR.  Each
+    fragment participates in at most one of the two runs, so the result is
+    a consistent full-match solution. *)
+
+val roles_of_solution : Solution.t -> Species.t -> int -> bool
+(** The multiple-fragment oracle of a concrete (full-match) solution:
+    true exactly for fragments whose {!Solution.role} is [Multiple]. *)

@@ -1,0 +1,92 @@
+open Fsa_seq
+
+let subsites_of (s : Site.t) =
+  let acc = ref [] in
+  for lo = s.Site.lo to s.Site.hi do
+    for hi = lo to s.Site.hi do
+      acc := Site.make lo hi :: !acc
+    done
+  done;
+  !acc
+
+(* Border-shaped sites of a fragment whose whole extent is currently free. *)
+let free_border_sites inst sol side frag =
+  let n = Fragment.length (Instance.fragment inst side frag) in
+  let free = Solution.free_sites sol side frag in
+  let prefixes =
+    match List.find_opt (fun (s : Site.t) -> s.Site.lo = 0) free with
+    | Some s -> List.init (min s.Site.hi (n - 2) + 1) (fun i -> Site.make 0 i)
+    | None -> []
+  in
+  let suffixes =
+    match List.find_opt (fun (s : Site.t) -> s.Site.hi = n - 1) free with
+    | Some s ->
+        let lo_min = max s.Site.lo 1 in
+        List.init (max 0 (n - lo_min)) (fun k -> Site.make (lo_min + k) (n - 1))
+    | None -> []
+  in
+  prefixes @ suffixes
+
+let candidate_matches inst sol =
+  let full_candidates side =
+    let other = Species.other side in
+    let acc = ref [] in
+    for f = 0 to Instance.fragment_count inst side - 1 do
+      if Solution.role sol side f = Solution.Unmatched then
+        for g = 0 to Instance.fragment_count inst other - 1 do
+          List.iter
+            (fun free ->
+              List.iter
+                (fun site ->
+                  let m = Cmatch.full inst ~full_side:side f ~other_frag:g ~other_site:site in
+                  if m.Cmatch.score > 0.0 then acc := m :: !acc)
+                (subsites_of free))
+            (Solution.free_sites sol other g)
+        done
+    done;
+    !acc
+  in
+  let border_candidates () =
+    let acc = ref [] in
+    for hf = 0 to Instance.fragment_count inst Species.H - 1 do
+      let h_sites = free_border_sites inst sol Species.H hf in
+      if h_sites <> [] then
+        for mf = 0 to Instance.fragment_count inst Species.M - 1 do
+          let m_sites = free_border_sites inst sol Species.M mf in
+          List.iter
+            (fun hs ->
+              List.iter
+                (fun ms ->
+                  match Cmatch.border inst ~h_frag:hf ~h_site:hs ~m_frag:mf ~m_site:ms with
+                  | Some m when m.Cmatch.score > 0.0 -> acc := m :: !acc
+                  | Some _ | None -> ())
+                m_sites)
+            h_sites
+        done
+    done;
+    !acc
+  in
+  full_candidates Species.H @ full_candidates Species.M @ border_candidates ()
+
+let solve ?(max_steps = 10_000) inst =
+  let rec step sol steps =
+    if steps = 0 then sol
+    else begin
+      let cands =
+        List.sort
+          (fun (a : Cmatch.t) b -> compare b.Cmatch.score a.Cmatch.score)
+          (candidate_matches inst sol)
+      in
+      (* Best candidate that actually keeps the solution consistent (border
+         path/cycle constraints can reject shape-valid candidates). *)
+      let rec try_add = function
+        | [] -> None
+        | c :: rest -> (
+            match Solution.add sol c with Ok sol' -> Some sol' | Error _ -> try_add rest)
+      in
+      match try_add cands with
+      | Some sol' -> step sol' (steps - 1)
+      | None -> sol
+    end
+  in
+  step (Solution.empty inst) max_steps

@@ -1,0 +1,17 @@
+(** The greedy heuristic the paper argues against (§1).
+
+    Repeatedly adds the highest-scoring single match (full or border)
+    consistent with the current solution, until no positive-score addition
+    exists.  This mimics "take the best alignment, commit, repeat" manual
+    curation; Theorem 2 implies inputs exist on which any such heuristic is
+    far from optimal, and the adversarial generator in {!Adversarial}
+    realizes families where its ratio degrades while the approximation
+    algorithms hold their bound. *)
+
+val solve : ?max_steps:int -> Instance.t -> Solution.t
+(** [max_steps] (default 10_000) caps the number of added matches. *)
+
+val candidate_matches : Instance.t -> Solution.t -> Cmatch.t list
+(** Every match addable to the solution right now with positive score:
+    full matches of unmatched fragments into free sites, and border matches
+    between free fragment ends.  Exposed for tests. *)

@@ -1,0 +1,103 @@
+open Fsa_seq
+
+type attempt = { label : string; apply : Solution.t -> Solution.t option }
+type stats = { rounds : int; improvements : int; evaluated : int }
+
+let run ?(min_gain = 1e-9) ?(max_improvements = 100_000) ~attempts ~init () =
+  let evaluated = ref 0 in
+  let rec loop sol rounds improvements =
+    if improvements >= max_improvements then
+      (sol, { rounds; improvements; evaluated = !evaluated })
+    else begin
+      let base = Solution.score sol in
+      let rec scan = function
+        | [] -> None
+        | a :: rest -> (
+            incr evaluated;
+            match a.apply sol with
+            | Some sol' when Solution.score sol' -. base > min_gain -> Some sol'
+            | Some _ | None -> scan rest)
+      in
+      match scan (attempts sol) with
+      | Some sol' -> loop sol' (rounds + 1) (improvements + 1)
+      | None -> (sol, { rounds = rounds + 1; improvements; evaluated = !evaluated })
+    end
+  in
+  loop init 0 0
+
+let tpa_fill sol ~host:(side, frag) ~zones ~exclude =
+  let inst = Solution.instance sol in
+  let other = Species.other side in
+  let jobs = Instance.fragment_count inst other in
+  let cands = ref [] in
+  for job = 0 to jobs - 1 do
+    if not (List.mem job exclude) then begin
+      let opportunity_cost = Solution.contribution sol other job in
+      List.iter
+        (fun (zone : Site.t) ->
+          for lo = zone.Site.lo to zone.Site.hi do
+            for hi = lo to zone.Site.hi do
+              let site = Site.make lo hi in
+              let m = Cmatch.full inst ~full_side:other job ~other_frag:frag ~other_site:site in
+              let profit = m.Cmatch.score -. opportunity_cost in
+              if profit > 0.0 then
+                cands :=
+                  {
+                    Fsa_intervals.Isp.job;
+                    interval = Fsa_intervals.Interval.make lo hi;
+                    profit;
+                  }
+                  :: !cands
+            done
+          done)
+        zones
+    end
+  done;
+  if !cands = [] then sol
+  else begin
+    let isp = Fsa_intervals.Isp.create ~jobs !cands in
+    let _, selection = Fsa_intervals.Isp.tpa isp in
+    (* Plug each selected fragment: detach it from its current matches (the
+       profit already paid for that), then add the full match. *)
+    List.fold_left
+      (fun sol (c : Fsa_intervals.Isp.candidate) ->
+        let full_site =
+          Fragment.full_site (Instance.fragment inst other c.job)
+        in
+        match Solution.prepare sol other c.job full_site with
+        | None -> sol (* cannot happen: a full site is never hidden *)
+        | Some (sol, _freed) -> (
+            let site =
+              Site.make c.interval.Fsa_intervals.Interval.lo
+                c.interval.Fsa_intervals.Interval.hi
+            in
+            let m =
+              Cmatch.full inst ~full_side:other c.job ~other_frag:frag ~other_site:site
+            in
+            match Solution.add sol m with Ok sol' -> sol' | Error _ -> sol))
+      sol selection
+  end
+
+let rescore inst sol =
+  let matches =
+    List.map
+      (fun (m : Cmatch.t) ->
+        { m with Cmatch.score = Cmatch.recompute_score inst m })
+      (Solution.matches sol)
+  in
+  match Solution.of_matches inst matches with
+  | Ok sol' -> sol'
+  | Error e -> invalid_arg ("Improve.rescore: " ^ e)
+
+let with_scaling ?(epsilon = 0.05) inst algorithm =
+  let reference = Solution.score (One_csr.four_approx inst) in
+  if reference <= 0.0 then Solution.empty inst
+  else begin
+    let k = float_of_int (Instance.max_matches inst) in
+    let unit_ = epsilon *. reference /. Float.max k 1.0 in
+    let truncated =
+      Instance.with_sigma inst (Fsa_seq.Scoring.truncate_to_multiples inst.Instance.sigma unit_)
+    in
+    let sol = algorithm truncated in
+    rescore inst sol
+  end

@@ -1,0 +1,61 @@
+(** The iterative-improvement framework of §4.1.
+
+    The three algorithms (Full_Improve, Border_Improve, CSR_Improve) share
+    this skeleton: start from a solution, repeatedly evaluate improvement
+    attempts and commit any with positive gain, stop when none exists.
+    This module provides the loop, the shared TPA-fill subroutine
+    (§4.2's [TPA(B, S)]), and the Chandra–Halldórsson scaling wrapper that
+    bounds the number of improvements. *)
+
+type attempt = {
+  label : string;
+  apply : Solution.t -> Solution.t option;
+      (** The candidate successor solution, or [None] when the attempt is
+          not applicable to the current solution (hidden target, missing
+          2-island, ...).  Must leave its argument unmodified. *)
+}
+
+type stats = {
+  rounds : int;  (** full scans over the attempt space *)
+  improvements : int;  (** committed attempts *)
+  evaluated : int;  (** attempts whose gain was computed *)
+}
+
+val run :
+  ?min_gain:float ->
+  ?max_improvements:int ->
+  attempts:(Solution.t -> attempt list) ->
+  init:Solution.t ->
+  unit ->
+  Solution.t * stats
+(** First-improvement local search: scan the attempt list, commit the first
+    attempt whose gain exceeds [min_gain] (default 1e-9), restart the scan;
+    finish when a full scan commits nothing or [max_improvements]
+    (default 100_000) is reached. *)
+
+val tpa_fill :
+  Solution.t ->
+  host:Species.t * int ->
+  zones:Fsa_seq.Site.t list ->
+  exclude:int list ->
+  Solution.t
+(** The TPA(B, S) subroutine: fills the free [zones] of the host fragment
+    with full matches of other-side fragments (except [exclude]), using the
+    two-phase ISP algorithm with profits MS(f, site) − Cb(f, S).  Selected
+    fragments are detached from their current matches and re-plugged.
+    Zones must be free in [S]. *)
+
+val rescore : Instance.t -> Solution.t -> Solution.t
+(** The same matches (sites and orientations) rescored under the σ of the
+    given instance — used to lift a solution of a scaled instance back. *)
+
+val with_scaling :
+  ?epsilon:float -> Instance.t -> (Instance.t -> Solution.t) -> Solution.t
+(** §4.1 scaling: obtain a reference score X from the ISP 4-approximation,
+    truncate σ to multiples of εX/k (k = {!Instance.max_matches}), run the
+    given algorithm on the truncated instance, and rescore the result under
+    the true σ.  Any positive gain on the truncated instance is at least
+    εX/k, so the local search commits at most 4k/ε improvements; the
+    truncation costs at most a (1+ε) factor in the ratio.  (The paper
+    truncates match scores to multiples of X/k²; truncating σ entries is
+    equivalent up to the choice of unit and keeps MS additive.) *)

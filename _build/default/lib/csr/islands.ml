@@ -1,0 +1,119 @@
+open Fsa_seq
+
+type member = { side : Species.t; frag : int; reversed : bool; rank : int }
+
+type island = {
+  id : int;
+  members : member list;
+  matches : Cmatch.t list;
+  score : float;
+}
+
+type report = {
+  islands : island list;
+  unplaced : (Species.t * int) list;
+}
+
+let infer sol =
+  let inst = Solution.instance sol in
+  let conj = Conjecture.of_solution sol in
+  (* Global layout position and orientation per fragment, from the
+     conjecture's occurrence orders. *)
+  let pos = Hashtbl.create 32 in
+  let orient = Hashtbl.create 32 in
+  let load side order =
+    List.iteri
+      (fun i (frag, rev) ->
+        Hashtbl.replace pos (side, frag) i;
+        Hashtbl.replace orient (side, frag) rev)
+      order
+  in
+  load Species.H conj.Conjecture.h_order;
+  load Species.M conj.Conjecture.m_order;
+  let member_of (side, frag) =
+    { side; frag; reversed = Hashtbl.find orient (side, frag); rank = 0 }
+  in
+  let layout_key m = (Hashtbl.find pos (m.side, m.frag), m.side, m.frag) in
+  let islands =
+    List.mapi
+      (fun id members ->
+        let members =
+          List.sort
+            (fun a b -> compare (layout_key a) (layout_key b))
+            (List.map member_of members)
+        in
+        (* rank within the member's own species *)
+        let counters = Hashtbl.create 4 in
+        let members =
+          List.map
+            (fun m ->
+              let r = Option.value ~default:0 (Hashtbl.find_opt counters m.side) in
+              Hashtbl.replace counters m.side (r + 1);
+              { m with rank = r })
+            members
+        in
+        let in_island side frag =
+          List.exists (fun m -> m.side = side && m.frag = frag) members
+        in
+        let matches =
+          List.filter
+            (fun (mt : Cmatch.t) -> in_island Species.H mt.Cmatch.h_frag)
+            (Solution.matches sol)
+        in
+        let score = List.fold_left (fun acc (m : Cmatch.t) -> acc +. m.Cmatch.score) 0.0 matches in
+        { id = id + 1; members; matches; score })
+      (Solution.islands sol)
+  in
+  let placed = Hashtbl.create 32 in
+  List.iter
+    (fun isl -> List.iter (fun m -> Hashtbl.replace placed (m.side, m.frag) ()) isl.members)
+    islands;
+  let unplaced side =
+    List.filter_map
+      (fun frag -> if Hashtbl.mem placed (side, frag) then None else Some (side, frag))
+      (List.init (Instance.fragment_count inst side) (fun i -> i))
+  in
+  { islands; unplaced = unplaced Species.H @ unplaced Species.M }
+
+let members_of_side isl side =
+  List.sort
+    (fun a b -> compare a.rank b.rank)
+    (List.filter (fun m -> m.side = side) isl.members)
+
+let find report side frag =
+  let rec scan = function
+    | [] -> `Unplaced
+    | isl :: rest ->
+        if List.exists (fun m -> m.side = side && m.frag = frag) isl.members then
+          `Island isl.id
+        else scan rest
+  in
+  scan report.islands
+
+let render inst report =
+  let buf = Buffer.create 256 in
+  let name side frag rev =
+    let n = Fragment.name (Instance.fragment inst side frag) in
+    if rev then n ^ "'" else n
+  in
+  List.iter
+    (fun isl ->
+      Buffer.add_string buf (Printf.sprintf "island %d (score %.1f):\n" isl.id isl.score);
+      List.iter
+        (fun side ->
+          let ms = members_of_side isl side in
+          if ms <> [] then
+            Buffer.add_string buf
+              (Printf.sprintf "  %s: %s\n" (Species.to_string side)
+                 (String.concat " --> "
+                    (List.map (fun m -> name m.side m.frag m.reversed) ms))))
+        [ Species.H; Species.M ])
+    report.islands;
+  if report.unplaced <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "unplaced: %s\n"
+         (String.concat ", "
+            (List.map (fun (s, f) -> name s f false) report.unplaced)));
+  Buffer.contents buf
+
+let pp inst ppf report = Format.pp_print_string ppf (render inst report)

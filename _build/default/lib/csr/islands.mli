@@ -1,0 +1,51 @@
+(** Islands: the user-facing order/orient inference report.
+
+    The paper's deliverable for a biologist is not a score but a set of
+    {e islands} — groups of contigs that the alignments order and orient
+    relative to one another (Fig 1), with inter-island relations left
+    undetermined (footnote 1: islands carry no distance information and
+    cannot overlap).  This module extracts that report from a solution:
+    per island, the members of each species in inferred layout order with
+    orientations, plus the matches supporting each adjacency. *)
+
+type member = {
+  side : Species.t;
+  frag : int;
+  reversed : bool;  (** inferred orientation within the island's reading *)
+  rank : int;  (** position among the island's members of the same side *)
+}
+
+type island = {
+  id : int;
+  members : member list;  (** both species, overall layout order *)
+  matches : Cmatch.t list;  (** the supporting matches *)
+  score : float;
+}
+
+type report = {
+  islands : island list;
+  unplaced : (Species.t * int) list;  (** fragments no alignment constrains *)
+}
+
+val infer : Solution.t -> report
+(** Layout order and orientations are read off the conjecture pair built
+    from the solution; each island may equally be read mirrored (reversed
+    order, all orientations flipped) — callers comparing against external
+    coordinates should try both readings, as {!Fsa_genome.Metrics} does. *)
+
+val members_of_side : island -> Species.t -> member list
+(** In rank order. *)
+
+val find : report -> Species.t -> int -> [ `Island of int | `Unplaced ]
+
+val render : Instance.t -> report -> string
+(** Multi-line ASCII rendering: one block per island with both species'
+    inferred layouts, e.g.
+
+    {v
+    island 1 (score 23.0):
+      H: hB --> hC'
+      M: mY --> mZ'
+    v} *)
+
+val pp : Instance.t -> Format.formatter -> report -> unit

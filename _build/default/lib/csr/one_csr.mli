@@ -1,0 +1,32 @@
+(** 1-CSR via interval selection, and the Theorem 3 doubling — together the
+    4-approximation of Corollary 1.
+
+    Reduction (§3.4): when one side is a single sequence, every fragment of
+    the other side appears in at most one match, which may be assumed full;
+    a solution is then a choice of at most one (fragment, site, MS-profit)
+    candidate per fragment with disjoint sites — exactly ISP.
+
+    Doubling (Thm 3): for two fragmented sides, solve
+    (H, concat M) and (M, concat H) and keep the better; the blue/yellow
+    coloring argument shows the two optima sum to at least Opt(H, M), so a
+    ratio-r 1-CSR solver yields ratio 2r.  The coloring further shows each
+    blue (resp. yellow) match stays within one original fragment of the
+    concatenated side, so candidate sites can be restricted to single
+    fragments and the result is a plain full-match solution of the original
+    instance. *)
+
+type algorithm = Tpa | Exact_isp | Greedy_isp
+
+val isp_of : Instance.t -> jobs_side:Species.t -> Fsa_intervals.Isp.t
+(** The ISP instance whose jobs are the fragments of [jobs_side] and whose
+    intervals are all sites of all fragments of the other side (laid out on
+    one line, fragment ranges disjoint), with MS profits. *)
+
+val solve_side :
+  ?algorithm:algorithm -> Instance.t -> jobs_side:Species.t -> Solution.t
+(** One run of the 1-CSR solver with the given side as jobs. *)
+
+val four_approx : ?algorithm:algorithm -> Instance.t -> Solution.t
+(** The Corollary 1 algorithm: better of the two [solve_side] runs.  With
+    [Tpa] (default) the guarantee is ratio 4 (+ the paper's ε); with
+    [Exact_isp] ratio 2. *)

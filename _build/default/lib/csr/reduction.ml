@@ -1,0 +1,352 @@
+open Fsa_seq
+
+type letter = { sym : Symbol.t; h_letter : int; m_letter : int; b_type : bool }
+
+type home = { side : Species.t; frag : int; pos : int }
+
+type t = {
+  original : Instance.t;
+  unique : Instance.t;
+  ucsr : Instance.t;
+  epsilon : float;
+  p : int;
+  s : int;
+  k : int;
+  nh : int; (* X₁ letters 0..nh-1 are H-side, nh..k-1 M-side *)
+  homes : home array; (* X₁ letter -> its fragment position *)
+  ids : (bool * int * int * int, int) Hashtbl.t; (* (b, lo, hi, l) -> region id *)
+}
+
+let original t = t.original
+let unique t = t.unique
+let ucsr_instance t = t.ucsr
+let s_blocks t = t.s
+
+(* ------------------------------------------------------------------ *)
+(* Step 0: make every occurrence a distinct forward letter.            *)
+
+let uniquify inst =
+  let alphabet = Alphabet.create () in
+  let next = ref 0 in
+  let originals = ref [] in
+  let fresh side frag pos =
+    let name = Printf.sprintf "u%d" !next in
+    let id = Alphabet.intern alphabet name in
+    assert (id = !next);
+    incr next;
+    originals := (id, side, frag, pos) :: !originals;
+    Symbol.make id
+  in
+  let rewrite side frags =
+    Array.to_list
+      (Array.mapi
+         (fun fi f ->
+           Fragment.make (Fragment.name f)
+             (Array.mapi (fun pos _ -> fresh side fi pos) (Fragment.symbols f)))
+         frags)
+  in
+  let h = rewrite Species.H inst.Instance.h in
+  let m = rewrite Species.M inst.Instance.m in
+  let sigma = Scoring.create () in
+  let orig_sym side frag pos =
+    Fragment.get (Instance.fragment inst side frag) pos
+  in
+  let all = List.rev !originals in
+  List.iter
+    (fun (hid, hside, hf, hp) ->
+      if hside = Species.H then
+        List.iter
+          (fun (mid, mside, mf, mp) ->
+            if mside = Species.M then begin
+              let a = orig_sym Species.H hf hp and b = orig_sym Species.M mf mp in
+              let same = Scoring.get inst.Instance.sigma a b in
+              let opp = Scoring.get inst.Instance.sigma a (Symbol.reverse b) in
+              if same <> 0.0 then
+                Scoring.set sigma (Symbol.make hid) (Symbol.make mid) same;
+              if opp <> 0.0 then
+                Scoring.set sigma (Symbol.make hid) (Symbol.reversed mid) opp
+            end)
+          all)
+    all;
+  Instance.make ~alphabet ~h ~m ~sigma
+
+(* ------------------------------------------------------------------ *)
+(* Step 1: the replacement-word construction.                          *)
+
+let build ~epsilon inst =
+  if epsilon <= 0.0 then invalid_arg "Reduction.build: epsilon must be positive";
+  let unique = uniquify inst in
+  let nh = Instance.total_length unique Species.H in
+  let k = nh + Instance.total_length unique Species.M in
+  let p = max 1 (int_of_float (Float.ceil (1.0 /. epsilon))) in
+  let s = 2 * p * k in
+  let alphabet = Alphabet.create () in
+  let ids = Hashtbl.create (k * k * s) in
+  let letter_id b_type i j l =
+    let lo = min i j and hi = max i j in
+    let key = (b_type, lo, hi, l) in
+    match Hashtbl.find_opt ids key with
+    | Some id -> id
+    | None ->
+        let name =
+          Printf.sprintf "%s%d_%d_%d" (if b_type then "B" else "A") lo hi l
+        in
+        let id = Alphabet.intern alphabet name in
+        Hashtbl.add ids key id;
+        id
+  in
+  let a_sym i j l = Symbol.make (letter_id false i j l) in
+  let b_sym i j l = Symbol.make (letter_id true i j l) in
+  let u i l = Array.init k (fun j -> a_sym i j l) in
+  let v i l = Array.init k (fun j -> b_sym i j l) in
+  let rev_word w =
+    let n = Array.length w in
+    Array.init n (fun c -> Symbol.reverse w.(n - 1 - c))
+  in
+  let w_block i l =
+    if i < nh then Array.append (u i l) (v i l)
+    else Array.append (u i l) (rev_word (v i (s + 1 - l)))
+  in
+  let x_word i = Array.concat (List.init s (fun l0 -> w_block i (l0 + 1))) in
+  let rewrite frags =
+    Array.to_list
+      (Array.map
+         (fun f ->
+           Fragment.make
+             (Fragment.name f ^ "'")
+             (Array.concat
+                (List.map (fun sym -> x_word (Symbol.id sym))
+                   (Array.to_list (Fragment.symbols f)))))
+         frags)
+  in
+  let h' = rewrite unique.Instance.h in
+  let m' = rewrite unique.Instance.m in
+  let sigma' = Scoring.create () in
+  let sf = float_of_int s in
+  for i = 0 to nh - 1 do
+    for j = nh to k - 1 do
+      let va = Scoring.get unique.Instance.sigma (Symbol.make i) (Symbol.make j) in
+      let vb = Scoring.get unique.Instance.sigma (Symbol.make i) (Symbol.reversed j) in
+      for l = 1 to s do
+        (* Same-orientation class only: a UCSR solution is a single
+           sequence, so a letter scores against itself in the same relative
+           orientation (σ'(x, xᴿ) would let an occurrence pair with its own
+           mirror, which no single-sequence solution can realize). *)
+        if va <> 0.0 then begin
+          let a = a_sym i j l in
+          Scoring.set sigma' a a (va /. sf)
+        end;
+        if vb <> 0.0 then begin
+          let b = b_sym i j l in
+          Scoring.set sigma' b b (vb /. sf)
+        end
+      done
+    done
+  done;
+  let ucsr = Instance.make ~alphabet ~h:h' ~m:m' ~sigma:sigma' in
+  let homes = Array.make k { side = Species.H; frag = 0; pos = 0 } in
+  let fill side frags base =
+    let idx = ref base in
+    Array.iteri
+      (fun fi f ->
+        for pos = 0 to Fragment.length f - 1 do
+          homes.(!idx) <- { side; frag = fi; pos };
+          incr idx
+        done)
+      frags
+  in
+  fill Species.H unique.Instance.h 0;
+  fill Species.M unique.Instance.m nh;
+  { original = inst; unique; ucsr; epsilon; p; s; k; nh; homes; ids }
+
+(* ------------------------------------------------------------------ *)
+(* Forward map κ (Property 2).                                        *)
+
+let kappa t c d =
+  let i = Symbol.id c and j = Symbol.id d in
+  if i >= t.nh then invalid_arg "Reduction.kappa: first symbol must be an H letter";
+  if j < t.nh then invalid_arg "Reduction.kappa: second symbol must be an M letter";
+  let b_type = Symbol.is_reversed c <> Symbol.is_reversed d in
+  let lo = min i j and hi = max i j in
+  let sym_of l =
+    let key = (b_type, lo, hi, l) in
+    Symbol.make (Hashtbl.find t.ids key)
+  in
+  let fwd = List.init t.s (fun l0 -> sym_of (l0 + 1)) in
+  let word =
+    if Symbol.is_reversed c then List.rev_map Symbol.reverse fwd else fwd
+  in
+  List.map (fun sym -> { sym; h_letter = i; m_letter = j; b_type }) word
+
+let forward t pairs = List.concat_map (fun (c, d) -> kappa t c d) pairs
+
+let letter_score t lt =
+  Scoring.get t.ucsr.Instance.sigma lt.sym lt.sym
+
+let word_score t letters =
+  List.fold_left (fun acc lt -> acc +. letter_score t lt) 0.0 letters
+
+(* ------------------------------------------------------------------ *)
+(* Validity of a word as a conjecture of both sides.                  *)
+
+(* Position of a letter occurrence within the replacement word x^i, and
+   whether it is stored reversed there.  See the w-block layout above. *)
+let position_in_word t ~word_letter:i lt =
+  let j = if lt.h_letter = i then lt.m_letter else lt.h_letter in
+  let lth =
+    (* the block index l of this letter *)
+    let rec find l =
+      if l > t.s then invalid_arg "Reduction.position_in_word: unknown letter"
+      else
+        let lo = min lt.h_letter lt.m_letter and hi = max lt.h_letter lt.m_letter in
+        match Hashtbl.find_opt t.ids (lt.b_type, lo, hi, l) with
+        | Some id when id = Symbol.id lt.sym -> l
+        | Some _ | None -> find (l + 1)
+    in
+    find 1
+  in
+  let two_k = 2 * t.k in
+  if not lt.b_type then (((lth - 1) * two_k) + j, false)
+  else if i < t.nh then (((lth - 1) * two_k) + t.k + j, false)
+  else
+    (* b-letters of M-side words sit in the reversed v-part of block
+       s+1-l, at reversed slot order. *)
+    (((t.s - lth) * two_k) + t.k + (t.k - 1 - j), true)
+
+let side_letter lt = function Species.H -> lt.h_letter | Species.M -> lt.m_letter
+
+let is_valid_side t side letters =
+  (* Split into maximal runs of a common source letter, check each run is
+     monotone in one direction, runs of one fragment group contiguously and
+     in a consistent order, and no source letter or fragment repeats. *)
+  let runs =
+    List.fold_left
+      (fun runs lt ->
+        let src = side_letter lt side in
+        match runs with
+        | (s0, items) :: rest when s0 = src -> (s0, lt :: items) :: rest
+        | _ -> (src, [ lt ]) :: runs)
+      [] letters
+    |> List.rev_map (fun (src, items) -> (src, List.rev items))
+  in
+  let run_ok (src, items) =
+    let annotated =
+      List.map
+        (fun lt ->
+          let pos, intrinsic = position_in_word t ~word_letter:src lt in
+          (pos, Symbol.is_reversed lt.sym <> intrinsic))
+        items
+    in
+    match annotated with
+    | [] -> true
+    | (_, dir) :: _ ->
+        List.for_all (fun (_, d) -> d = dir) annotated
+        &&
+        let positions = List.map fst annotated in
+        let rec monotone cmp = function
+          | a :: (b :: _ as rest) -> cmp a b && monotone cmp rest
+          | [ _ ] | [] -> true
+        in
+        if dir then monotone ( > ) positions else monotone ( < ) positions
+  in
+  let no_dup l = List.length (List.sort_uniq compare l) = List.length l in
+  List.for_all run_ok runs
+  && no_dup (List.map fst runs)
+  &&
+  (* Fragment-level structure: consecutive runs of the same fragment must
+     traverse positions within the fragment monotonically; fragments must
+     not repeat after being left. *)
+  let frag_runs =
+    List.fold_left
+      (fun acc (src, _items) ->
+        let home = t.homes.(src) in
+        if home.side <> side then acc (* foreign-side run: impossible here *)
+        else
+          match acc with
+          | (f0, srcs) :: rest when f0 = home.frag -> (f0, home.pos :: srcs) :: rest
+          | _ -> (home.frag, [ home.pos ]) :: acc)
+      []
+      (List.filter (fun (_, items) -> items <> []) runs)
+    |> List.rev_map (fun (f, ps) -> (f, List.rev ps))
+  in
+  let frag_ok (_, ps) =
+    let rec mono_inc = function
+      | a :: (b :: _ as r) -> a < b && mono_inc r
+      | _ -> true
+    in
+    let rec mono_dec = function
+      | a :: (b :: _ as r) -> a > b && mono_dec r
+      | _ -> true
+    in
+    mono_inc ps || mono_dec ps
+  in
+  List.for_all frag_ok frag_runs && no_dup (List.map fst frag_runs)
+
+let is_valid_word t letters =
+  is_valid_side t Species.H letters && is_valid_side t Species.M letters
+
+(* ------------------------------------------------------------------ *)
+(* Backward map φ₁ (Property 3).                                      *)
+
+let backward t letters =
+  let best = Hashtbl.create 16 in
+  List.iter
+    (fun lt ->
+      let key = lt.h_letter in
+      let v = letter_score t lt in
+      match Hashtbl.find_opt best key with
+      | Some (v0, _) when v0 >= v -> ()
+      | Some _ | None -> Hashtbl.replace best key (v, lt))
+    letters;
+  Hashtbl.fold
+    (fun i (_, lt) acc ->
+      let d =
+        if lt.b_type then Symbol.reversed lt.m_letter else Symbol.make lt.m_letter
+      in
+      (Symbol.make i, d) :: acc)
+    best []
+
+(* Reverse index: ucsr region id -> (b_type, lo, hi, l). *)
+let letter_of_symbol t sym =
+  let id = Symbol.id sym in
+  let found = ref None in
+  Hashtbl.iter
+    (fun (b_type, lo, hi, _l) v ->
+      if v = id && !found = None then begin
+        (* lo < nh <= hi when the pair crosses species; pure same-side
+           letters carry no provenance worth reporting *)
+        if lo < t.nh && hi >= t.nh then
+          found := Some { sym; h_letter = lo; m_letter = hi; b_type }
+      end)
+    t.ids;
+  !found
+
+let letters_of_conjecture t (conj : Conjecture.t) =
+  let n = Array.length conj.Conjecture.h_row in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match (conj.Conjecture.h_row.(i), conj.Conjecture.m_row.(i)) with
+    | Some a, Some b when Symbol.id a = Symbol.id b -> (
+        match letter_of_symbol t a with
+        | Some lt -> out := { lt with sym = a } :: !out
+        | None -> ())
+    | _ -> ()
+  done;
+  !out
+
+let pairs_score inst pairs =
+  List.fold_left
+    (fun acc (c, d) -> acc +. Scoring.get inst.Instance.sigma c d)
+    0.0 pairs
+
+let pairs_of_layouts inst hl ml =
+  let hw = Conjecture.concat_word inst Species.H hl in
+  let mw = Conjecture.concat_word inst Species.M ml in
+  let al = Fsa_align.Region_align.p_alignment inst.Instance.sigma hw mw in
+  List.filter_map
+    (fun op ->
+      match (op : Fsa_align.Pairwise.op) with
+      | Both (i, j) when Scoring.get inst.Instance.sigma hw.(i) mw.(j) > 0.0 ->
+          Some (hw.(i), mw.(j))
+      | Both _ | A_only _ | B_only _ -> None)
+    al.Fsa_align.Pairwise.ops

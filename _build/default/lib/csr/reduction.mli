@@ -1,0 +1,83 @@
+(** The Lemma 1 approximation-preserving reduction CSR → UCSR.
+
+    Pipeline: {!uniquify} first rewrites an instance so that every fragment
+    position is a distinct, forward letter (σ rewritten per occurrence —
+    score-equivalent by construction).  {!build} then performs the paper's
+    construction: with p = ⌈1/ε⌉ and s = 2pK (K = total letters), each
+    letter a_i becomes the word x^i = w^i_1 … w^i_s, where w^i_l is
+    u^i_l·v^i_l on the H side and u^i_l·(v^i_{s+1-l})ᴿ on the M side,
+    u^i_l and v^i_l listing one shared "a-type" (same-orientation) and
+    "b-type" (opposite-orientation) letter per possible partner, each worth
+    σ(a_i, a_j)/s.
+
+    {!forward} is the Property-2 map: an aligned pair (c, d) of the
+    original instance becomes the s-letter block κ(c, d), and the resulting
+    word scores exactly the original solution.  {!backward} is the
+    Property-3 map φ₁: group matched letters by their H-side source word,
+    keep the best letter of each group as the reconstructed pair; its score
+    is at least (1 − ε) of the UCSR word's score. *)
+
+open Fsa_seq
+
+type letter = {
+  sym : Symbol.t;  (** the UCSR letter occurrence (may be reversed) *)
+  h_letter : int;  (** provenance: X₁ letter index on the H side *)
+  m_letter : int;  (** provenance: X₁ letter index on the M side *)
+  b_type : bool;  (** true for b-letters (opposite-orientation pairs) *)
+}
+
+type t
+
+val uniquify : Instance.t -> Instance.t
+(** Each fragment position becomes a fresh forward letter; layouts score
+    identically to the original instance's. *)
+
+val build : epsilon:float -> Instance.t -> t
+
+val original : t -> Instance.t
+val unique : t -> Instance.t
+(** X₁ — the uniquified instance the construction actually starts from. *)
+
+val ucsr_instance : t -> Instance.t
+(** φ₀(X): fragments are the concatenated replacement words; σ' is diagonal
+    with value σ(aᵢ, aⱼ)/s per shared letter. *)
+
+val s_blocks : t -> int
+(** The block count s = 2pK. *)
+
+val letter_score : t -> letter -> float
+(** σ' of a letter (matched against itself). *)
+
+val kappa : t -> Symbol.t -> Symbol.t -> letter list
+(** κ(c, d) for symbols of {!unique} — the s-letter replacement block. *)
+
+val forward : t -> (Symbol.t * Symbol.t) list -> letter list
+(** Property 2: the UCSR word for an X₁ solution given as its aligned
+    pairs; [word_score] of the result equals [pairs_score] of the input. *)
+
+val word_score : t -> letter list -> float
+
+val is_valid_word : t -> letter list -> bool
+(** Checks the word decomposes per side into runs of distinct source words
+    with monotone block positions — i.e. it is a conjecture of both H' and
+    M' under subsequence semantics. *)
+
+val backward : t -> letter list -> (Symbol.t * Symbol.t) list
+(** φ₁: reconstructed X₁ pairs. *)
+
+val letter_of_symbol : t -> Symbol.t -> letter option
+(** Provenance of a UCSR-alphabet symbol occurrence — the bridge from a
+    solution computed on {!ucsr_instance} by any CSR algorithm back into
+    {!backward}'s input (Theorem 1's pipeline). *)
+
+val letters_of_conjecture : t -> Conjecture.t -> letter list
+(** The matched letters of a conjecture pair over {!ucsr_instance}: columns
+    pairing a letter with itself (in either orientation), in row order. *)
+
+val pairs_score : Instance.t -> (Symbol.t * Symbol.t) list -> float
+(** Σ σ(c, d) over the pairs, under the given instance's σ. *)
+
+val pairs_of_layouts :
+  Instance.t -> Conjecture.layout -> Conjecture.layout -> (Symbol.t * Symbol.t) list
+(** The positive aligned pairs of an optimal padding for the two layouts —
+    the bridge from {!Exact.solve} witnesses to {!forward} inputs. *)

@@ -1,0 +1,304 @@
+open Fsa_seq
+
+type t = { inst : Instance.t; matches : Cmatch.t list }
+
+let empty inst = { inst; matches = [] }
+let instance t = t.inst
+let matches t = t.matches
+let score t = List.fold_left (fun acc m -> acc +. m.Cmatch.score) 0.0 t.matches
+let size t = List.length t.matches
+
+let involves side frag (m : Cmatch.t) = Cmatch.frag_of m side = frag
+
+let matches_on t side frag =
+  List.filter (involves side frag) t.matches
+  |> List.sort (fun a b -> Site.compare (Cmatch.site_of a side) (Cmatch.site_of b side))
+
+let contribution t side frag =
+  List.fold_left
+    (fun acc m -> if involves side frag m then acc +. m.Cmatch.score else acc)
+    0.0 t.matches
+
+type role = Unmatched | Simple | Multiple
+
+let role t side frag =
+  match matches_on t side frag with
+  | [] -> Unmatched
+  | [ m ] ->
+      let full = Fragment.full_site (Instance.fragment t.inst side frag) in
+      if Site.equal (Cmatch.site_of m side) full then Simple else Multiple
+  | _ :: _ :: _ -> Multiple
+
+let occupied t side frag = List.map (fun m -> Cmatch.site_of m side) (matches_on t side frag)
+
+let free_sites t side frag =
+  let n = Fragment.length (Instance.fragment t.inst side frag) in
+  let rec gaps pos = function
+    | [] -> if pos <= n - 1 then [ Site.make pos (n - 1) ] else []
+    | (s : Site.t) :: rest ->
+        let here = if pos <= s.Site.lo - 1 then [ Site.make pos (s.Site.lo - 1) ] else [] in
+        here @ gaps (s.Site.hi + 1) rest
+  in
+  gaps 0 (occupied t side frag)
+
+let is_hidden t side frag site =
+  List.exists (fun s -> Site.hides s site) (occupied t side frag)
+
+let is_border_match t (m : Cmatch.t) =
+  match Cmatch.classify t.inst m with
+  | Some Cmatch.Border_match -> true
+  | Some Cmatch.Full_match | None -> false
+
+let border_matches_of t side frag =
+  List.filter (is_border_match t) (matches_on t side frag)
+
+let border_match_of t side frag =
+  match border_matches_of t side frag with [] -> None | m :: _ -> Some m
+
+(* Global node numbering for union-find over fragments of both species. *)
+let node t side frag =
+  match side with
+  | Species.H -> frag
+  | Species.M -> Instance.fragment_count t.inst Species.H + frag
+
+let node_count t =
+  Instance.fragment_count t.inst Species.H + Instance.fragment_count t.inst Species.M
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check_disjoint side count =
+    let rec per_frag frag =
+      if frag >= count then Ok ()
+      else
+        let sites = occupied t side frag in
+        let rec pairwise = function
+          | a :: (b :: _ as rest) ->
+              if Site.overlaps a b then
+                err "fragment %a/%d: overlapping sites %a %a" Species.pp side frag
+                  Site.pp a Site.pp b
+              else pairwise rest
+          | [ _ ] | [] -> Ok ()
+        in
+        let* () = pairwise sites in
+        per_frag (frag + 1)
+    in
+    per_frag 0
+  in
+  let* () = check_disjoint Species.H (Instance.fragment_count t.inst Species.H) in
+  let* () = check_disjoint Species.M (Instance.fragment_count t.inst Species.M) in
+  let rec check_kinds = function
+    | [] -> Ok ()
+    | m :: rest -> (
+        match Cmatch.classify t.inst m with
+        | None -> err "unrealizable match %a" (Cmatch.pp t.inst) m
+        | Some _ ->
+            let fresh = Cmatch.recompute_score t.inst m in
+            if Float.abs (fresh -. m.Cmatch.score) > 1e-9 then
+              err "stale score on %a (fresh %.6f)" (Cmatch.pp t.inst) m fresh
+            else check_kinds rest)
+  in
+  let* () = check_kinds t.matches in
+  (* Border matches must form a union of simple paths over fragments. *)
+  let uf = Fsa_util.Union_find.create (node_count t) in
+  let rec check_paths = function
+    | [] -> Ok ()
+    | m :: rest ->
+        if is_border_match t m then begin
+          let a = node t Species.H m.Cmatch.h_frag in
+          let b = node t Species.M m.Cmatch.m_frag in
+          if not (Fsa_util.Union_find.union uf a b) then
+            err "border matches form a cycle at %a" (Cmatch.pp t.inst) m
+          else check_paths rest
+        end
+        else check_paths rest
+  in
+  check_paths t.matches
+
+let of_matches inst ms =
+  let t = { inst; matches = ms } in
+  match validate t with Ok () -> Ok t | Error e -> Error e
+
+let add t m =
+  let t' = { t with matches = m :: t.matches } in
+  match validate t' with Ok () -> Ok t' | Error e -> Error e
+
+let add_exn t m =
+  match add t m with
+  | Ok t' -> t'
+  | Error e -> invalid_arg ("Solution.add_exn: " ^ e)
+
+let remove t m =
+  { t with matches = List.filter (fun m' -> not (Cmatch.equal m m')) t.matches }
+
+type freed = { side : Species.t; frag : int; site : Site.t }
+
+let prepare t side frag site =
+  if is_hidden t side frag site then None
+  else begin
+    let other_side = Species.other side in
+    let full = Fragment.full_site (Instance.fragment t.inst side frag) in
+    let process (kept, freed) (m : Cmatch.t) =
+      if not (involves side frag m) then (m :: kept, freed)
+      else begin
+        let s = Cmatch.site_of m side in
+        if Site.disjoint s site then (m :: kept, freed)
+        else if Site.equal s full then
+          (* The fragment itself is plugged somewhere as a unit: detach it,
+             freeing its host site on the partner. *)
+          ( kept,
+            {
+              side = other_side;
+              frag = Cmatch.frag_of m other_side;
+              site = Cmatch.site_of m other_side;
+            }
+            :: freed )
+        else begin
+          match Site.subtract s site with
+          | [] ->
+              (* The whole matched site is being prepared away. *)
+              let freed =
+                if is_border_match t m then
+                  (* The partner's border site is orphaned; report it so the
+                     caller can try to refill it (the paper's combined
+                     attempts). *)
+                  {
+                    side = other_side;
+                    frag = Cmatch.frag_of m other_side;
+                    site = Cmatch.site_of m other_side;
+                  }
+                  :: freed
+                else freed
+              in
+              (kept, freed)
+          | [ s' ] ->
+              if is_border_match t m then begin
+                let h_frag, h_site, m_frag, m_site =
+                  match side with
+                  | Species.H -> (frag, s', m.Cmatch.m_frag, m.Cmatch.m_site)
+                  | Species.M -> (m.Cmatch.h_frag, m.Cmatch.h_site, frag, s')
+                in
+                match Cmatch.border t.inst ~h_frag ~h_site ~m_frag ~m_site with
+                | Some r -> (r :: kept, freed)
+                | None ->
+                    (* Cutting from the outer end left an inner-shaped
+                       remainder: the border match cannot be restricted, so
+                       the 2-island is broken instead (the paper's rule) and
+                       the partner's site reported as refillable. *)
+                    ( kept,
+                      {
+                        side = other_side;
+                        frag = Cmatch.frag_of m other_side;
+                        site = Cmatch.site_of m other_side;
+                      }
+                      :: freed )
+              end
+              else begin
+                (* Full match hosted on this fragment: shrink the host site
+                   and realign the plugged partner. *)
+                let m' =
+                  Cmatch.full t.inst ~full_side:other_side
+                    (Cmatch.frag_of m other_side) ~other_frag:frag ~other_site:s'
+                in
+                (m' :: kept, freed)
+              end
+          | _ :: _ :: _ ->
+              (* Two remainders would mean the prepared site was hidden. *)
+              assert false
+        end
+      end
+    in
+    let kept, freed = List.fold_left process ([], []) t.matches in
+    Some ({ t with matches = List.rev kept }, freed)
+  end
+
+let to_text t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (m : Cmatch.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "M %s %d %d %s %d %d %s\n"
+           (Fragment.name (Instance.fragment t.inst Species.H m.Cmatch.h_frag))
+           m.Cmatch.h_site.Site.lo m.Cmatch.h_site.Site.hi
+           (Fragment.name (Instance.fragment t.inst Species.M m.Cmatch.m_frag))
+           m.Cmatch.m_site.Site.lo m.Cmatch.m_site.Site.hi
+           (if m.Cmatch.m_reversed then "rev" else "fwd")))
+    t.matches;
+  Buffer.contents buf
+
+let of_text inst text =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let find side name =
+    let frags = Instance.fragments inst side in
+    let rec scan i =
+      if i >= Array.length frags then None
+      else if Fragment.name frags.(i) = name then Some i
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let parse_line acc line =
+    match acc with
+    | Error _ as e -> e
+    | Ok matches -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then Ok matches
+        else
+          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+          | [ "M"; hname; hlo; hhi; mname; mlo; mhi; orient ] -> (
+              match (find Species.H hname, find Species.M mname) with
+              | Some h_frag, Some m_frag -> (
+                  try
+                    let h_site = Site.make (int_of_string hlo) (int_of_string hhi) in
+                    let m_site = Site.make (int_of_string mlo) (int_of_string mhi) in
+                    let m_reversed =
+                      match orient with
+                      | "rev" -> true
+                      | "fwd" -> false
+                      | _ -> failwith "orientation must be fwd or rev"
+                    in
+                    let draft =
+                      {
+                        Cmatch.h_frag;
+                        h_site;
+                        m_frag;
+                        m_site;
+                        m_reversed;
+                        score = 0.0;
+                      }
+                    in
+                    let m =
+                      { draft with Cmatch.score = Cmatch.recompute_score inst draft }
+                    in
+                    Ok (m :: matches)
+                  with Invalid_argument m | Failure m -> err "bad match line %S: %s" line m)
+              | None, _ -> err "unknown H fragment %s" hname
+              | _, None -> err "unknown M fragment %s" mname)
+          | _ -> err "malformed line %S" line)
+  in
+  match List.fold_left parse_line (Ok []) (String.split_on_char '\n' text) with
+  | Error e -> Error e
+  | Ok matches -> of_matches inst (List.rev matches)
+
+let islands t =
+  let n = node_count t in
+  let uf = Fsa_util.Union_find.create n in
+  List.iter
+    (fun (m : Cmatch.t) ->
+      ignore
+        (Fsa_util.Union_find.union uf
+           (node t Species.H m.Cmatch.h_frag)
+           (node t Species.M m.Cmatch.m_frag)))
+    t.matches;
+  let nh = Instance.fragment_count t.inst Species.H in
+  let denode i = if i < nh then (Species.H, i) else (Species.M, i - nh) in
+  Fsa_util.Union_find.groups uf |> Array.to_list
+  |> List.filter_map (fun grp ->
+         match grp with
+         | [] | [ _ ] -> None
+         | _ -> Some (List.map denode grp))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>solution (score %.2f):@,%a@]" (score t)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (Cmatch.pp t.inst))
+    t.matches

@@ -1,0 +1,1 @@
+lib/genome/evolution.ml: Dna Fsa_seq Fsa_util Genome List

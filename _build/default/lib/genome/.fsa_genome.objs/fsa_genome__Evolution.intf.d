@@ -1,0 +1,1 @@
+lib/genome/evolution.mli: Fsa_seq Fsa_util Genome

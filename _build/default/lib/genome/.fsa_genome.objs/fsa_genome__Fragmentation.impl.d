@@ -1,0 +1,1 @@
+lib/genome/fragmentation.ml: Array Dna Fsa_seq Fsa_util Genome List Printf

@@ -1,0 +1,1 @@
+lib/genome/fragmentation.mli: Dna Fsa_seq Fsa_util Genome

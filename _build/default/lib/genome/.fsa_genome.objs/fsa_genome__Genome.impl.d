@@ -1,0 +1,1 @@
+lib/genome/genome.ml: Dna Format Fsa_seq Fsa_util List Printf

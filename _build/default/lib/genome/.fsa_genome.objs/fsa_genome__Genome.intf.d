@@ -1,0 +1,1 @@
+lib/genome/genome.mli: Dna Format Fsa_seq Fsa_util

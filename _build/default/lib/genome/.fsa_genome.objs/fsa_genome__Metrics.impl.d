@@ -1,0 +1,1 @@
+lib/genome/metrics.ml: Array Format Fragmentation Fsa_csr Hashtbl List Pipeline_types

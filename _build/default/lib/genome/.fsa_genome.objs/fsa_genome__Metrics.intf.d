@@ -1,0 +1,1 @@
+lib/genome/metrics.mli: Format Fsa_csr Pipeline_types

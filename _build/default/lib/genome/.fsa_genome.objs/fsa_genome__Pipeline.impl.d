@@ -1,0 +1,1 @@
+lib/genome/pipeline.ml: Alphabet Array Dna Evolution Fragment Fragmentation Fsa_align Fsa_csr Fsa_seq Genome Hashtbl List Metrics Pipeline_types Printf Scoring Symbol

@@ -1,0 +1,1 @@
+lib/genome/pipeline.mli: Fragmentation Fsa_csr Fsa_util Metrics Pipeline_types

@@ -1,0 +1,1 @@
+lib/genome/pipeline_types.ml: Fragmentation Fsa_csr

@@ -1,0 +1,185 @@
+open Fsa_seq
+open Genome
+
+let point_mutations rng ~rate g =
+  { g with dna = Dna.point_mutate rng ~rate g.dna }
+
+let inside lo hi (r : region) = r.pos >= lo && r.pos + r.len <= hi
+let outside lo hi (r : region) = r.pos + r.len <= lo || r.pos >= hi
+
+let invert rng ~at ~len g =
+  ignore rng;
+  let n = Dna.length g.dna in
+  if at < 0 || len < 1 || at + len > n then invalid_arg "Evolution.invert: bad segment";
+  let hi = at + len in
+  let segment = Dna.sub g.dna ~pos:at ~len in
+  let dna =
+    Dna.concat
+      [
+        Dna.sub g.dna ~pos:0 ~len:at;
+        Dna.reverse_complement segment;
+        Dna.sub g.dna ~pos:hi ~len:(n - hi);
+      ]
+  in
+  let remap r =
+    if outside at hi r then Some r
+    else if inside at hi r then
+      (* New start: the segment is mirrored around its own span. *)
+      Some
+        {
+          r with
+          pos = at + (hi - (r.pos + r.len));
+          reversed = not r.reversed;
+        }
+    else None
+  in
+  let regions =
+    List.sort (fun a b -> compare a.pos b.pos) (List.filter_map remap g.regions)
+  in
+  { dna; regions }
+
+let translocate rng ~from_ ~len ~to_ g =
+  ignore rng;
+  let n = Dna.length g.dna in
+  if from_ < 0 || len < 1 || from_ + len > n then
+    invalid_arg "Evolution.translocate: bad segment";
+  if to_ < 0 || to_ > n - len then invalid_arg "Evolution.translocate: bad destination";
+  let hi = from_ + len in
+  let segment = Dna.sub g.dna ~pos:from_ ~len in
+  let rest =
+    Dna.concat [ Dna.sub g.dna ~pos:0 ~len:from_; Dna.sub g.dna ~pos:hi ~len:(n - hi) ]
+  in
+  let dna =
+    Dna.concat
+      [
+        Dna.sub rest ~pos:0 ~len:to_;
+        segment;
+        Dna.sub rest ~pos:to_ ~len:(Dna.length rest - to_);
+      ]
+  in
+  (* Coordinate map: positions inside the segment move with it; positions
+     outside first collapse (remove segment) then shift at the insertion. *)
+  let collapse p = if p >= hi then p - len else p in
+  let reinsert p = if p >= to_ then p + len else p in
+  let remap r =
+    if inside from_ hi r then Some { r with pos = to_ + (r.pos - from_) }
+    else if outside from_ hi r then begin
+      let p = reinsert (collapse r.pos) in
+      (* A region that straddles the insertion point after collapsing must
+         drop: its bases are no longer contiguous. *)
+      let p_end = reinsert (collapse (r.pos + r.len - 1)) in
+      if p_end - p = r.len - 1 then Some { r with pos = p } else None
+    end
+    else None
+  in
+  let regions =
+    List.sort (fun a b -> compare a.pos b.pos) (List.filter_map remap g.regions)
+  in
+  { dna; regions }
+
+let delete ~at ~len g =
+  let n = Dna.length g.dna in
+  if at < 0 || len < 1 || at + len > n then invalid_arg "Evolution.delete: bad segment";
+  let hi = at + len in
+  let dna =
+    Dna.concat [ Dna.sub g.dna ~pos:0 ~len:at; Dna.sub g.dna ~pos:hi ~len:(n - hi) ]
+  in
+  let remap r =
+    if outside at hi r then
+      Some (if r.pos >= hi then { r with pos = r.pos - len } else r)
+    else None
+  in
+  { dna; regions = List.filter_map remap g.regions }
+
+let insert ~at piece g =
+  let n = Dna.length g.dna in
+  if at < 0 || at > n then invalid_arg "Evolution.insert: bad position";
+  let len = Dna.length piece in
+  let dna =
+    Dna.concat [ Dna.sub g.dna ~pos:0 ~len:at; piece; Dna.sub g.dna ~pos:at ~len:(n - at) ]
+  in
+  let remap r =
+    if r.pos + r.len <= at then Some r
+    else if r.pos >= at then Some { r with pos = r.pos + len }
+    else None (* the insertion lands inside the region: drop it *)
+  in
+  { dna; regions = List.filter_map remap g.regions }
+
+let duplicate ~from_ ~len ~to_ g =
+  let n = Dna.length g.dna in
+  if from_ < 0 || len < 1 || from_ + len > n then
+    invalid_arg "Evolution.duplicate: bad segment";
+  if to_ < 0 || to_ > n then invalid_arg "Evolution.duplicate: bad destination";
+  let segment = Dna.sub g.dna ~pos:from_ ~len in
+  let copies =
+    (* The copy carries duplicates of the regions wholly inside the
+       segment, positioned relative to the insertion point. *)
+    List.filter_map
+      (fun r ->
+        if inside from_ (from_ + len) r then
+          Some { r with pos = to_ + (r.pos - from_) }
+        else None)
+      g.regions
+  in
+  let base = insert ~at:to_ segment g in
+  let regions =
+    List.sort (fun a b -> compare a.pos b.pos) (base.regions @ copies)
+  in
+  { base with regions }
+
+let random_segment rng ~mean_len g =
+  let n = Dna.length g.dna in
+  let len = min (max 2 (1 + Fsa_util.Rng.geometric rng (1.0 /. float_of_int mean_len))) (n - 1) in
+  let at = Fsa_util.Rng.int rng (n - len) in
+  (at, len)
+
+let random_inversions rng ~count ~mean_len g =
+  let rec go g k =
+    if k = 0 then g
+    else
+      let at, len = random_segment rng ~mean_len g in
+      go (invert rng ~at ~len g) (k - 1)
+  in
+  go g count
+
+let random_translocations rng ~count ~mean_len g =
+  let rec go g k =
+    if k = 0 then g
+    else
+      let from_, len = random_segment rng ~mean_len g in
+      let to_ = Fsa_util.Rng.int rng (Dna.length g.dna - len + 1) in
+      go (translocate rng ~from_ ~len ~to_ g) (k - 1)
+  in
+  go g count
+
+let random_indels rng ~count ~mean_len g =
+  let rec go g k =
+    if k = 0 then g
+    else
+      let at, len = random_segment rng ~mean_len g in
+      let g =
+        if Fsa_util.Rng.bool rng then delete ~at ~len g
+        else insert ~at (Dna.random rng len) g
+      in
+      go g (k - 1)
+  in
+  go g count
+
+let random_duplications rng ~count ~mean_len g =
+  let rec go g k =
+    if k = 0 then g
+    else
+      let from_, len = random_segment rng ~mean_len g in
+      let to_ = Fsa_util.Rng.int rng (Dna.length g.dna + 1) in
+      go (duplicate ~from_ ~len ~to_ g) (k - 1)
+  in
+  go g count
+
+let diverge rng ?(indels = 0) ?(duplications = 0) ~substitution_rate ~inversions
+    ~translocations ~rearrangement_len g =
+  g
+  |> random_duplications rng ~count:duplications ~mean_len:rearrangement_len
+  |> random_inversions rng ~count:inversions ~mean_len:rearrangement_len
+  |> random_translocations rng ~count:translocations ~mean_len:rearrangement_len
+  |> random_indels rng ~count:indels ~mean_len:(max 1 (rearrangement_len / 4))
+  |> point_mutations rng ~rate:substitution_rate

@@ -1,0 +1,55 @@
+(** Evolutionary operators with conserved-region coordinate tracking.
+
+    Each operator rewrites the DNA and transforms the region table; regions
+    cut by an operation boundary are dropped (the paper's preliminary model
+    assumes regions are either wholly conserved or wholly distinct — no
+    partial overlap). *)
+
+val point_mutations : Fsa_util.Rng.t -> rate:float -> Genome.t -> Genome.t
+(** Per-base substitution at [rate]; coordinates unchanged. *)
+
+val invert : Fsa_util.Rng.t -> at:int -> len:int -> Genome.t -> Genome.t
+(** Reverse-complements [\[at, at+len)]; regions inside are repositioned and
+    strand-flipped, regions straddling a boundary are dropped. *)
+
+val translocate : Fsa_util.Rng.t -> from_:int -> len:int -> to_:int -> Genome.t -> Genome.t
+(** Excises [\[from_, from_+len)] and reinserts it so that it starts at
+    offset [to_] of the shortened genome.  Straddling regions drop. *)
+
+val delete : at:int -> len:int -> Genome.t -> Genome.t
+(** Removes [\[at, at+len)].  Regions inside the segment are lost; regions
+    straddling a boundary drop; later regions shift left. *)
+
+val insert : at:int -> Fsa_seq.Dna.t -> Genome.t -> Genome.t
+(** Inserts the given bases before offset [at].  Regions containing the
+    insertion point drop (their bases are no longer contiguous); later
+    regions shift right. *)
+
+val duplicate : from_:int -> len:int -> to_:int -> Genome.t -> Genome.t
+(** Copies [\[from_, from_+len)] and inserts the copy before offset [to_]
+    of the {e original} genome.  Regions wholly inside the segment appear
+    {e twice} afterwards — with the same id — which breaks the paper's
+    every-region-occurs-once assumption and is exactly the ambiguity real
+    genomes inject (the oracle σ then scores both copies). *)
+
+val random_inversions : Fsa_util.Rng.t -> count:int -> mean_len:int -> Genome.t -> Genome.t
+val random_translocations : Fsa_util.Rng.t -> count:int -> mean_len:int -> Genome.t -> Genome.t
+
+val random_indels : Fsa_util.Rng.t -> count:int -> mean_len:int -> Genome.t -> Genome.t
+(** Alternates random insertions and deletions of geometric length, so the
+    genome length stays roughly stable. *)
+
+val random_duplications : Fsa_util.Rng.t -> count:int -> mean_len:int -> Genome.t -> Genome.t
+
+val diverge :
+  Fsa_util.Rng.t ->
+  ?indels:int ->
+  ?duplications:int ->
+  substitution_rate:float ->
+  inversions:int ->
+  translocations:int ->
+  rearrangement_len:int ->
+  Genome.t ->
+  Genome.t
+(** The full "descendant species" pipeline: duplications, inversions,
+    translocations, indels (both default 0), then point mutations. *)

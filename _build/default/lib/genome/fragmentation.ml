@@ -1,0 +1,64 @@
+open Fsa_seq
+
+type contig = {
+  name : string;
+  dna : Dna.t;
+  regions : Genome.region list;
+  true_offset : int;
+  true_reversed : bool;
+}
+
+let reverse_contig c =
+  let n = Dna.length c.dna in
+  let remap (r : Genome.region) =
+    { r with Genome.pos = n - (r.Genome.pos + r.Genome.len); reversed = not r.Genome.reversed }
+  in
+  {
+    c with
+    dna = Dna.reverse_complement c.dna;
+    regions =
+      List.sort (fun a b -> compare a.Genome.pos b.Genome.pos) (List.map remap c.regions);
+    true_reversed = not c.true_reversed;
+  }
+
+let fragment rng ~pieces ?(shuffle = true) ?(random_strand = true) ~name_prefix g =
+  let n = Fsa_seq.Dna.length g.Genome.dna in
+  if pieces < 1 || pieces > n then invalid_arg "Fragmentation.fragment: bad piece count";
+  let cuts =
+    if pieces = 1 then [||]
+    else
+      Array.map (fun c -> c + 1) (Fsa_util.Rng.sample_without_replacement rng (pieces - 1) (n - 1))
+  in
+  let bounds = Array.concat [ [| 0 |]; cuts; [| n |] ] in
+  let contigs = ref [] in
+  for i = 0 to pieces - 1 do
+    let lo = bounds.(i) and hi = bounds.(i + 1) in
+    let regions =
+      List.filter_map
+        (fun (r : Genome.region) ->
+          if r.Genome.pos >= lo && r.Genome.pos + r.Genome.len <= hi then
+            Some { r with Genome.pos = r.Genome.pos - lo }
+          else None)
+        g.Genome.regions
+    in
+    contigs :=
+      {
+        name = Printf.sprintf "%s%d" name_prefix (i + 1);
+        dna = Dna.sub g.Genome.dna ~pos:lo ~len:(hi - lo);
+        regions;
+        true_offset = lo;
+        true_reversed = false;
+      }
+      :: !contigs
+  done;
+  let contigs = Array.of_list (List.rev !contigs) in
+  if shuffle then Fsa_util.Rng.shuffle rng contigs;
+  let contigs =
+    if random_strand then
+      Array.map (fun c -> if Fsa_util.Rng.bool rng then reverse_contig c else c) contigs
+    else contigs
+  in
+  Array.to_list contigs
+
+let contig_region_ids c = List.map (fun (r : Genome.region) -> r.Genome.id) c.regions
+let total_regions cs = List.fold_left (fun acc c -> acc + List.length c.regions) 0 cs

@@ -1,0 +1,29 @@
+(** Cutting a genome into contigs with unknown order and orientation —
+    the fragmentation model of the paper's introduction. *)
+
+open Fsa_seq
+
+type contig = {
+  name : string;
+  dna : Dna.t;
+  regions : Genome.region list;  (** contig-local coordinates *)
+  true_offset : int;  (** ground truth: start in the source genome *)
+  true_reversed : bool;  (** ground truth: was the contig strand flipped *)
+}
+
+val fragment :
+  Fsa_util.Rng.t ->
+  pieces:int ->
+  ?shuffle:bool ->
+  ?random_strand:bool ->
+  name_prefix:string ->
+  Genome.t ->
+  contig list
+(** Cuts the genome at [pieces - 1] uniform positions.  Regions straddling
+    a cut are dropped (no partial occurrences in the model).  With
+    [shuffle] (default true) the contig list order is randomized and with
+    [random_strand] (default true) each contig is reverse-complemented with
+    probability 1/2 — mimicking what an assembler actually outputs. *)
+
+val contig_region_ids : contig -> int list
+val total_regions : contig list -> int

@@ -1,0 +1,44 @@
+open Fsa_seq
+
+type region = { id : int; pos : int; len : int; reversed : bool }
+type t = { dna : Dna.t; regions : region list }
+
+let validate t =
+  let n = Dna.length t.dna in
+  let rec check prev_end = function
+    | [] -> Ok ()
+    | r :: rest ->
+        if r.pos < prev_end then Error (Printf.sprintf "region %d overlaps/unsorted" r.id)
+        else if r.pos + r.len > n then Error (Printf.sprintf "region %d out of bounds" r.id)
+        else if r.len <= 0 then Error (Printf.sprintf "region %d empty" r.id)
+        else check (r.pos + r.len) rest
+  in
+  check 0 t.regions
+
+let region_dna t r = Dna.sub t.dna ~pos:r.pos ~len:r.len
+
+let ancestral rng ~regions ~region_len ~spacer_len =
+  if regions < 1 || region_len < 1 then invalid_arg "Genome.ancestral: bad sizes";
+  let parts = ref [] in
+  let region_list = ref [] in
+  let pos = ref 0 in
+  let push d =
+    parts := d :: !parts;
+    pos := !pos + Dna.length d
+  in
+  for id = 0 to regions - 1 do
+    let spacer = 1 + Fsa_util.Rng.int rng (max 1 (2 * spacer_len)) in
+    push (Dna.random rng spacer);
+    region_list := { id; pos = !pos; len = region_len; reversed = false } :: !region_list;
+    push (Dna.random rng region_len)
+  done;
+  push (Dna.random rng (1 + Fsa_util.Rng.int rng (max 1 (2 * spacer_len))));
+  { dna = Dna.concat (List.rev !parts); regions = List.rev !region_list }
+
+let length t = Dna.length t.dna
+let sorted_region_ids t = List.sort compare (List.map (fun r -> r.id) t.regions)
+let find_region t id = List.find_opt (fun r -> r.id = id) t.regions
+
+let pp ppf t =
+  Format.fprintf ppf "genome(%d bp, %d regions)" (Dna.length t.dna)
+    (List.length t.regions)

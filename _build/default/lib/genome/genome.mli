@@ -1,0 +1,39 @@
+(** Synthetic genomes with planted conserved regions.
+
+    This is the data substrate replacing the human/mouse contig sets of the
+    paper's motivating application: an ancestral genome carries labelled
+    conserved regions separated by neutral spacer; descendants are derived
+    by {!Evolution} and cut into contigs by {!Fragmentation}, and ground
+    truth is preserved throughout so the accuracy of order/orient inference
+    can actually be measured. *)
+
+open Fsa_seq
+
+type region = {
+  id : int;  (** stable conserved-region label *)
+  pos : int;  (** start offset in the genome *)
+  len : int;
+  reversed : bool;  (** orientation relative to the ancestral copy *)
+}
+
+type t = { dna : Dna.t; regions : region list (* sorted by pos, disjoint *) }
+
+val validate : t -> (unit, string) result
+(** Regions in bounds, sorted, pairwise disjoint. *)
+
+val region_dna : t -> region -> Dna.t
+(** The region's bases as they occur (not ancestor-oriented). *)
+
+val ancestral :
+  Fsa_util.Rng.t ->
+  regions:int ->
+  region_len:int ->
+  spacer_len:int ->
+  t
+(** [regions] conserved regions of [region_len] bases each, separated (and
+    flanked) by spacers of approximately [spacer_len] random bases. *)
+
+val length : t -> int
+val sorted_region_ids : t -> int list
+val find_region : t -> int -> region option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,105 @@
+type report = {
+  islands : int;
+  h_pairs : int;
+  h_correct : int;
+  m_pairs : int;
+  m_correct : int;
+  matched_fragments : int;
+  total_fragments : int;
+}
+
+let order_accuracy r =
+  let pairs = r.h_pairs + r.m_pairs in
+  if pairs = 0 then 1.0
+  else float_of_int (r.h_correct + r.m_correct) /. float_of_int pairs
+
+let coverage r =
+  if r.total_fragments = 0 then 1.0
+  else float_of_int r.matched_fragments /. float_of_int r.total_fragments
+
+let evaluate (built : Pipeline_types.built) sol =
+  let conj = Fsa_csr.Conjecture.of_solution sol in
+  let position_tables order =
+    let pos = Hashtbl.create 16 and rev = Hashtbl.create 16 in
+    List.iteri
+      (fun i (frag, r) ->
+        Hashtbl.replace pos frag i;
+        Hashtbl.replace rev frag r)
+      order;
+    (pos, rev)
+  in
+  let h_pos, h_rev = position_tables conj.Fsa_csr.Conjecture.h_order in
+  let m_pos, m_rev = position_tables conj.Fsa_csr.Conjecture.m_order in
+  let islands = Fsa_csr.Solution.islands sol in
+  let truth side frag =
+    match side with
+    | Fsa_csr.Species.H ->
+        let c = built.Pipeline_types.h_contigs.(frag) in
+        (c.Fragmentation.true_offset, c.Fragmentation.true_reversed)
+    | Fsa_csr.Species.M ->
+        let c = built.Pipeline_types.m_contigs.(frag) in
+        (c.Fragmentation.true_offset, c.Fragmentation.true_reversed)
+  in
+  let inferred side frag =
+    match side with
+    | Fsa_csr.Species.H -> (Hashtbl.find h_pos frag, Hashtbl.find h_rev frag)
+    | Fsa_csr.Species.M -> (Hashtbl.find m_pos frag, Hashtbl.find m_rev frag)
+  in
+  (* Per island and species: count pairs right under the direct and mirrored
+     readings, keep the better. *)
+  let score_island_side members side =
+    let frags =
+      List.filter_map (fun (s, f) -> if s = side then Some f else None) members
+    in
+    let rec pairs acc = function
+      | [] -> acc
+      | a :: rest ->
+          pairs (List.fold_left (fun acc b -> (a, b) :: acc) acc rest) rest
+    in
+    let all_pairs = pairs [] frags in
+    let tally (direct, mirror) (a, b) =
+      let pa, ra = inferred side a and pb, rb = inferred side b in
+      let (oa, ta) = truth side a and (ob, tb) = truth side b in
+      let same_order = pa < pb = (oa < ob) in
+      let d =
+        if same_order && ra = ta && rb = tb then 1 else 0
+      in
+      let m =
+        if (not same_order) && ra <> ta && rb <> tb then 1 else 0
+      in
+      (direct + d, mirror + m)
+    in
+    let direct, mirror = List.fold_left tally (0, 0) all_pairs in
+    (List.length all_pairs, max direct mirror)
+  in
+  let fold (hp, hc, mp, mc) members =
+    let ph, ch = score_island_side members Fsa_csr.Species.H in
+    let pm, cm = score_island_side members Fsa_csr.Species.M in
+    (hp + ph, hc + ch, mp + pm, mc + cm)
+  in
+  let h_pairs, h_correct, m_pairs, m_correct = List.fold_left fold (0, 0, 0, 0) islands in
+  let inst = built.Pipeline_types.instance in
+  let count_matched side =
+    let n = Fsa_csr.Instance.fragment_count inst side in
+    let c = ref 0 in
+    for f = 0 to n - 1 do
+      if Fsa_csr.Solution.role sol side f <> Fsa_csr.Solution.Unmatched then incr c
+    done;
+    !c
+  in
+  {
+    islands = List.length islands;
+    h_pairs;
+    h_correct;
+    m_pairs;
+    m_correct;
+    matched_fragments = count_matched Fsa_csr.Species.H + count_matched Fsa_csr.Species.M;
+    total_fragments =
+      Fsa_csr.Instance.fragment_count inst Fsa_csr.Species.H
+      + Fsa_csr.Instance.fragment_count inst Fsa_csr.Species.M;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "islands=%d order_acc=%.2f (h %d/%d, m %d/%d) coverage=%.2f" r.islands
+    (order_accuracy r) r.h_correct r.h_pairs r.m_correct r.m_pairs (coverage r)

@@ -1,0 +1,30 @@
+(** Scoring inferred order/orientation against ground truth.
+
+    The solver's output induces, within each island, a relative order and
+    orientation for the contigs it connects (read off the conjecture-pair
+    layout).  Every same-species contig pair co-located in an island is
+    scored against the true genome coordinates; since an island can be read
+    in either direction (the paper notes inter-island relations are
+    undeterminable, and a whole island may be mirrored), each island is
+    scored under its better reading. *)
+
+type report = {
+  islands : int;  (** islands with at least two fragments *)
+  h_pairs : int;  (** same-island H-contig pairs scored *)
+  h_correct : int;  (** ... correct in order and both orientations *)
+  m_pairs : int;
+  m_correct : int;
+  matched_fragments : int;  (** fragments participating in some match *)
+  total_fragments : int;
+}
+
+val order_accuracy : report -> float
+(** (h_correct + m_correct) / (h_pairs + m_pairs); 1.0 when nothing is
+    scored (vacuous truth). *)
+
+val coverage : report -> float
+(** matched_fragments / total_fragments. *)
+
+val evaluate : Pipeline_types.built -> Fsa_csr.Solution.t -> report
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,244 @@
+open Fsa_seq
+
+type built = Pipeline_types.built = {
+  instance : Fsa_csr.Instance.t;
+  h_contigs : Fragmentation.contig array;
+  m_contigs : Fragmentation.contig array;
+}
+
+let nonempty contigs =
+  Array.of_list
+    (List.filter (fun (c : Fragmentation.contig) -> c.Fragmentation.regions <> []) contigs)
+
+let contig_fragment alphabet side_tag (c : Fragmentation.contig) ~region_name =
+  ignore side_tag;
+  let syms =
+    List.map
+      (fun (r : Genome.region) ->
+        let id = Alphabet.intern alphabet (region_name r.Genome.id) in
+        if r.Genome.reversed then Symbol.reversed id else Symbol.make id)
+      c.Fragmentation.regions
+  in
+  Fragment.make c.Fragmentation.name (Array.of_list syms)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle mode                                                         *)
+
+let oracle_instance ~h ~m =
+  let h_contigs = nonempty h and m_contigs = nonempty m in
+  let alphabet = Alphabet.create () in
+  let region_name id = Printf.sprintf "r%d" id in
+  let h_frags =
+    Array.to_list (Array.map (contig_fragment alphabet `H ~region_name) h_contigs)
+  in
+  let m_frags =
+    Array.to_list (Array.map (contig_fragment alphabet `M ~region_name) m_contigs)
+  in
+  let sigma = Scoring.create () in
+  (* σ: length × identity between the two surviving copies, oriented back to
+     the ancestral strand before comparison. *)
+  let occurrence_dna (c : Fragmentation.contig) (r : Genome.region) =
+    let d =
+      Dna.sub c.Fragmentation.dna ~pos:r.Genome.pos ~len:r.Genome.len
+    in
+    if r.Genome.reversed then Dna.reverse_complement d else d
+  in
+  let m_copies = Hashtbl.create 64 in
+  Array.iter
+    (fun (c : Fragmentation.contig) ->
+      List.iter
+        (fun (r : Genome.region) ->
+          Hashtbl.replace m_copies r.Genome.id (occurrence_dna c r))
+        c.Fragmentation.regions)
+    m_contigs;
+  Array.iter
+    (fun (c : Fragmentation.contig) ->
+      List.iter
+        (fun (r : Genome.region) ->
+          match Hashtbl.find_opt m_copies r.Genome.id with
+          | None -> ()
+          | Some m_dna ->
+              let h_dna = occurrence_dna c r in
+              let v =
+                float_of_int r.Genome.len *. Dna.identity h_dna m_dna
+              in
+              if v > 0.0 then begin
+                let id = Alphabet.intern alphabet (region_name r.Genome.id) in
+                (* Both occurrences are recorded ancestor-oriented here, so
+                   the score belongs to the same-orientation class of the
+                   ancestral strands. *)
+                Scoring.set sigma (Symbol.make id) (Symbol.make id) v
+              end)
+        c.Fragmentation.regions)
+    h_contigs;
+  let instance =
+    Fsa_csr.Instance.make ~alphabet ~h:h_frags ~m:m_frags ~sigma
+  in
+  { instance; h_contigs; m_contigs }
+
+(* ------------------------------------------------------------------ *)
+(* Discovery mode                                                      *)
+
+type footprint = { lo : int; hi : int }
+
+let cluster_footprints ~gap spans =
+  (* spans sorted by lo; merge spans within [gap]; return cluster list. *)
+  let sorted = List.sort compare (List.map (fun (lo, hi) -> (lo, hi)) spans) in
+  List.fold_left
+    (fun clusters (lo, hi) ->
+      match clusters with
+      | { lo = clo; hi = chi } :: rest when lo <= chi + gap ->
+          { lo = clo; hi = max chi hi } :: rest
+      | _ -> { lo; hi } :: clusters)
+    [] sorted
+  |> List.rev
+
+let discovery_instance ?(k = 12) ?(min_anchor_score = 24.0) ?(cluster_gap = 5) ~h ~m () =
+  let h_all = Array.of_list h and m_all = Array.of_list m in
+  (* Collect anchors per (h contig, m contig). *)
+  let anchors = ref [] in
+  Array.iteri
+    (fun mi (mc : Fragmentation.contig) ->
+      if Dna.length mc.Fragmentation.dna >= k then begin
+        let idx = Fsa_align.Seed.build_index ~k mc.Fragmentation.dna in
+        Array.iteri
+          (fun hi (hc : Fragmentation.contig) ->
+            if Dna.length hc.Fragmentation.dna >= k then
+              List.iter
+                (fun a -> anchors := (hi, mi, a) :: !anchors)
+                (Fsa_align.Seed.filter_dominated
+                   (Fsa_align.Seed.anchors ~min_score:min_anchor_score idx
+                      ~target:mc.Fragmentation.dna ~query:hc.Fragmentation.dna)))
+          h_all
+      end)
+    m_all;
+  let anchors = !anchors in
+  (* Cluster anchor footprints per contig side into discovered regions. *)
+  let cluster side_count span_of =
+    Array.init side_count (fun ci ->
+        let spans =
+          List.filter_map
+            (fun item ->
+              match span_of ci item with Some s -> Some s | None -> None)
+            anchors
+        in
+        cluster_footprints ~gap:cluster_gap spans)
+  in
+  let h_clusters =
+    cluster (Array.length h_all) (fun ci (hi, _, (a : Fsa_align.Seed.anchor)) ->
+        if hi = ci then Some (a.Fsa_align.Seed.q_lo, a.Fsa_align.Seed.q_hi) else None)
+  in
+  let m_clusters =
+    cluster (Array.length m_all) (fun ci (_, mi, (a : Fsa_align.Seed.anchor)) ->
+        if mi = ci then Some (a.Fsa_align.Seed.t_lo, a.Fsa_align.Seed.t_hi) else None)
+  in
+  (* Region alphabet: one per cluster, with side-distinct names. *)
+  let alphabet = Alphabet.create () in
+  let cluster_id prefix ci idx =
+    Alphabet.intern alphabet (Printf.sprintf "%s%d_%d" prefix ci idx)
+  in
+  let find_cluster clusters ci lo =
+    let rec at i = function
+      | [] -> None
+      | c :: rest -> if lo >= c.lo && lo <= c.hi then Some i else at (i + 1) rest
+    in
+    at 0 clusters.(ci)
+  in
+  let sigma = Scoring.create () in
+  List.iter
+    (fun (hi, mi, (a : Fsa_align.Seed.anchor)) ->
+      match
+        ( find_cluster h_clusters hi a.Fsa_align.Seed.q_lo,
+          find_cluster m_clusters mi a.Fsa_align.Seed.t_lo )
+      with
+      | Some hc, Some mc ->
+          let h_id = cluster_id "h" hi hc and m_id = cluster_id "m" mi mc in
+          let m_sym =
+            if a.Fsa_align.Seed.forward then Symbol.make m_id else Symbol.reversed m_id
+          in
+          let prev = Scoring.get sigma (Symbol.make h_id) m_sym in
+          if a.Fsa_align.Seed.score > prev then
+            Scoring.set sigma (Symbol.make h_id) m_sym a.Fsa_align.Seed.score
+      | _ -> ())
+    anchors;
+  (* Contigs become fragments listing their discovered regions in order;
+     contigs with no region are dropped (with their ground truth). *)
+  let build prefix clusters contigs =
+    let keep = ref [] and frags = ref [] in
+    Array.iteri
+      (fun ci (c : Fragmentation.contig) ->
+        match clusters.(ci) with
+        | [] -> ()
+        | cs ->
+            let syms =
+              List.mapi (fun idx _ -> Symbol.make (cluster_id prefix ci idx)) cs
+            in
+            keep := c :: !keep;
+            frags := Fragment.make c.Fragmentation.name (Array.of_list syms) :: !frags)
+      contigs;
+    (Array.of_list (List.rev !keep), List.rev !frags)
+  in
+  let h_contigs, h_frags = build "h" h_clusters h_all in
+  let m_contigs, m_frags = build "m" m_clusters m_all in
+  if h_frags = [] || m_frags = [] then
+    invalid_arg "Pipeline.discovery_instance: no conserved regions discovered";
+  let instance = Fsa_csr.Instance.make ~alphabet ~h:h_frags ~m:m_frags ~sigma in
+  { instance; h_contigs; m_contigs }
+
+(* ------------------------------------------------------------------ *)
+(* Scenario driver                                                     *)
+
+type params = {
+  regions : int;
+  region_len : int;
+  spacer_len : int;
+  h_pieces : int;
+  m_pieces : int;
+  substitution_rate : float;
+  inversions : int;
+  translocations : int;
+  indels : int;
+  duplications : int;
+  rearrangement_len : int;
+}
+
+let default_params =
+  {
+    regions = 14;
+    region_len = 60;
+    spacer_len = 40;
+    h_pieces = 3;
+    m_pieces = 7;
+    substitution_rate = 0.03;
+    inversions = 2;
+    translocations = 1;
+    indels = 0;
+    duplications = 0;
+    rearrangement_len = 150;
+  }
+
+let generate rng p =
+  let ancestor =
+    Genome.ancestral rng ~regions:p.regions ~region_len:p.region_len
+      ~spacer_len:p.spacer_len
+  in
+  let h_genome = Evolution.point_mutations rng ~rate:(p.substitution_rate /. 2.0) ancestor in
+  let m_genome =
+    Evolution.diverge rng ~indels:p.indels ~duplications:p.duplications
+      ~substitution_rate:(p.substitution_rate /. 2.0) ~inversions:p.inversions
+      ~translocations:p.translocations ~rearrangement_len:p.rearrangement_len
+      ancestor
+  in
+  let h = Fragmentation.fragment rng ~pieces:p.h_pieces ~name_prefix:"h" h_genome in
+  let m = Fragmentation.fragment rng ~pieces:p.m_pieces ~name_prefix:"m" m_genome in
+  (h, m)
+
+let run rng ?(mode = `Oracle) p ~solver =
+  let h, m = generate rng p in
+  let built =
+    match mode with
+    | `Oracle -> oracle_instance ~h ~m
+    | `Discovery -> discovery_instance ~h ~m ()
+  in
+  let sol = solver built.instance in
+  (built, sol, Metrics.evaluate built sol)

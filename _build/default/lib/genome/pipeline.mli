@@ -1,0 +1,64 @@
+(** From two contig sets to a CSR instance — the end-to-end use case of the
+    paper's introduction (Fig 1).
+
+    Two modes build the instance's region alphabet and σ:
+
+    - {e oracle}: planted region labels are used directly; σ scores a region
+      against its counterpart by length × percent identity.  Isolates the
+      combinatorial problem from alignment noise.
+    - {e discovery}: conserved regions are re-discovered from the contig DNA
+      with the {!Fsa_align.Seed} seed-and-extend engine; overlapping anchor
+      footprints are clustered into regions per side and σ takes the best
+      anchor score per region pair.  This injects realistic noise (missed,
+      split and spurious regions). *)
+
+type built = Pipeline_types.built = {
+  instance : Fsa_csr.Instance.t;
+  h_contigs : Fragmentation.contig array;  (** instance H index → contig *)
+  m_contigs : Fragmentation.contig array;
+}
+
+val oracle_instance :
+  h:Fragmentation.contig list -> m:Fragmentation.contig list -> built
+(** Contigs without conserved regions are omitted from the instance (an
+    empty fragment carries no order/orient information). *)
+
+val discovery_instance :
+  ?k:int ->
+  ?min_anchor_score:float ->
+  ?cluster_gap:int ->
+  h:Fragmentation.contig list ->
+  m:Fragmentation.contig list ->
+  unit ->
+  built
+(** [k] (default 12) is the seed size; [min_anchor_score] (default 24)
+    filters weak anchors; anchor footprints closer than [cluster_gap]
+    (default 5) bases merge into one region. *)
+
+type params = {
+  regions : int;
+  region_len : int;
+  spacer_len : int;
+  h_pieces : int;
+  m_pieces : int;
+  substitution_rate : float;
+  inversions : int;
+  translocations : int;
+  indels : int;  (** small random insertions/deletions in the M lineage *)
+  duplications : int;  (** segmental duplications — inject region ambiguity *)
+  rearrangement_len : int;
+}
+
+val default_params : params
+
+val generate :
+  Fsa_util.Rng.t -> params -> Fragmentation.contig list * Fragmentation.contig list
+(** Ancestral genome → (H contigs as-is, M contigs after divergence). *)
+
+val run :
+  Fsa_util.Rng.t ->
+  ?mode:[ `Oracle | `Discovery ] ->
+  params ->
+  solver:(Fsa_csr.Instance.t -> Fsa_csr.Solution.t) ->
+  built * Fsa_csr.Solution.t * Metrics.report
+(** Generate, build, solve, score against ground truth. *)

@@ -1,0 +1,8 @@
+(** Shared record between {!Pipeline} (which builds it) and {!Metrics}
+    (which consumes it); see {!Pipeline.built} for documentation. *)
+
+type built = {
+  instance : Fsa_csr.Instance.t;
+  h_contigs : Fragmentation.contig array;
+  m_contigs : Fragmentation.contig array;
+}

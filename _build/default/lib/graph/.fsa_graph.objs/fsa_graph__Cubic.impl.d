@@ -1,0 +1,1 @@
+lib/graph/cubic.ml: Array Fsa_util Graph Hashtbl List

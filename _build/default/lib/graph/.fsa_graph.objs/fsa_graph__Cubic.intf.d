@@ -1,0 +1,1 @@
+lib/graph/cubic.mli: Fsa_util Graph

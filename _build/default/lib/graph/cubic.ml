@@ -1,0 +1,80 @@
+let random rng n =
+  if n < 4 || n mod 2 <> 0 then
+    invalid_arg "Cubic.random: need even n >= 4";
+  (* Configuration model: 3 stubs per vertex, random perfect matching of
+     stubs, reject on self-loops or multi-edges and retry. *)
+  let stubs = Array.make (3 * n) 0 in
+  let attempt () =
+    for i = 0 to (3 * n) - 1 do
+      stubs.(i) <- i / 3
+    done;
+    Fsa_util.Rng.shuffle rng stubs;
+    let edges = ref [] in
+    let seen = Hashtbl.create (3 * n) in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < 3 * n do
+      let a = stubs.(!i) and b = stubs.(!i + 1) in
+      let key = (min a b, max a b) in
+      if a = b || Hashtbl.mem seen key then ok := false
+      else begin
+        Hashtbl.add seen key ();
+        edges := (a, b) :: !edges
+      end;
+      i := !i + 2
+    done;
+    if !ok then Some (Graph.create n !edges) else None
+  in
+  let rec retry k =
+    if k = 0 then failwith "Cubic.random: rejection sampling did not converge"
+    else match attempt () with Some g -> g | None -> retry (k - 1)
+  in
+  retry 10_000
+
+let adjacency_matrix g =
+  if not (Graph.is_regular g 3) then
+    invalid_arg "Cubic.adjacency_matrix: graph is not 3-regular";
+  Array.init (Graph.vertex_count g) (fun v -> Array.of_list (Graph.neighbors g v))
+
+let has_consecutive_edge g =
+  let n = Graph.vertex_count g in
+  let rec scan i = i < n - 1 && (Graph.adjacent g i (i + 1) || scan (i + 1)) in
+  scan 0
+
+let non_consecutive_ordering rng g =
+  let n = Graph.vertex_count g in
+  let ord = Fsa_util.Rng.permutation rng n in
+  (* Local repair: while some consecutive pair (ord.(i), ord.(i+1)) is
+     adjacent, swap ord.(i+1) with a random other position and recheck.  In a
+     cubic graph each position conflicts with <= 6 placements out of n, so
+     random repair converges quickly for n >= 8. *)
+  let conflict i =
+    i >= 0 && i < n - 1 && Graph.adjacent g ord.(i) ord.(i + 1)
+  in
+  let find_conflict () =
+    let rec scan i = if i >= n - 1 then None else if conflict i then Some i else scan (i + 1) in
+    scan 0
+  in
+  let budget = ref (1000 * n * n) in
+  let rec repair () =
+    match find_conflict () with
+    | None -> ()
+    | Some i ->
+        if !budget <= 0 then failwith "Cubic.non_consecutive_ordering: no convergence";
+        decr budget;
+        let j = Fsa_util.Rng.int rng n in
+        let tmp = ord.(i + 1) in
+        ord.(i + 1) <- ord.(j);
+        ord.(j) <- tmp;
+        repair ()
+  in
+  repair ();
+  ord
+
+let relabel g ord =
+  let n = Graph.vertex_count g in
+  if Array.length ord <> n then invalid_arg "Cubic.relabel: wrong permutation size";
+  let new_name = Array.make n (-1) in
+  Array.iteri (fun i v -> new_name.(v) <- i) ord;
+  let edges = List.map (fun (a, b) -> (new_name.(a), new_name.(b))) (Graph.edges g) in
+  Graph.create n edges

@@ -1,0 +1,29 @@
+(** Random 3-regular (cubic) graphs and the vertex relabelling required by
+    the Theorem 2 reduction.
+
+    The reduction represents a cubic graph on 2n vertices as a 2n×3
+    adjacency matrix and additionally requires that consecutive vertices
+    (i, i+1) are never adjacent — achievable for any cubic graph with at
+    least 8 vertices via Dirac's theorem on the complement.  We obtain such
+    an ordering constructively by local-search repair of a random
+    permutation. *)
+
+val random : Fsa_util.Rng.t -> int -> Graph.t
+(** [random rng n] for even [n >= 4]: a uniform-ish simple 3-regular graph
+    on [n] vertices via the configuration (pairing) model with rejection. *)
+
+val adjacency_matrix : Graph.t -> int array array
+(** The 2n×3 matrix A with A.(i) = the three neighbors of i.
+    @raise Invalid_argument if the graph is not 3-regular. *)
+
+val non_consecutive_ordering : Fsa_util.Rng.t -> Graph.t -> int array
+(** A permutation [ord] of the vertices such that [ord.(i)] and
+    [ord.(i+1)] are never adjacent.  Requires vertex count >= 8 for
+    guaranteed success on cubic graphs; raises [Failure] if repair cannot
+    converge (does not happen for valid inputs). *)
+
+val relabel : Graph.t -> int array -> Graph.t
+(** [relabel g ord] renames vertex [ord.(i)] to [i]. *)
+
+val has_consecutive_edge : Graph.t -> bool
+(** True iff some edge {i, i+1} exists. *)

@@ -1,0 +1,67 @@
+type t = { adj : int list array; edge_count : int }
+
+let create n edge_list =
+  if n < 0 then invalid_arg "Graph.create: negative vertex count";
+  let sets = Array.make n [] in
+  let check v = if v < 0 || v >= n then invalid_arg "Graph.create: vertex out of range" in
+  let seen = Hashtbl.create (2 * List.length edge_list) in
+  let count = ref 0 in
+  List.iter
+    (fun (a, b) ->
+      check a;
+      check b;
+      if a = b then invalid_arg "Graph.create: self-loop";
+      let key = (min a b, max a b) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        sets.(a) <- b :: sets.(a);
+        sets.(b) <- a :: sets.(b);
+        incr count
+      end)
+    edge_list;
+  { adj = Array.map (List.sort_uniq compare) sets; edge_count = !count }
+
+let vertex_count g = Array.length g.adj
+let edge_count g = g.edge_count
+
+let edges g =
+  let out = ref [] in
+  Array.iteri
+    (fun a ns -> List.iter (fun b -> if a < b then out := (a, b) :: !out) ns)
+    g.adj;
+  List.sort compare !out
+
+let neighbors g v = g.adj.(v)
+let degree g v = List.length g.adj.(v)
+let adjacent g a b = List.mem b g.adj.(a)
+let is_regular g k = Array.for_all (fun ns -> List.length ns = k) g.adj
+let max_degree g = Array.fold_left (fun acc ns -> max acc (List.length ns)) 0 g.adj
+
+let connected_components g =
+  let n = vertex_count g in
+  let uf = Fsa_util.Union_find.create n in
+  Array.iteri
+    (fun a ns -> List.iter (fun b -> ignore (Fsa_util.Union_find.union uf a b)) ns)
+    g.adj;
+  Fsa_util.Union_find.groups uf |> Array.to_list
+  |> List.filter (fun grp -> grp <> [])
+
+let is_independent_set g vs =
+  let rec ok = function
+    | [] -> true
+    | v :: rest -> List.for_all (fun w -> not (adjacent g v w)) rest && ok rest
+  in
+  ok vs
+
+let induced_degree g ~present v =
+  List.fold_left (fun acc w -> if present.(w) then acc + 1 else acc) 0 g.adj.(v)
+
+let complement_check g =
+  Array.iteri
+    (fun a ns ->
+      assert (List.sort_uniq compare ns = ns);
+      List.iter (fun b -> assert (List.mem a g.adj.(b))) ns)
+    g.adj
+
+let pp ppf g =
+  Format.fprintf ppf "graph(n=%d, m=%d)" (vertex_count g) (edge_count g)

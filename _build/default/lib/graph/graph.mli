@@ -1,0 +1,36 @@
+(** Simple undirected graphs on vertices [0 .. n-1].
+
+    Substrate for the Theorem 2 hardness gadget (3-regular graphs and
+    independent sets). *)
+
+type t
+
+val create : int -> (int * int) list -> t
+(** Self-loops are rejected; duplicate edges are collapsed. *)
+
+val vertex_count : t -> int
+val edge_count : t -> int
+val edges : t -> (int * int) list
+(** Each edge once, with smaller endpoint first, sorted. *)
+
+val neighbors : t -> int -> int list
+(** Sorted. *)
+
+val degree : t -> int -> int
+val adjacent : t -> int -> int -> bool
+val is_regular : t -> int -> bool
+val max_degree : t -> int
+
+val connected_components : t -> int list list
+(** Vertex partition, each component sorted, components ordered by their
+    smallest vertex. *)
+
+val is_independent_set : t -> int list -> bool
+val induced_degree : t -> present:bool array -> int -> int
+(** Degree of a vertex counting only neighbors flagged present. *)
+
+val complement_check : t -> unit
+(** Internal invariant check: symmetry and sortedness of adjacency; raises
+    [Assert_failure] on violation.  Cheap; used by tests. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,126 @@
+exception Node_limit
+
+let exact ?(node_limit = 50_000_000) g =
+  let n = Graph.vertex_count g in
+  let present = Array.make n true in
+  let chosen = Array.make n false in
+  let best = ref [] in
+  let best_size = ref (-1) in
+  let nodes = ref 0 in
+  let rec go remaining size =
+    incr nodes;
+    if !nodes > node_limit then raise Node_limit;
+    (* Bound: even taking every remaining vertex cannot beat the best. *)
+    if size + remaining > !best_size then begin
+      (* Take all isolated (in the induced subgraph) vertices for free, then
+         branch on a vertex of maximum induced degree. *)
+      let pivot = ref (-1) in
+      let pivot_deg = ref (-1) in
+      for v = 0 to n - 1 do
+        if present.(v) then begin
+          let d = Graph.induced_degree g ~present v in
+          if d > !pivot_deg then begin
+            pivot_deg := d;
+            pivot := v
+          end
+        end
+      done;
+      if !pivot < 0 then begin
+        (* Nothing left: record. *)
+        if size > !best_size then begin
+          best_size := size;
+          let acc = ref [] in
+          for v = n - 1 downto 0 do
+            if chosen.(v) then acc := v :: !acc
+          done;
+          best := !acc
+        end
+      end
+      else if !pivot_deg = 0 then begin
+        (* All remaining vertices are pairwise non-adjacent: take them. *)
+        let taken = ref [] in
+        for v = 0 to n - 1 do
+          if present.(v) then begin
+            chosen.(v) <- true;
+            present.(v) <- false;
+            taken := v :: !taken
+          end
+        done;
+        let total = size + List.length !taken in
+        if total > !best_size then begin
+          best_size := total;
+          let acc = ref [] in
+          for v = n - 1 downto 0 do
+            if chosen.(v) then acc := v :: !acc
+          done;
+          best := !acc
+        end;
+        List.iter
+          (fun v ->
+            chosen.(v) <- false;
+            present.(v) <- true)
+          !taken
+      end
+      else begin
+        let v = !pivot in
+        (* Branch 1: include v — delete its closed neighborhood. *)
+        let removed = v :: List.filter (fun w -> present.(w)) (Graph.neighbors g v) in
+        List.iter (fun w -> present.(w) <- false) removed;
+        chosen.(v) <- true;
+        go (remaining - List.length removed) (size + 1);
+        chosen.(v) <- false;
+        List.iter (fun w -> present.(w) <- true) removed;
+        (* Branch 2: exclude v. *)
+        present.(v) <- false;
+        go (remaining - 1) size;
+        present.(v) <- true
+      end
+    end
+  in
+  (try go n 0 with Node_limit -> failwith "Mis.exact: node limit exceeded");
+  !best
+
+let greedy_min_degree g =
+  let n = Graph.vertex_count g in
+  let present = Array.make n true in
+  let result = ref [] in
+  let remaining = ref n in
+  while !remaining > 0 do
+    let v = ref (-1) in
+    let vdeg = ref max_int in
+    for u = 0 to n - 1 do
+      if present.(u) then begin
+        let d = Graph.induced_degree g ~present u in
+        if d < !vdeg then begin
+          vdeg := d;
+          v := u
+        end
+      end
+    done;
+    let v = !v in
+    result := v :: !result;
+    present.(v) <- false;
+    decr remaining;
+    List.iter
+      (fun w ->
+        if present.(w) then begin
+          present.(w) <- false;
+          decr remaining
+        end)
+      (Graph.neighbors g v)
+  done;
+  List.sort compare !result
+
+let size_exact g = List.length (exact g)
+
+let is_maximal g vs =
+  Graph.is_independent_set g vs
+  &&
+  let n = Graph.vertex_count g in
+  let in_set = Array.make n false in
+  List.iter (fun v -> in_set.(v) <- true) vs;
+  let extendable v =
+    (not in_set.(v)) && List.for_all (fun w -> not in_set.(w)) (Graph.neighbors g v)
+  in
+  let rec scan v = v < n && (extendable v || scan (v + 1)) in
+  not (scan 0)

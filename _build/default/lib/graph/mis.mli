@@ -1,0 +1,20 @@
+(** Maximum independent set solvers.
+
+    The Theorem 2 gadget transports independent sets of a cubic graph into
+    CSoP solutions; validating the 5n + |W| correspondence needs an exact
+    MIS oracle, and contrasting it with a cheap heuristic shows the gadget
+    preserving approximation gaps. *)
+
+val exact : ?node_limit:int -> Graph.t -> int list
+(** A maximum independent set by branch & bound: branch on a maximum-degree
+    vertex (exclude / include), prune with the greedy bound |present| and
+    take isolated vertices eagerly.  Practical for cubic graphs up to ~80
+    vertices.
+    @raise Failure when [node_limit] (default 50_000_000) is exceeded. *)
+
+val greedy_min_degree : Graph.t -> int list
+(** Classic heuristic: repeatedly take a minimum-degree vertex and delete
+    its closed neighborhood.  On cubic graphs this guarantees >= n/4. *)
+
+val size_exact : Graph.t -> int
+val is_maximal : Graph.t -> int list -> bool

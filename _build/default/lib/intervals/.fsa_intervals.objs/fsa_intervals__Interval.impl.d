@@ -1,0 +1,1 @@
+lib/intervals/interval.ml: Format Int List

@@ -1,0 +1,1 @@
+lib/intervals/isp.ml: Array Format Fsa_util Interval List Wis

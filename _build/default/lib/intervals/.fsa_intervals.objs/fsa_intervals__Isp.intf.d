@@ -1,0 +1,1 @@
+lib/intervals/isp.mli: Format Fsa_util Interval

@@ -1,0 +1,1 @@
+lib/intervals/wis.ml: Array Float Interval List

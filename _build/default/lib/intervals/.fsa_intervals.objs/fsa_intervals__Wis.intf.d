@@ -1,0 +1,1 @@
+lib/intervals/wis.mli: Interval

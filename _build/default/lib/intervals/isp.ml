@@ -1,0 +1,175 @@
+type candidate = { job : int; interval : Interval.t; profit : float }
+type t = { jobs : int; candidates : candidate array }
+
+let create ~jobs cands =
+  List.iter
+    (fun c ->
+      if c.job < 0 || c.job >= jobs then
+        invalid_arg "Isp.create: candidate job out of range")
+    cands;
+  let candidates = Array.of_list cands in
+  Array.sort (fun a b -> Interval.compare_by_hi a.interval b.interval) candidates;
+  { jobs; candidates }
+
+let jobs t = t.jobs
+let candidates t = Array.to_list t.candidates
+let size t = Array.length t.candidates
+
+let total_profit sel = List.fold_left (fun acc c -> acc +. c.profit) 0.0 sel
+
+let is_feasible t sel =
+  let in_instance c = Array.exists (fun c' -> c' = c) t.candidates in
+  let rec pairwise = function
+    | [] -> true
+    | c :: rest ->
+        List.for_all
+          (fun c' -> c'.job <> c.job && Interval.disjoint c'.interval c.interval)
+          rest
+        && pairwise rest
+  in
+  List.for_all in_instance sel && pairwise sel
+
+(* Two-phase algorithm.  Evaluation: process candidates by increasing right
+   endpoint; the *value* of a candidate is its profit minus the values of
+   already-stacked candidates it conflicts with (interval overlap or same
+   job); push iff the value is positive.  Selection: walk the stack in LIFO
+   order, keeping every candidate compatible with what is already kept. *)
+let tpa t =
+  let stack = ref [] in
+  (* Stacked entries carry their computed value.  Stack is naturally in
+     decreasing push order, i.e. decreasing right endpoint order. *)
+  let job_value = Array.make (max t.jobs 1) 0.0 in
+  Array.iter
+    (fun c ->
+      if c.profit > 0.0 then begin
+        let overlap_value =
+          (* Stacked intervals have hi <= c.hi; those with hi >= c.lo
+             overlap c.  The stack is ordered by decreasing hi, so stop at
+             the first non-overlapping entry. *)
+          let rec sum acc = function
+            | (c', v) :: rest when c'.interval.Interval.hi >= c.interval.Interval.lo ->
+                let acc =
+                  if c'.job = c.job then acc (* already counted in job_value *)
+                  else acc +. v
+                in
+                sum acc rest
+            | _ -> acc
+          in
+          sum 0.0 !stack
+        in
+        let value = c.profit -. overlap_value -. job_value.(c.job) in
+        if value > 0.0 then begin
+          stack := (c, value) :: !stack;
+          job_value.(c.job) <- job_value.(c.job) +. value
+        end
+      end)
+    t.candidates;
+  let job_used = Array.make (max t.jobs 1) false in
+  let selected =
+    List.fold_left
+      (fun kept (c, _v) ->
+        let compatible =
+          (not job_used.(c.job))
+          && List.for_all (fun k -> Interval.disjoint k.interval c.interval) kept
+        in
+        if compatible then begin
+          job_used.(c.job) <- true;
+          c :: kept
+        end
+        else kept)
+      [] !stack
+  in
+  (total_profit selected, selected)
+
+exception Node_limit
+
+let exact ?(node_limit = 20_000_000) t =
+  let cands = t.candidates in
+  let n = Array.length cands in
+  (* suffix_ub.(i): sum over jobs of the best positive profit among
+     candidates with index >= i — an optimistic completion bound. *)
+  let suffix_ub = Array.make (n + 1) 0.0 in
+  let best_per_job = Array.make (max t.jobs 1) 0.0 in
+  for i = n - 1 downto 0 do
+    let c = cands.(i) in
+    let old = best_per_job.(c.job) in
+    if c.profit > old then begin
+      best_per_job.(c.job) <- c.profit;
+      suffix_ub.(i) <- suffix_ub.(i + 1) +. c.profit -. old
+    end
+    else suffix_ub.(i) <- suffix_ub.(i + 1)
+  done;
+  let best = ref 0.0 in
+  let best_sel = ref [] in
+  let nodes = ref 0 in
+  (* Candidates are in right-endpoint order, so a selection grown in index
+     order only needs the last occupied right endpoint for disjointness. *)
+  let job_used = Array.make (max t.jobs 1) false in
+  let rec go i profit last_end sel =
+    incr nodes;
+    if !nodes > node_limit then raise Node_limit;
+    if profit > !best then begin
+      best := profit;
+      best_sel := sel
+    end;
+    if i < n && profit +. suffix_ub.(i) > !best then begin
+      let c = cands.(i) in
+      (* Branch 1: include (when feasible and useful). *)
+      if c.profit > 0.0 && (not job_used.(c.job)) && c.interval.Interval.lo > last_end
+      then begin
+        job_used.(c.job) <- true;
+        go (i + 1) (profit +. c.profit) c.interval.Interval.hi (c :: sel);
+        job_used.(c.job) <- false
+      end;
+      (* Branch 2: exclude. *)
+      go (i + 1) profit last_end sel
+    end
+  in
+  (try go 0 0.0 min_int []
+   with Node_limit -> failwith "Isp.exact: node limit exceeded");
+  (!best, List.rev !best_sel)
+
+let greedy t =
+  let sorted =
+    List.sort (fun a b -> compare b.profit a.profit)
+      (List.filter (fun c -> c.profit > 0.0) (candidates t))
+  in
+  let job_used = Array.make (max t.jobs 1) false in
+  let selected =
+    List.fold_left
+      (fun kept c ->
+        let ok =
+          (not job_used.(c.job))
+          && List.for_all (fun k -> Interval.disjoint k.interval c.interval) kept
+        in
+        if ok then begin
+          job_used.(c.job) <- true;
+          c :: kept
+        end
+        else kept)
+      [] sorted
+  in
+  (total_profit selected, selected)
+
+let upper_bound t =
+  let items =
+    List.map
+      (fun c -> { Wis.interval = c.interval; profit = c.profit })
+      (candidates t)
+  in
+  fst (Wis.solve items)
+
+let random_instance rng ~jobs ~candidates_per_job ~span ~max_len ~max_profit =
+  let cands = ref [] in
+  for job = 0 to jobs - 1 do
+    for _ = 1 to candidates_per_job do
+      let len = 1 + Fsa_util.Rng.int rng (max 1 max_len) in
+      let lo = Fsa_util.Rng.int rng (max 1 (span - len)) in
+      let profit = Fsa_util.Rng.float rng max_profit in
+      cands := { job; interval = Interval.make lo (lo + len - 1); profit } :: !cands
+    done
+  done;
+  create ~jobs !cands
+
+let pp_candidate ppf c =
+  Format.fprintf ppf "job %d %a profit %.2f" c.job Interval.pp c.interval c.profit

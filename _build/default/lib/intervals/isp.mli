@@ -1,0 +1,61 @@
+(** The interval selection problem (ISP) and the two-phase algorithm (TPA).
+
+    Instance (paper §3.4): jobs [0 .. jobs-1], and candidates, each a
+    (job, interval, profit) triple.  A feasible selection takes at most one
+    candidate per job, with pairwise disjoint intervals, maximizing total
+    profit.  ISP models 1-CSR: jobs are H-fragments, intervals are sites of
+    the single M-sequence, profits are match scores.
+
+    {!tpa} is the Berman–DasGupta two-phase algorithm (J. Comb. Optim. 2000):
+    an evaluation pass in order of right endpoints pushes each candidate
+    whose profit exceeds the stacked value it conflicts with, followed by a
+    greedy LIFO selection pass.  It guarantees ratio 2 and runs in
+    O(n log n + n·s) where s is output-sensitive stack traversal. *)
+
+type candidate = { job : int; interval : Interval.t; profit : float }
+
+type t
+(** An ISP instance. *)
+
+val create : jobs:int -> candidate list -> t
+(** Candidates with non-positive profit are kept but never selected.
+    @raise Invalid_argument on a candidate with job outside [0..jobs-1]. *)
+
+val jobs : t -> int
+val candidates : t -> candidate list
+val size : t -> int
+
+val is_feasible : t -> candidate list -> bool
+(** At most one candidate per job; intervals pairwise disjoint; every
+    candidate belongs to the instance. *)
+
+val total_profit : candidate list -> float
+
+val tpa : t -> float * candidate list
+(** Two-phase algorithm; feasible, profit >= opt/2. *)
+
+val exact : ?node_limit:int -> t -> float * candidate list
+(** Optimal selection by branch & bound over candidates in right-endpoint
+    order, pruning with a per-job suffix bound.  Exponential worst case —
+    intended for instances with up to a few dozen candidates.
+    @raise Failure if [node_limit] (default 20_000_000) nodes are exceeded. *)
+
+val greedy : t -> float * candidate list
+(** Baseline: decreasing profit, keep what fits. *)
+
+val upper_bound : t -> float
+(** Cheap upper bound on the optimum: the classic weighted-interval-
+    scheduling optimum of the candidate multiset with the one-per-job
+    constraint dropped. *)
+
+val random_instance :
+  Fsa_util.Rng.t ->
+  jobs:int ->
+  candidates_per_job:int ->
+  span:int ->
+  max_len:int ->
+  max_profit:float ->
+  t
+(** Random instance on the line [\[0, span)]. *)
+
+val pp_candidate : Format.formatter -> candidate -> unit

@@ -1,0 +1,51 @@
+type item = { interval : Interval.t; profit : float }
+
+let solve items =
+  let items =
+    Array.of_list (List.filter (fun it -> it.profit > 0.0) items)
+  in
+  Array.sort (fun a b -> Interval.compare_by_hi a.interval b.interval) items;
+  let n = Array.length items in
+  if n = 0 then (0.0, [])
+  else begin
+    (* pred.(i): largest index j < i with items.(j).hi < items.(i).lo, or -1. *)
+    let pred = Array.make n (-1) in
+    for i = 0 to n - 1 do
+      let target = items.(i).interval.Interval.lo in
+      let rec bsearch lo hi acc =
+        if lo > hi then acc
+        else
+          let mid = (lo + hi) / 2 in
+          if items.(mid).interval.Interval.hi < target then bsearch (mid + 1) hi mid
+          else bsearch lo (mid - 1) acc
+      in
+      pred.(i) <- bsearch 0 (i - 1) (-1)
+    done;
+    let dp = Array.make (n + 1) 0.0 in
+    for i = 1 to n do
+      let take = items.(i - 1).profit +. dp.(pred.(i - 1) + 1) in
+      dp.(i) <- Float.max dp.(i - 1) take
+    done;
+    let rec back i acc =
+      if i = 0 then acc
+      else if dp.(i) = dp.(i - 1) then back (i - 1) acc
+      else back (pred.(i - 1) + 1) (items.(i - 1) :: acc)
+    in
+    (dp.(n), back n [])
+  end
+
+let greedy_by_profit items =
+  let sorted =
+    List.sort (fun a b -> compare b.profit a.profit)
+      (List.filter (fun it -> it.profit > 0.0) items)
+  in
+  let taken =
+    List.fold_left
+      (fun taken it ->
+        if List.exists (fun t -> Interval.overlaps t.interval it.interval) taken then
+          taken
+        else it :: taken)
+      [] sorted
+  in
+  let total = List.fold_left (fun acc it -> acc +. it.profit) 0.0 taken in
+  (total, List.sort (fun a b -> Interval.compare_by_hi a.interval b.interval) taken)

@@ -1,0 +1,14 @@
+(** Classic weighted interval scheduling (no job constraint): choose a
+    maximum-profit set of pairwise disjoint intervals.
+
+    Solved exactly in O(n log n) by the textbook DP.  Serves as an exact
+    reference point and as a building block of ISP upper bounds. *)
+
+type item = { interval : Interval.t; profit : float }
+
+val solve : item list -> float * item list
+(** Optimal total profit and one optimal selection (sorted by right
+    endpoint).  Negative-profit items are never selected. *)
+
+val greedy_by_profit : item list -> float * item list
+(** Baseline: scan by decreasing profit, keep what fits. *)

@@ -1,0 +1,1 @@
+lib/seqcore/alphabet.ml: Array Hashtbl List Printf String Symbol

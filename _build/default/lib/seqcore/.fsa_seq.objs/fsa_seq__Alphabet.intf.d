@@ -1,0 +1,1 @@
+lib/seqcore/alphabet.mli: Symbol

@@ -1,0 +1,1 @@
+lib/seqcore/dna.ml: Array Bytes Char Format Fsa_util Printf String

@@ -1,0 +1,1 @@
+lib/seqcore/dna.mli: Format Fsa_util

@@ -1,0 +1,1 @@
+lib/seqcore/fasta.ml: Buffer Dna List String

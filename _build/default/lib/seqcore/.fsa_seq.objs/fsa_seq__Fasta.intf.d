@@ -1,0 +1,1 @@
+lib/seqcore/fasta.mli: Dna

@@ -1,0 +1,1 @@
+lib/seqcore/fragment.ml: Array Format List Site String Symbol

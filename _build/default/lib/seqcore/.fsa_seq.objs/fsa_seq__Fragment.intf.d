@@ -1,0 +1,1 @@
+lib/seqcore/fragment.mli: Format Site Symbol

@@ -1,0 +1,1 @@
+lib/seqcore/padded.ml: Array Float Format Hashtbl List Scoring Symbol

@@ -1,0 +1,1 @@
+lib/seqcore/padded.mli: Format Scoring Symbol

@@ -1,0 +1,1 @@
+lib/seqcore/scoring.ml: Float Format Fsa_util Hashtbl List Symbol

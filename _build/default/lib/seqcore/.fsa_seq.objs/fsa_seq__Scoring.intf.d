@@ -1,0 +1,1 @@
+lib/seqcore/scoring.mli: Format Fsa_util Symbol

@@ -1,0 +1,1 @@
+lib/seqcore/site.ml: Format Int

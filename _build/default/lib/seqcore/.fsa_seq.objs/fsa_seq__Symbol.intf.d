@@ -1,0 +1,1 @@
+lib/seqcore/symbol.mli: Format

@@ -1,0 +1,52 @@
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_id : string array;
+  mutable size : int;
+}
+
+let create () = { by_name = Hashtbl.create 64; by_id = Array.make 16 ""; size = 0 }
+
+let valid_name s =
+  String.length s > 0
+  && String.for_all (fun c -> c <> ' ' && c <> '\t' && c <> '\n' && c <> ',' && c <> '\'') s
+
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+      if not (valid_name name) then
+        invalid_arg (Printf.sprintf "Alphabet.intern: invalid name %S" name);
+      let id = t.size in
+      if id = Array.length t.by_id then begin
+        let bigger = Array.make (2 * id) "" in
+        Array.blit t.by_id 0 bigger 0 id;
+        t.by_id <- bigger
+      end;
+      t.by_id.(id) <- name;
+      Hashtbl.add t.by_name name id;
+      t.size <- id + 1;
+      id
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let name t id =
+  if id < 0 || id >= t.size then invalid_arg "Alphabet.name: unknown id";
+  t.by_id.(id)
+
+let size t = t.size
+
+let of_names names =
+  let t = create () in
+  List.iter (fun n -> ignore (intern t n)) names;
+  t
+
+let names t = Array.sub t.by_id 0 t.size
+
+let symbol_of_string t s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\'' then Symbol.reversed (intern t (String.sub s 0 (n - 1)))
+  else Symbol.make (intern t s)
+
+let symbol_to_string t sym =
+  let base = name t (Symbol.id sym) in
+  if Symbol.is_reversed sym then base ^ "'" else base

@@ -1,0 +1,29 @@
+(** Bidirectional registry between human-readable region names and the
+    integer ids used by {!Symbol}.
+
+    Instances, examples and the text serialization format refer to regions by
+    name ("a", "b", ...); all algorithms work on dense integer ids. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** Id for a name, allocating a fresh id on first sight.  Names must be
+    non-empty and must not contain whitespace, [','] or the orientation
+    marker [''']. *)
+
+val find : t -> string -> int option
+val name : t -> int -> string
+(** @raise Invalid_argument for an unknown id. *)
+
+val size : t -> int
+val of_names : string list -> t
+val names : t -> string array
+(** All names in id order. *)
+
+val symbol_of_string : t -> string -> Symbol.t
+(** Parses ["x"] as a forward symbol and ["x'"] as its reversal, interning
+    the name. *)
+
+val symbol_to_string : t -> Symbol.t -> string

@@ -1,0 +1,78 @@
+type entry = { name : string; description : string; dna : Dna.t }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let flush name description seq acc =
+    match name with
+    | None ->
+        if Buffer.length seq > 0 then failwith "Fasta.parse: sequence before header";
+        acc
+    | Some name ->
+        let dna =
+          try Dna.of_string (Buffer.contents seq)
+          with Invalid_argument m -> failwith ("Fasta.parse: " ^ m)
+        in
+        { name; description; dna } :: acc
+  in
+  let rec go lines name description seq acc =
+    match lines with
+    | [] -> List.rev (flush name description seq acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" || line.[0] = ';' then go rest name description seq acc
+        else if line.[0] = '>' then begin
+          let acc = flush name description seq acc in
+          let header = String.sub line 1 (String.length line - 1) in
+          let name', description' =
+            match String.index_opt header ' ' with
+            | None -> (String.trim header, "")
+            | Some i ->
+                ( String.sub header 0 i,
+                  String.trim (String.sub header i (String.length header - i)) )
+          in
+          if name' = "" then failwith "Fasta.parse: empty sequence name";
+          go rest (Some name') description' (Buffer.create 64) acc
+        end
+        else begin
+          Buffer.add_string seq line;
+          go rest name description seq acc
+        end
+  in
+  go lines None "" (Buffer.create 64) []
+
+let to_string ?(width = 70) entries =
+  if width < 1 then invalid_arg "Fasta.to_string: width must be positive";
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_char buf '>';
+      Buffer.add_string buf e.name;
+      if e.description <> "" then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf e.description
+      end;
+      Buffer.add_char buf '\n';
+      let s = Dna.to_string e.dna in
+      let n = String.length s in
+      let rec emit pos =
+        if pos < n then begin
+          Buffer.add_string buf (String.sub s pos (min width (n - pos)));
+          Buffer.add_char buf '\n';
+          emit (pos + width)
+        end
+      in
+      if n = 0 then Buffer.add_char buf '\n' else emit 0)
+    entries;
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  parse s
+
+let write_file path ?width entries =
+  let oc = open_out path in
+  output_string oc (to_string ?width entries);
+  close_out oc

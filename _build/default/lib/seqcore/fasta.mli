@@ -1,0 +1,18 @@
+(** Minimal FASTA reader/writer for {!Dna} sequences.
+
+    Supports the subset needed to move contigs in and out of the pipeline:
+    [>name description] headers, sequence lines of arbitrary width, and
+    ACGT bases (case-insensitive).  Other characters are rejected — the
+    simulator never produces ambiguity codes, and silently mangling them
+    would corrupt experiments. *)
+
+type entry = { name : string; description : string; dna : Dna.t }
+
+val parse : string -> entry list
+(** @raise Failure on malformed input (no header, invalid base). *)
+
+val to_string : ?width:int -> entry list -> string
+(** Sequence lines wrapped at [width] (default 70) columns. *)
+
+val read_file : string -> entry list
+val write_file : string -> ?width:int -> entry list -> unit

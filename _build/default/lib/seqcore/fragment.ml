@@ -1,0 +1,55 @@
+type t = { name : string; symbols : Symbol.t array }
+
+let make name symbols =
+  if Array.length symbols = 0 then invalid_arg "Fragment.make: empty fragment";
+  { name; symbols = Array.copy symbols }
+
+let of_ids name ids = make name (Array.of_list (List.map Symbol.make ids))
+
+let of_signed_ids name ids =
+  let sym k =
+    if k >= 0 then Symbol.make k
+    else Symbol.reversed (-k - 1)
+  in
+  make name (Array.of_list (List.map sym ids))
+
+let name f = f.name
+let length f = Array.length f.symbols
+let get f i = f.symbols.(i)
+let symbols f = Array.copy f.symbols
+
+let reversed_name n =
+  let l = String.length n in
+  if l > 0 && n.[l - 1] = '\'' then String.sub n 0 (l - 1) else n ^ "'"
+
+let reverse f =
+  let n = Array.length f.symbols in
+  {
+    name = reversed_name f.name;
+    symbols = Array.init n (fun i -> Symbol.reverse f.symbols.(n - 1 - i));
+  }
+
+let sub f (s : Site.t) =
+  if s.hi >= length f then invalid_arg "Fragment.sub: site exceeds fragment";
+  Array.sub f.symbols s.lo (Site.length s)
+
+let sub_reversed f (s : Site.t) =
+  let a = sub f s in
+  let n = Array.length a in
+  Array.init n (fun i -> Symbol.reverse a.(n - 1 - i))
+
+let full_site f = Site.make 0 (length f - 1)
+let site_kind f s = Site.classify ~fragment_length:(length f) s
+
+let equal a b =
+  Array.length a.symbols = Array.length b.symbols
+  && Array.for_all2 Symbol.equal a.symbols b.symbols
+
+let pp_with namer ppf f =
+  Format.fprintf ppf "%s:⟨%a⟩" f.name
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+       (Symbol.pp_named namer))
+    f.symbols
+
+let pp ppf f = pp_with string_of_int ppf f

@@ -1,0 +1,42 @@
+(** Fragments (contigs): words over the duplicated alphabet (paper §2.1).
+
+    A fragment is an immutable array of symbols with a display name.  The
+    reversal of a fragment obeys (uv)ᴿ = vᴿuᴿ: the symbol order is reversed
+    and every symbol is individually reversed. *)
+
+type t
+
+val make : string -> Symbol.t array -> t
+(** The array is copied; fragments must be non-empty. *)
+
+val of_ids : string -> int list -> t
+(** Forward symbols from region ids (negative id [-k-1] is not allowed; use
+    {!of_signed_ids} for orientation shorthand). *)
+
+val of_signed_ids : string -> int list -> t
+(** Shorthand for tests and generators: id [k >= 0] is a forward symbol, a
+    negative value [-k] (k >= 1) is the reversal of region [k - 1]. *)
+
+val name : t -> string
+val length : t -> int
+val get : t -> int -> Symbol.t
+val symbols : t -> Symbol.t array
+(** A fresh copy. *)
+
+val reverse : t -> t
+(** fᴿ; the name is suffixed with ["'"] (or the suffix stripped, so that
+    reversal stays an involution on names too). *)
+
+val sub : t -> Site.t -> Symbol.t array
+(** Symbols of a site, left to right. *)
+
+val sub_reversed : t -> Site.t -> Symbol.t array
+(** Symbols of (f(i,j))ᴿ. *)
+
+val full_site : t -> Site.t
+val site_kind : t -> Site.t -> Site.kind
+val equal : t -> t -> bool
+(** Structural equality on symbol content (names ignored). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_with : (int -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+type cell = Symbol.t option
+type t = cell array
+
+let of_symbols a = Array.map (fun s -> Some s) a
+
+let strip t =
+  Array.of_list
+    (List.filter_map (fun c -> c) (Array.to_list t))
+
+let reverse t =
+  let n = Array.length t in
+  Array.init n (fun i ->
+      match t.(n - 1 - i) with None -> None | Some s -> Some (Symbol.reverse s))
+
+let is_padding_of t word =
+  let stripped = strip t in
+  Array.length stripped = Array.length word
+  && Array.for_all2 Symbol.equal stripped word
+
+let score sigma a b =
+  if Array.length a <> Array.length b then 0.0
+  else begin
+    let total = ref 0.0 in
+    for i = 0 to Array.length a - 1 do
+      match (a.(i), b.(i)) with
+      | Some x, Some y -> total := !total +. Scoring.get sigma x y
+      | None, _ | _, None -> ()
+    done;
+    !total
+  end
+
+(* Brute-force P_score: recursively consume both words column by column.  A
+   column is either (a_i, b_j), (a_i, ⊥) or (⊥, b_j); trailing pads are
+   implicit.  This is exactly maximizing Score over P_a × P_b restricted to
+   equal lengths, because any double-⊥ column can be deleted without changing
+   the score. *)
+let best_pair_score_brute sigma a b =
+  let memo = Hashtbl.create 64 in
+  let rec go i j =
+    if i = Array.length a || j = Array.length b then 0.0
+    else
+      match Hashtbl.find_opt memo (i, j) with
+      | Some v -> v
+      | None ->
+          let v =
+            Float.max
+              (Scoring.get sigma a.(i) b.(j) +. go (i + 1) (j + 1))
+              (Float.max (go (i + 1) j) (go i (j + 1)))
+          in
+          Hashtbl.add memo (i, j) v;
+          v
+  in
+  Float.max 0.0 (go 0 0)
+
+let pp ppf t =
+  let pp_cell ppf = function
+    | None -> Format.pp_print_char ppf '_'
+    | Some s -> Symbol.pp ppf s
+  in
+  Format.fprintf ppf "⟨%a⟩"
+    (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ') pp_cell)
+    t

@@ -1,0 +1,32 @@
+(** Padded sequences over Σ̃ ∪ {⊥} and the column score of §2.1.
+
+    A padded sequence is an element of P_s for some word s: s with the pad
+    symbol ⊥ inserted at arbitrary positions.  ⊥ is represented as [None].
+    These are used as an executable specification: the alignment DP in
+    {!Fsa_align} is validated against brute-force maximization over pads. *)
+
+type cell = Symbol.t option
+type t = cell array
+
+val of_symbols : Symbol.t array -> t
+val strip : t -> Symbol.t array
+(** Removes the pads. *)
+
+val reverse : t -> t
+(** (uᴿ with ⊥ᴿ = ⊥). *)
+
+val is_padding_of : t -> Symbol.t array -> bool
+(** Membership test for P_s. *)
+
+val score : Scoring.t -> t -> t -> float
+(** Def of [Score]: 0 when lengths differ, otherwise the column sum, with ⊥
+    scoring 0 against anything. *)
+
+val best_pair_score_brute : Scoring.t -> Symbol.t array -> Symbol.t array -> float
+(** P_score = max over P_a × P_b of [score], computed by a direct memoized
+    recursion over alignment columns.  This is the executable specification
+    against which the iterative DP of [Fsa_align.Pairwise] is tested (the
+    test suite additionally cross-checks it against full enumeration of pad
+    placements on tiny inputs).  Never below 0: aligning nothing scores 0. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+(* A σ entry depends only on (h_region, m_region, a.rev xor b.rev): flipping
+   both orientations simultaneously is a no-op by the σ(a,b) = σ(aᴿ,bᴿ)
+   axiom.  We key the table on that canonical triple. *)
+
+type key = { h_region : int; m_region : int; opposite : bool }
+type t = { table : (key, float) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 128 }
+
+let key_of a b =
+  {
+    h_region = Symbol.id a;
+    m_region = Symbol.id b;
+    opposite = Symbol.is_reversed a <> Symbol.is_reversed b;
+  }
+
+let set t a b v = Hashtbl.replace t.table (key_of a b) v
+
+let get t a b =
+  match Hashtbl.find_opt t.table (key_of a b) with Some v -> v | None -> 0.0
+
+let of_list entries =
+  let t = create () in
+  List.iter (fun (a, b, v) -> set t a b v) entries;
+  t
+
+let fold f t init = Hashtbl.fold (fun k v acc -> f k v acc) t.table init
+
+let positive_pairs t =
+  fold
+    (fun k v acc ->
+      if v > 0.0 then (k.h_region, k.m_region, k.opposite, v) :: acc else acc)
+    t []
+
+let entries t = fold (fun k v acc -> (k.h_region, k.m_region, k.opposite, v) :: acc) t []
+let max_score t = fold (fun _ v acc -> Float.max v acc) t 0.0
+
+let map_scores f t =
+  let out = create () in
+  Hashtbl.iter (fun k v -> Hashtbl.replace out.table k (f v)) t.table;
+  out
+
+let scale t factor = map_scores (fun v -> v *. factor) t
+
+let truncate_to_multiples t unit_ =
+  if unit_ <= 0.0 then invalid_arg "Scoring.truncate_to_multiples: unit must be positive";
+  map_scores (fun v -> Float.of_int (int_of_float (Float.floor (v /. unit_))) *. unit_) t
+
+let random_bijective rng ~regions ~lo ~hi ~reversed_fraction =
+  if lo > hi then invalid_arg "Scoring.random_bijective: lo > hi";
+  let t = create () in
+  for r = 0 to regions - 1 do
+    let v = lo +. Fsa_util.Rng.float rng (hi -. lo) in
+    let b =
+      if Fsa_util.Rng.bernoulli rng reversed_fraction then Symbol.reversed r
+      else Symbol.make r
+    in
+    set t (Symbol.make r) b v
+  done;
+  t
+
+let pp namer ppf t =
+  let items =
+    List.sort compare
+      (fold (fun k v acc -> ((k.h_region, k.m_region, k.opposite), v) :: acc) t [])
+  in
+  let pp_item ppf (((h, m, opp), v)) =
+    Format.fprintf ppf "σ(%s,%s%s)=%g" (namer h) (namer m) (if opp then "'" else "") v
+  in
+  Format.pp_print_list ~pp_sep:Format.pp_print_space pp_item ppf items

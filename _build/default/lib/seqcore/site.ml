@@ -1,0 +1,57 @@
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  if lo < 0 || lo > hi then invalid_arg "Site.make: requires 0 <= lo <= hi";
+  { lo; hi }
+
+let length s = s.hi - s.lo + 1
+
+type kind = Full | Prefix | Suffix | Inner
+
+let classify ~fragment_length s =
+  if s.hi >= fragment_length then invalid_arg "Site.classify: site exceeds fragment";
+  match (s.lo = 0, s.hi = fragment_length - 1) with
+  | true, true -> Full
+  | true, false -> Prefix
+  | false, true -> Suffix
+  | false, false -> Inner
+
+let is_border ~fragment_length s =
+  match classify ~fragment_length s with
+  | Prefix | Suffix -> true
+  | Full | Inner -> false
+
+let contains outer inner = outer.lo <= inner.lo && inner.hi <= outer.hi
+let adjacent a b = a.hi + 1 = b.lo || b.hi + 1 = a.lo
+let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
+let disjoint a b = not (overlaps a b)
+let hides outer inner = outer.lo < inner.lo && inner.hi < outer.hi
+
+let intersect a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo <= hi then Some { lo; hi } else None
+
+let subtract s cut =
+  match intersect s cut with
+  | None -> [ s ]
+  | Some c ->
+      let left = if s.lo < c.lo then [ { lo = s.lo; hi = c.lo - 1 } ] else [] in
+      let right = if c.hi < s.hi then [ { lo = c.hi + 1; hi = s.hi } ] else [] in
+      left @ right
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let compare a b =
+  let c = Int.compare a.lo b.lo in
+  if c <> 0 then c else Int.compare a.hi b.hi
+
+let pp ppf s = Format.fprintf ppf "[%d,%d]" s.lo s.hi
+
+let all_subsites n =
+  let acc = ref [] in
+  for lo = n - 1 downto 0 do
+    for hi = n - 1 downto lo do
+      acc := { lo; hi } :: !acc
+    done
+  done;
+  !acc

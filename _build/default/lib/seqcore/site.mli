@@ -1,0 +1,52 @@
+(** Sites: contiguous sub-fragments f(i,j) (paper Defs 3 and 5).
+
+    A site is a 0-based inclusive index interval [\[lo, hi\]] within some
+    fragment.  The paper writes h(i,j) with 1-based indices; we keep the same
+    algebra 0-based.  Classification (full / border / inner) is relative to
+    the length of the enclosing fragment. *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+(** Requires [0 <= lo <= hi]. *)
+
+val length : t -> int
+
+type kind = Full | Prefix | Suffix | Inner
+(** Def 3: [Full] is f(0,n-1); [Prefix]/[Suffix] are the two border shapes
+    f(0,i) and f(i,n-1); [Inner] touches neither end.  A one-fragment-long
+    site is [Full] (which subsumes both border shapes). *)
+
+val classify : fragment_length:int -> t -> kind
+val is_border : fragment_length:int -> t -> bool
+(** Border means [Prefix] or [Suffix] ([Full] counts as neither here,
+    matching Def 3's "none of the above" reading: full is its own class). *)
+
+val contains : t -> t -> bool
+(** [contains outer inner] — Def 5 "contained in". *)
+
+val adjacent : t -> t -> bool
+(** Def 5: the two sites abut with no gap (in either order). *)
+
+val overlaps : t -> t -> bool
+val disjoint : t -> t -> bool
+
+val hides : t -> t -> bool
+(** [hides outer inner] — Def 5: strict containment on both ends
+    (outer.lo < inner.lo <= inner.hi < outer.hi). *)
+
+val intersect : t -> t -> t option
+
+val subtract : t -> t -> t list
+(** [subtract s cut] is the (0, 1 or 2) maximal sub-sites of [s] outside
+    [cut], left to right. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Orders by [lo], then [hi]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val all_subsites : int -> t list
+(** Every site of a fragment of the given length, i.e. all O(n²) intervals,
+    in lexicographic order.  Used by exhaustive searches on small inputs. *)

@@ -1,0 +1,25 @@
+type t = { id : int; rev : bool }
+
+let make id =
+  if id < 0 then invalid_arg "Symbol.make: negative id";
+  { id; rev = false }
+
+let reversed id =
+  if id < 0 then invalid_arg "Symbol.reversed: negative id";
+  { id; rev = true }
+
+let reverse a = { a with rev = not a.rev }
+let id a = a.id
+let is_reversed a = a.rev
+let equal a b = a.id = b.id && a.rev = b.rev
+
+let compare a b =
+  let c = Int.compare a.id b.id in
+  if c <> 0 then c else Bool.compare a.rev b.rev
+
+let hash a = (a.id * 2) + if a.rev then 1 else 0
+let same_region a b = a.id = b.id
+let pp ppf a = Format.fprintf ppf "%d%s" a.id (if a.rev then "'" else "")
+
+let pp_named name ppf a =
+  Format.fprintf ppf "%s%s" (name a.id) (if a.rev then "'" else "")

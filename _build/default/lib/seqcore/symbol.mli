@@ -1,0 +1,33 @@
+(** Symbols of the duplicated alphabet Σ ∪ Σᴿ (paper §2.1).
+
+    A symbol is a conserved-region identifier together with an orientation
+    bit.  [reverse] is the involution a ↦ aᴿ: it maps Σ onto Σᴿ and back,
+    satisfying (aᴿ)ᴿ = a and Σ ∩ Σᴿ = ∅ (a forward and a reversed symbol are
+    never equal). *)
+
+type t = { id : int; rev : bool }
+
+val make : int -> t
+(** Forward symbol with the given region identifier (must be >= 0). *)
+
+val reversed : int -> t
+(** Reversed symbol aᴿ for region [id]. *)
+
+val reverse : t -> t
+(** The involution a ↦ aᴿ. *)
+
+val id : t -> int
+val is_reversed : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val same_region : t -> t -> bool
+(** True when the two symbols denote the same conserved region, in either
+    orientation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the id, with a ['] suffix on reversed symbols, e.g. [7] / [7']. *)
+
+val pp_named : (int -> string) -> Format.formatter -> t -> unit
+(** Same but rendering ids through a naming function. *)

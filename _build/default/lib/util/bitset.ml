@@ -1,0 +1,72 @@
+let word_bits = Sys.int_size
+
+type t = { words : int array; capacity : int }
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make ((capacity + word_bits - 1) / word_bits) 0; capacity }
+
+let capacity t = t.capacity
+let copy t = { words = Array.copy t.words; capacity = t.capacity }
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let set t i =
+  check t i;
+  t.words.(i / word_bits) <- t.words.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+let clear t i =
+  check t i;
+  t.words.(i / word_bits) <- t.words.(i / word_bits) land lnot (1 lsl (i mod word_bits))
+
+let mem t i =
+  check t i;
+  t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let iter f t =
+  for wi = 0 to Array.length t.words - 1 do
+    let w = ref t.words.(wi) in
+    while !w <> 0 do
+      let bit = !w land - !w in
+      let rec log2 b acc = if b = 1 then acc else log2 (b lsr 1) (acc + 1) in
+      f ((wi * word_bits) + log2 bit 0);
+      w := !w land (!w - 1)
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list capacity l =
+  let t = create capacity in
+  List.iter (set t) l;
+  t
+
+let check_same t u =
+  if t.capacity <> u.capacity then invalid_arg "Bitset: capacity mismatch"
+
+let union_into dst src =
+  check_same dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
+
+let inter_into dst src =
+  check_same dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land w) src.words
+
+let diff_into dst src =
+  check_same dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land lnot w) src.words
+
+let equal t u = t.capacity = u.capacity && t.words = u.words

@@ -1,0 +1,30 @@
+(** Fixed-capacity bitset over [0 .. capacity-1], packed into native ints.
+
+    Used by exact solvers (branch & bound over vertex / position subsets). *)
+
+type t
+
+val create : int -> t
+(** All bits clear. *)
+
+val capacity : t -> int
+val copy : t -> t
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Visits set bits in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+val of_list : int -> int list -> t
+
+val union_into : t -> t -> unit
+(** [union_into dst src] sets [dst := dst ∪ src]; capacities must agree. *)
+
+val inter_into : t -> t -> unit
+val diff_into : t -> t -> unit
+val equal : t -> t -> bool

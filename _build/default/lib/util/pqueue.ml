@@ -1,0 +1,74 @@
+type ('p, 'v) t = {
+  cmp : 'p -> 'p -> int;
+  mutable data : ('p * 'v) array;
+  mutable len : int;
+}
+
+let create ?(capacity = 16) cmp =
+  { cmp; data = Array.make (max capacity 1) (Obj.magic 0); len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) t.data.(0) in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let priority t i = fst t.data.(i)
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp (priority t i) (priority t parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && t.cmp (priority t l) (priority t !smallest) < 0 then smallest := l;
+  if r < t.len && t.cmp (priority t r) (priority t !smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t p v =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- (p, v);
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek t = if t.len = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some x -> x
+  | None -> invalid_arg "Pqueue.pop_exn: empty queue"
+
+let to_sorted_list t =
+  let copy = { cmp = t.cmp; data = Array.sub t.data 0 (max t.len 1); len = t.len } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

@@ -1,0 +1,23 @@
+(** Polymorphic min-priority queue on a binary heap.
+
+    Priorities are compared with a user-supplied comparison fixed at creation
+    time; for a max-queue pass the flipped comparison. *)
+
+type ('p, 'v) t
+
+val create : ?capacity:int -> ('p -> 'p -> int) -> ('p, 'v) t
+val length : ('p, 'v) t -> int
+val is_empty : ('p, 'v) t -> bool
+val push : ('p, 'v) t -> 'p -> 'v -> unit
+
+val peek : ('p, 'v) t -> ('p * 'v) option
+(** Minimum element without removing it. *)
+
+val pop : ('p, 'v) t -> ('p * 'v) option
+(** Remove and return the minimum element. *)
+
+val pop_exn : ('p, 'v) t -> 'p * 'v
+(** @raise Invalid_argument on an empty queue. *)
+
+val to_sorted_list : ('p, 'v) t -> ('p * 'v) list
+(** Drains a copy; the queue itself is unchanged. *)

@@ -1,0 +1,67 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All randomized code in this repository draws from this module rather than
+    from [Stdlib.Random], so that every experiment, test and benchmark is
+    reproducible from a seed.  The generator is SplitMix64 (Steele, Lea &
+    Flood 2014): a 64-bit state advanced by a Weyl increment and finalized by
+    a variant of the MurmurHash3 mixer.  It is not cryptographic; it is fast,
+    has a 2^64 period, and passes BigCrush when used as specified. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a generator from an arbitrary integer seed. *)
+
+val copy : t -> t
+(** Independent copy sharing no state with the original. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    (statistically) independent of the remainder of [t]'s stream.  Used to
+    hand sub-generators to parallel or repeated experiments. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.  Requires
+    [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller, one value per call). *)
+
+val geometric : t -> float -> int
+(** [geometric t p] counts Bernoulli(p) failures before the first success;
+    mean (1-p)/p.  Requires [0 < p <= 1]. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] with mean [1 /. rate]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [0 .. n-1]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] draws [k] distinct values from
+    [0 .. n-1], returned in increasing order.  Requires [k <= n]. *)
+
+val weighted_index : t -> float array -> int
+(** Index [i] drawn with probability proportional to [w.(i)]; weights must be
+    non-negative with a positive sum. *)

@@ -1,0 +1,43 @@
+(** Small descriptive-statistics toolkit used by the experiment harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on empty input. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singletons. *)
+
+val stddev : float array -> float
+
+val median : float array -> float
+(** Does not modify its argument. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0, 100\]], linear interpolation between
+    order statistics. *)
+
+val min_max : float array -> float * float
+
+val geometric_mean : float array -> float
+(** Requires all values positive. *)
+
+val histogram : bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins xs] is an array of [(lo, hi, count)] covering the data
+    range with [bins] equal-width bins (the last bin is closed). *)
+
+val linear_regression : (float * float) array -> float * float
+(** Least-squares [(slope, intercept)] fit of y against x.  Requires at least
+    two points with distinct x. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit

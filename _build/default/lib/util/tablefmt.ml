@@ -1,0 +1,58 @@
+type align = Left | Right
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : string list list; (* stored reversed *)
+}
+
+let create headers =
+  if headers = [] then invalid_arg "Tablefmt.create: no columns";
+  { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Tablefmt.add_row: wrong arity";
+  t.rows <- row :: t.rows
+
+let add_float_row t ?(fmt = Printf.sprintf "%.4g") label floats =
+  add_row t (label :: List.map fmt floats);
+  t
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let headers = List.map fst t.headers in
+  let aligns = List.map snd t.headers in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let render_cells cells =
+    let padded = List.map2 (fun (w, a) c -> pad a w c) (List.combine widths aligns) cells in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_cells headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  List.iter
+    (fun row ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (render_cells row))
+    rows;
+  Buffer.contents buf
+
+let print t = print_endline (render t)

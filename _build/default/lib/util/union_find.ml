@@ -1,0 +1,43 @@
+type t = { parent : int array; rank : int array; size : int array; mutable sets : int }
+
+let create n =
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    size = Array.make n 1;
+    sets = n;
+  }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    (* Path halving: point i at its grandparent and continue from there. *)
+    t.parent.(i) <- t.parent.(p);
+    find t t.parent.(i)
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri = rj then false
+  else begin
+    let ri, rj = if t.rank.(ri) < t.rank.(rj) then (rj, ri) else (ri, rj) in
+    t.parent.(rj) <- ri;
+    t.size.(ri) <- t.size.(ri) + t.size.(rj);
+    if t.rank.(ri) = t.rank.(rj) then t.rank.(ri) <- t.rank.(ri) + 1;
+    t.sets <- t.sets - 1;
+    true
+  end
+
+let same t i j = find t i = find t j
+let size t i = t.size.(find t i)
+let count_sets t = t.sets
+
+let groups t =
+  let n = Array.length t.parent in
+  let out = Array.make n [] in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    out.(r) <- i :: out.(r)
+  done;
+  out

@@ -1,0 +1,25 @@
+(** Disjoint-set forest with union by rank and path halving.
+
+    Used for island (connected component) bookkeeping in solution graphs. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative; performs path halving. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets; [false] if they were already the same set. *)
+
+val same : t -> int -> int -> bool
+val size : t -> int -> int
+(** Number of elements in the set containing the argument. *)
+
+val count_sets : t -> int
+(** Number of distinct sets. *)
+
+val groups : t -> int list array
+(** [groups t] maps each representative index to the sorted members of its
+    set; non-representative indices map to [[]]. *)

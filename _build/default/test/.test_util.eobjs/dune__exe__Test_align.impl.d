@@ -1,0 +1,1 @@
+test/test_align.ml: Alcotest Array Dna Dna_align Float Fsa_align Fsa_seq Fsa_util Gen List Padded Pairwise QCheck QCheck_alcotest Region_align Scoring Seed String Symbol

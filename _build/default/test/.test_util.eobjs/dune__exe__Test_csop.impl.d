@@ -1,0 +1,1 @@
+test/test_csop.ml: Alcotest Array Csop Csr_improve Cubic Exact Fsa_csr Fsa_graph Fsa_util Graph Instance List Mis QCheck QCheck_alcotest Solution Species

@@ -1,0 +1,1 @@
+test/test_genome.ml: Alcotest Array Dna Evolution Fragmentation Fsa_csr Fsa_genome Fsa_seq Fsa_util Genome List Metrics Pipeline QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cubic Fsa_graph Fsa_util Graph List Mis QCheck QCheck_alcotest

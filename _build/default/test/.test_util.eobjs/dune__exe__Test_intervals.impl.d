@@ -1,0 +1,1 @@
+test/test_intervals.ml: Alcotest Array Float Fsa_intervals Fsa_util Gen Interval Isp List Printf QCheck QCheck_alcotest Wis

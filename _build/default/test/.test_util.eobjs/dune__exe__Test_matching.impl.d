@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Array Float Fsa_matching Fsa_util Hungarian List QCheck QCheck_alcotest

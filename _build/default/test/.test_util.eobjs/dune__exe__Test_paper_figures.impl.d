@@ -1,0 +1,1 @@
+test/test_paper_figures.ml: Alcotest Alphabet Border_improve Cmatch Conjecture Exact Fragment Fsa_csr Fsa_seq Full_improve Improve Instance Islands List Result Scoring Site Solution Species String

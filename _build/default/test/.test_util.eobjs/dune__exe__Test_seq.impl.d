@@ -1,0 +1,1 @@
+test/test_seq.ml: Alcotest Alphabet Array Dna Float Format Fragment Fsa_seq Fsa_util List Padded Printf QCheck QCheck_alcotest Scoring Site Symbol

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Float Fsa_util Int List Pqueue QCheck QCheck_alcotest Rng Set Stats String Tablefmt Union_find

@@ -1,0 +1,342 @@
+(* Tests for Fsa_align: DP engines against the executable specification,
+   traceback integrity, local/banded/affine variants, seed-and-extend. *)
+
+open Fsa_seq
+open Fsa_align
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let qtest t = QCheck_alcotest.to_alcotest ~verbose:false t
+
+(* Random region-word generator with a shared random σ. *)
+let word_gen =
+  QCheck.(
+    map
+      (fun ids ->
+        Array.of_list
+          (List.map (fun (i, r) -> if r then Symbol.reversed i else Symbol.make i) ids))
+      (list_of_size (Gen.int_range 0 7) (pair (int_bound 5) bool)))
+
+let sigma_of_seed seed =
+  let rng = Fsa_util.Rng.create seed in
+  let t = Scoring.create () in
+  for i = 0 to 5 do
+    for j = 0 to 5 do
+      if Fsa_util.Rng.bernoulli rng 0.5 then
+        Scoring.set t (Symbol.make i)
+          (if Fsa_util.Rng.bool rng then Symbol.make j else Symbol.reversed j)
+          (Fsa_util.Rng.float rng 10.0 -. 2.0)
+    done
+  done;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* max-weight alignment (P_score)                                       *)
+
+let test_pscore_matches_spec_qcheck =
+  QCheck.Test.make ~name:"P_score DP equals memoized specification" ~count:300
+    QCheck.(triple (int_bound 1000) word_gen word_gen)
+    (fun (seed, a, b) ->
+      let sigma = sigma_of_seed seed in
+      let dp = Region_align.p_score sigma a b in
+      let spec = Padded.best_pair_score_brute sigma a b in
+      Float.abs (dp -. spec) < 1e-9)
+
+let test_pscore_traceback_consistent_qcheck =
+  QCheck.Test.make ~name:"traceback score equals reported score" ~count:300
+    QCheck.(triple (int_bound 1000) word_gen word_gen)
+    (fun (seed, a, b) ->
+      let sigma = sigma_of_seed seed in
+      let al = Region_align.p_alignment sigma a b in
+      let recomputed =
+        Pairwise.score_of_ops
+          ~score:(fun i j -> Scoring.get sigma a.(i) b.(j))
+          al.Pairwise.ops
+      in
+      Float.abs (al.Pairwise.score -. recomputed) < 1e-9)
+
+let test_pscore_ops_cover_both_words_qcheck =
+  QCheck.Test.make ~name:"alignment columns cover every element once" ~count:300
+    QCheck.(triple (int_bound 1000) word_gen word_gen)
+    (fun (seed, a, b) ->
+      let sigma = sigma_of_seed seed in
+      let al = Region_align.p_alignment sigma a b in
+      let cover_a = Array.make (Array.length a) 0 in
+      let cover_b = Array.make (Array.length b) 0 in
+      List.iter
+        (fun (op : Pairwise.op) ->
+          match op with
+          | Both (i, j) ->
+              cover_a.(i) <- cover_a.(i) + 1;
+              cover_b.(j) <- cover_b.(j) + 1
+          | A_only i -> cover_a.(i) <- cover_a.(i) + 1
+          | B_only j -> cover_b.(j) <- cover_b.(j) + 1)
+        al.Pairwise.ops;
+      Array.for_all (fun c -> c = 1) cover_a && Array.for_all (fun c -> c = 1) cover_b)
+
+let test_pscore_reversal_invariance_qcheck =
+  QCheck.Test.make ~name:"P_score(uᴿ, vᴿ) = P_score(u, v)" ~count:300
+    QCheck.(triple (int_bound 1000) word_gen word_gen)
+    (fun (seed, a, b) ->
+      let sigma = sigma_of_seed seed in
+      Float.abs
+        (Region_align.p_score sigma a b
+        -. Region_align.p_score sigma (Region_align.reverse_word a)
+             (Region_align.reverse_word b))
+      < 1e-9)
+
+let test_pscore_nonnegative_qcheck =
+  QCheck.Test.make ~name:"P_score is never negative" ~count:300
+    QCheck.(triple (int_bound 1000) word_gen word_gen)
+    (fun (seed, a, b) ->
+      Region_align.p_score (sigma_of_seed seed) a b >= 0.0)
+
+let test_pscore_known_crossing () =
+  (* σ(0,0)=2, σ(1,1)=3: identical words take both; crossed words take one. *)
+  let sigma =
+    Scoring.of_list
+      [ (Symbol.make 0, Symbol.make 0, 2.0); (Symbol.make 1, Symbol.make 1, 3.0) ]
+  in
+  let w01 = [| Symbol.make 0; Symbol.make 1 |] in
+  let w10 = [| Symbol.make 1; Symbol.make 0 |] in
+  check_float "parallel" 5.0 (Region_align.p_score sigma w01 w01);
+  check_float "crossing" 3.0 (Region_align.p_score sigma w01 w10)
+
+let test_ms_full_orientation () =
+  (* σ(0, 1ᴿ) = 4: matching ⟨0⟩ against ⟨1⟩ needs the reversal. *)
+  let sigma = Scoring.of_list [ (Symbol.make 0, Symbol.reversed 1, 4.0) ] in
+  let score, reversed = Region_align.ms_full sigma [| Symbol.make 0 |] [| Symbol.make 1 |] in
+  check_float "score" 4.0 score;
+  check_bool "reversed orientation chosen" true reversed;
+  (* Ties prefer forward. *)
+  let sigma2 = Scoring.of_list [ (Symbol.make 0, Symbol.make 1, 4.0); (Symbol.make 0, Symbol.reversed 1, 4.0) ] in
+  let _, rev2 = Region_align.ms_full sigma2 [| Symbol.make 0 |] [| Symbol.make 1 |] in
+  check_bool "tie prefers forward" false rev2
+
+let test_padded_pair_of_alignment_qcheck =
+  QCheck.Test.make ~name:"padded pair realizes the alignment score" ~count:200
+    QCheck.(triple (int_bound 1000) word_gen word_gen)
+    (fun (seed, a, b) ->
+      let sigma = sigma_of_seed seed in
+      let al = Region_align.p_alignment sigma a b in
+      let u, v = Region_align.padded_pair_of_alignment a b al in
+      Padded.is_padding_of u a && Padded.is_padding_of v b
+      && Float.abs (Padded.score sigma u v -. al.Pairwise.score) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* DNA global / local / banded / affine                                 *)
+
+let test_nw_identical () =
+  let d = Dna.of_string "ACGTACGT" in
+  let al = Dna_align.global d d in
+  check_float "perfect score" 8.0 al.Pairwise.score
+
+let test_nw_gap_penalty () =
+  let a = Dna.of_string "ACGT" and b = Dna.of_string "AC" in
+  let al = Dna_align.global a b in
+  (* 2 matches, 2 gaps at 1.5 *)
+  check_float "score" (2.0 -. 3.0) al.Pairwise.score
+
+let test_nw_substitution () =
+  let a = Dna.of_string "ACGT" and b = Dna.of_string "AGGT" in
+  let al = Dna_align.global a b in
+  check_float "one mismatch" 2.0 al.Pairwise.score
+
+let test_sw_finds_island () =
+  (* A strong common core flanked by noise. *)
+  let a = Dna.of_string ("TTTTTTTT" ^ "ACGTACGTACGT" ^ "GGGG") in
+  let b = Dna.of_string ("CCCC" ^ "ACGTACGTACGT" ^ "AAAAAA") in
+  let l = Dna_align.local a b in
+  check_bool "score at least core" true (l.Pairwise.alignment.Pairwise.score >= 12.0);
+  check_int "a core start" 8 l.Pairwise.a_lo;
+  check_int "b core start" 4 l.Pairwise.b_lo
+
+let test_sw_empty_on_disjoint () =
+  let a = Dna.of_string "AAAA" and b = Dna.of_string "GGGG" in
+  let l = Dna_align.local ~params:{ Dna_align.default with mismatch = -2.0 } a b in
+  check_float "no positive local" 0.0 l.Pairwise.alignment.Pairwise.score
+
+let test_banded_equals_global_for_wide_band_qcheck =
+  QCheck.Test.make ~name:"banded = full NW when band is wide" ~count:100
+    QCheck.(pair (int_range 1 30) (int_range 1 30))
+    (fun (la, lb) ->
+      let rng = Fsa_util.Rng.create (la + (lb * 100)) in
+      let a = Dna.random rng la and b = Dna.random rng lb in
+      let full = Dna_align.global a b in
+      let banded = Dna_align.banded_global ~band:(la + lb) a b in
+      Float.abs (full.Pairwise.score -. banded.Pairwise.score) < 1e-9)
+
+let test_banded_narrow_band_similar_sequences () =
+  let rng = Fsa_util.Rng.create 33 in
+  let a = Dna.random rng 200 in
+  let b = Dna.point_mutate rng ~rate:0.05 a in
+  let full = Dna_align.global a b in
+  let banded = Dna_align.banded_global ~band:8 a b in
+  check_float "narrow band exact on similar" full.Pairwise.score banded.Pairwise.score
+
+let test_affine_prefers_one_long_gap () =
+  (* With affine costs, deleting a block should use one gap open. *)
+  let score _ _ = 1.0 in
+  let al =
+    Pairwise.global_affine ~score ~gap_open:5.0 ~gap_extend:0.5 ~la:10 ~lb:6
+  in
+  (* 6 matches, one gap of length 4: 6 - 5 - 2 = -1 *)
+  check_float "affine cost" (-1.0) al.Pairwise.score
+
+let test_affine_equals_linear_when_open_zero_qcheck =
+  QCheck.Test.make ~name:"affine(open=0) = linear NW" ~count:100
+    QCheck.(pair (int_range 1 12) (int_range 1 12))
+    (fun (la, lb) ->
+      let rng = Fsa_util.Rng.create (la * 31 + lb) in
+      let a = Dna.random rng la and b = Dna.random rng lb in
+      let p = Dna_align.default in
+      let score i j = if Dna.get a i = Dna.get b j then p.Dna_align.match_score else p.Dna_align.mismatch in
+      let lin = Pairwise.global ~score ~gap:p.Dna_align.gap ~la ~lb in
+      let aff = Pairwise.global_affine ~score ~gap_open:0.0 ~gap_extend:p.Dna_align.gap ~la ~lb in
+      Float.abs (lin.Pairwise.score -. aff.Pairwise.score) < 1e-9)
+
+let test_affine_traceback_consistent_qcheck =
+  QCheck.Test.make ~name:"affine traceback covers both words" ~count:100
+    QCheck.(pair (int_range 1 12) (int_range 1 12))
+    (fun (la, lb) ->
+      let rng = Fsa_util.Rng.create (la * 77 + lb) in
+      let a = Dna.random rng la and b = Dna.random rng lb in
+      let score i j = if Dna.get a i = Dna.get b j then 1.0 else -1.0 in
+      let al = Pairwise.global_affine ~score ~gap_open:2.0 ~gap_extend:0.5 ~la ~lb in
+      let ca = Array.make la 0 and cb = Array.make lb 0 in
+      List.iter
+        (fun (op : Pairwise.op) ->
+          match op with
+          | Both (i, j) -> ca.(i) <- ca.(i) + 1; cb.(j) <- cb.(j) + 1
+          | A_only i -> ca.(i) <- ca.(i) + 1
+          | B_only j -> cb.(j) <- cb.(j) + 1)
+        al.Pairwise.ops;
+      Array.for_all (fun c -> c = 1) ca && Array.for_all (fun c -> c = 1) cb)
+
+let test_xdrop_stops () =
+  (* matches then a long run of mismatches: extension must stop early. *)
+  let score i j = if i = j && i < 5 then 1.0 else -1.0 in
+  let best, len = Pairwise.xdrop_extend ~score ~x_drop:2.0 ~la:100 ~lb:100 ~a_start:0 ~b_start:0 in
+  check_float "best is the 5 matches" 5.0 best;
+  check_int "length" 5 len
+
+let test_xdrop_empty () =
+  let score _ _ = -1.0 in
+  let best, len = Pairwise.xdrop_extend ~score ~x_drop:1.5 ~la:10 ~lb:10 ~a_start:0 ~b_start:0 in
+  check_float "best" 0.0 best;
+  check_int "len" 0 len
+
+(* ------------------------------------------------------------------ *)
+(* Seed and extend                                                      *)
+
+let test_index_lookup () =
+  let t = Dna.of_string "ACGTACGT" in
+  let idx = Seed.build_index ~k:4 t in
+  check_int "k" 4 (Seed.index_k idx);
+  let kmer = Dna.pack_kmer t ~pos:0 ~k:4 in
+  Alcotest.(check (list int)) "positions of ACGT" [ 0; 4 ] (Seed.lookup idx kmer)
+
+let test_index_max_occ () =
+  let t = Dna.of_string (String.concat "" (List.init 50 (fun _ -> "A"))) in
+  let idx = Seed.build_index ~max_occ:8 ~k:4 t in
+  let kmer = Dna.pack_kmer t ~pos:0 ~k:4 in
+  check_int "repeat kmer dropped" 0 (List.length (Seed.lookup idx kmer))
+
+let test_anchor_forward () =
+  let rng = Fsa_util.Rng.create 44 in
+  let core = Dna.random rng 60 in
+  let target = Dna.concat [ Dna.random rng 40; core; Dna.random rng 40 ] in
+  let query = Dna.concat [ Dna.random rng 25; core; Dna.random rng 10 ] in
+  let idx = Seed.build_index ~k:12 target in
+  let anchors = Seed.anchors ~min_score:30.0 idx ~target ~query in
+  check_bool "found" true (anchors <> []);
+  let a = List.hd anchors in
+  check_bool "forward" true a.Seed.forward;
+  check_bool "covers the core in target" true (a.Seed.t_lo <= 45 && a.Seed.t_hi >= 90);
+  check_bool "covers the core in query" true (a.Seed.q_lo <= 30 && a.Seed.q_hi >= 75)
+
+let test_anchor_reverse_strand () =
+  let rng = Fsa_util.Rng.create 45 in
+  let core = Dna.random rng 60 in
+  let target = Dna.concat [ Dna.random rng 30; core; Dna.random rng 30 ] in
+  let query = Dna.concat [ Dna.random rng 20; Dna.reverse_complement core; Dna.random rng 20 ] in
+  let idx = Seed.build_index ~k:12 target in
+  let anchors = Seed.anchors ~min_score:30.0 idx ~target ~query in
+  check_bool "found" true (anchors <> []);
+  let a = List.hd anchors in
+  check_bool "reverse strand" false a.Seed.forward;
+  (* Query coordinates must be reported on the forward query. *)
+  check_bool "q range inside query" true (a.Seed.q_lo >= 0 && a.Seed.q_hi < Dna.length query);
+  check_bool "q range covers the planted copy" true (a.Seed.q_lo <= 25 && a.Seed.q_hi >= 75)
+
+let test_anchor_with_mutations () =
+  let rng = Fsa_util.Rng.create 46 in
+  let core = Dna.random rng 100 in
+  let target = Dna.concat [ Dna.random rng 50; core; Dna.random rng 50 ] in
+  let mutated = Dna.point_mutate rng ~rate:0.04 core in
+  let query = Dna.concat [ Dna.random rng 30; mutated; Dna.random rng 30 ] in
+  let idx = Seed.build_index ~k:12 target in
+  let anchors = Seed.anchors ~min_score:25.0 idx ~target ~query in
+  check_bool "mutated homolog still found" true (anchors <> [])
+
+let test_anchor_none_on_random () =
+  let rng = Fsa_util.Rng.create 47 in
+  let target = Dna.random rng 300 in
+  let query = Dna.random rng 300 in
+  let idx = Seed.build_index ~k:14 target in
+  let anchors = Seed.anchors ~min_score:30.0 idx ~target ~query in
+  check_bool "unrelated sequences give no strong anchors" true (List.length anchors = 0)
+
+let test_filter_dominated () =
+  let mk score (t_lo, t_hi) (q_lo, q_hi) =
+    { Seed.t_lo; t_hi; q_lo; q_hi; forward = true; score }
+  in
+  let big = mk 50.0 (0, 100) (0, 100) in
+  let inside = mk 10.0 (10, 20) (10, 20) in
+  let outside = mk 10.0 (150, 160) (150, 160) in
+  let kept = Seed.filter_dominated [ big; inside; outside ] in
+  check_int "dominated dropped" 2 (List.length kept);
+  check_bool "big kept" true (List.mem big kept);
+  check_bool "outside kept" true (List.mem outside kept)
+
+let () =
+  Alcotest.run "fsa_align"
+    [
+      ( "p_score",
+        [
+          qtest test_pscore_matches_spec_qcheck;
+          qtest test_pscore_traceback_consistent_qcheck;
+          qtest test_pscore_ops_cover_both_words_qcheck;
+          qtest test_pscore_reversal_invariance_qcheck;
+          qtest test_pscore_nonnegative_qcheck;
+          Alcotest.test_case "crossing pairs" `Quick test_pscore_known_crossing;
+          Alcotest.test_case "ms_full orientation" `Quick test_ms_full_orientation;
+          qtest test_padded_pair_of_alignment_qcheck;
+        ] );
+      ( "dna_global_local",
+        [
+          Alcotest.test_case "identical" `Quick test_nw_identical;
+          Alcotest.test_case "gap penalty" `Quick test_nw_gap_penalty;
+          Alcotest.test_case "substitution" `Quick test_nw_substitution;
+          Alcotest.test_case "local island" `Quick test_sw_finds_island;
+          Alcotest.test_case "local empty" `Quick test_sw_empty_on_disjoint;
+          qtest test_banded_equals_global_for_wide_band_qcheck;
+          Alcotest.test_case "narrow band on similar" `Quick test_banded_narrow_band_similar_sequences;
+          Alcotest.test_case "affine long gap" `Quick test_affine_prefers_one_long_gap;
+          qtest test_affine_equals_linear_when_open_zero_qcheck;
+          qtest test_affine_traceback_consistent_qcheck;
+          Alcotest.test_case "xdrop stops" `Quick test_xdrop_stops;
+          Alcotest.test_case "xdrop empty" `Quick test_xdrop_empty;
+        ] );
+      ( "seed",
+        [
+          Alcotest.test_case "index lookup" `Quick test_index_lookup;
+          Alcotest.test_case "repeat filtering" `Quick test_index_max_occ;
+          Alcotest.test_case "forward anchor" `Quick test_anchor_forward;
+          Alcotest.test_case "reverse anchor" `Quick test_anchor_reverse_strand;
+          Alcotest.test_case "mutated anchor" `Quick test_anchor_with_mutations;
+          Alcotest.test_case "no anchors on noise" `Quick test_anchor_none_on_random;
+          Alcotest.test_case "dominated filtering" `Quick test_filter_dominated;
+        ] );
+    ]

@@ -1,0 +1,192 @@
+(* Theorem 2 tests: CSoP semantics, the 3-MIS gadget, and the
+   value correspondence  optimum = |E| + |V| + MIS  verified with exact
+   solvers on both sides of the reduction. *)
+
+open Fsa_csr
+open Fsa_graph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let qtest t = QCheck_alcotest.to_alcotest ~verbose:false t
+
+let gadget_graph seed n =
+  let rng = Fsa_util.Rng.create seed in
+  let g = Cubic.random rng n in
+  let ord = Cubic.non_consecutive_ordering rng g in
+  Cubic.relabel g ord
+
+(* ------------------------------------------------------------------ *)
+(* CSoP semantics                                                       *)
+
+let tiny () = Csop.create [ (0, 3); (1, 2) ]
+
+let test_consistency_semantics () =
+  let t = tiny () in
+  check_bool "single elements fine" true (Csop.is_consistent t [ 0; 1 ]);
+  check_bool "inner pair complete fine" true (Csop.is_consistent t [ 1; 2 ]);
+  check_bool "outer pair with interior violates" false (Csop.is_consistent t [ 0; 1; 3 ]);
+  check_bool "nested completes violate" false (Csop.is_consistent t [ 0; 1; 2; 3 ]);
+  check_bool "empty fine" true (Csop.is_consistent t []);
+  (* outer complete with empty interior *)
+  check_bool "outer alone fine" true (Csop.is_consistent t [ 0; 3 ])
+
+let test_create_validation () =
+  check_bool "non-partition rejected" true
+    (try
+       ignore (Csop.create [ (0, 1); (1, 2) ]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "degenerate rejected" true
+    (try
+       ignore (Csop.create [ (2, 2); (0, 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_exact_tiny () =
+  let t = tiny () in
+  let u = Csop.exact t in
+  check_int "optimum 3" 3 (List.length u);
+  check_bool "consistent" true (Csop.is_consistent t u)
+
+let exhaustive_csop t =
+  let n = t.Csop.positions in
+  let best = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let u = List.filter (fun p -> mask land (1 lsl p) <> 0) (List.init n (fun i -> i)) in
+    if Csop.is_consistent t u && List.length u > !best then best := List.length u
+  done;
+  !best
+
+let random_pairing seed pairs =
+  let rng = Fsa_util.Rng.create seed in
+  let perm = Fsa_util.Rng.permutation rng (2 * pairs) in
+  Csop.create (List.init pairs (fun k -> (perm.(2 * k), perm.((2 * k) + 1))))
+
+let test_exact_matches_exhaustive_qcheck =
+  QCheck.Test.make ~name:"CSoP branch&bound equals exhaustive optimum" ~count:60
+    QCheck.(pair (int_bound 100_000) (int_range 1 7))
+    (fun (seed, pairs) ->
+      let t = random_pairing seed pairs in
+      let u = Csop.exact t in
+      Csop.is_consistent t u && List.length u = exhaustive_csop t)
+
+let test_exact_respects_incumbent () =
+  let t = tiny () in
+  let u = Csop.exact ~incumbent:[ 0 ] t in
+  check_int "still optimal" 3 (List.length u)
+
+(* ------------------------------------------------------------------ *)
+(* The gadget                                                           *)
+
+let test_gadget_structure () =
+  let g = gadget_graph 5 8 in
+  let t = Csop.of_graph g in
+  (* 8 node pairs + 12 edge pairs on 40 positions *)
+  check_int "positions" 40 t.Csop.positions;
+  check_int "pairs" 20 (Array.length t.Csop.pairs)
+
+let test_gadget_rejects_bad_graphs () =
+  check_bool "non-cubic rejected" true
+    (try
+       ignore (Csop.of_graph (Graph.create 4 [ (0, 1); (2, 3) ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_solution_of_mis_consistent_qcheck =
+  QCheck.Test.make ~name:"constructed solutions are consistent with claimed size"
+    ~count:30
+    QCheck.(pair (int_bound 100_000) (int_range 4 8))
+    (fun (seed, half) ->
+      let g = gadget_graph seed (2 * half) in
+      let t = Csop.of_graph g in
+      let w = Mis.greedy_min_degree g in
+      let u = Csop.solution_of_mis g w in
+      Csop.is_consistent t u && List.length u = Csop.value_of_mis g w)
+
+let test_mis_of_solution_independent_qcheck =
+  QCheck.Test.make ~name:"extracted vertex sets are independent" ~count:30
+    QCheck.(pair (int_bound 100_000) (int_range 4 8))
+    (fun (seed, half) ->
+      let g = gadget_graph seed (2 * half) in
+      let t = Csop.of_graph g in
+      let u = Csop.exact ~incumbent:(Csop.solution_of_mis g (Mis.greedy_min_degree g)) t in
+      let w = Csop.mis_of_solution g u in
+      Graph.is_independent_set g w)
+
+let test_theorem2_correspondence_qcheck =
+  (* The heart of Theorem 2: CSoP optimum = |E| + |V| + MIS(G), exactly. *)
+  QCheck.Test.make ~name:"Thm 2: CSoP optimum = |E| + |V| + MIS" ~count:15
+    QCheck.(pair (int_bound 100_000) (int_range 4 6))
+    (fun (seed, half) ->
+      let g = gadget_graph seed (2 * half) in
+      let t = Csop.of_graph g in
+      let w_star = Mis.exact g in
+      let incumbent = Csop.solution_of_mis g w_star in
+      let u = Csop.exact ~incumbent t in
+      List.length u = Csop.value_of_mis g w_star)
+
+let test_roundtrip_preserves_size_qcheck =
+  QCheck.Test.make ~name:"MIS -> CSoP -> MIS does not shrink" ~count:30
+    QCheck.(pair (int_bound 100_000) (int_range 4 8))
+    (fun (seed, half) ->
+      let g = gadget_graph seed (2 * half) in
+      let w = Mis.greedy_min_degree g in
+      let u = Csop.solution_of_mis g w in
+      let w' = Csop.mis_of_solution g u in
+      List.length w' >= List.length w)
+
+(* ------------------------------------------------------------------ *)
+(* CSoP as a CSR instance                                               *)
+
+let test_to_instance_shape () =
+  let t = tiny () in
+  let inst = Csop.to_instance t in
+  check_int "one m fragment" 1 (Instance.fragment_count inst Species.M);
+  check_int "pair fragments" 2 (Instance.fragment_count inst Species.H);
+  check_int "m length" 4 (Instance.total_length inst Species.M)
+
+let test_to_instance_exact_equals_csop () =
+  (* On the tiny instance the CSR optimum must equal the CSoP optimum. *)
+  let t = tiny () in
+  let inst = Csop.to_instance t in
+  check_float "CSR optimum = CSoP optimum" 3.0 (Exact.solve_score inst)
+
+let test_to_instance_solvers_qcheck =
+  QCheck.Test.make ~name:"CSR solvers respect the CSoP optimum" ~count:20
+    QCheck.(pair (int_bound 100_000) (int_range 1 4))
+    (fun (seed, pairs) ->
+      let t = random_pairing seed pairs in
+      let inst = Csop.to_instance t in
+      let csop_opt = List.length (Csop.exact t) in
+      let sol = Csr_improve.solve_best inst in
+      Solution.score sol <= float_of_int csop_opt +. 1e-6
+      && 3.0 *. Solution.score sol +. 1e-6 >= float_of_int csop_opt)
+
+let () =
+  Alcotest.run "fsa_csop"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "consistency" `Quick test_consistency_semantics;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "exact tiny" `Quick test_exact_tiny;
+          qtest test_exact_matches_exhaustive_qcheck;
+          Alcotest.test_case "incumbent" `Quick test_exact_respects_incumbent;
+        ] );
+      ( "gadget",
+        [
+          Alcotest.test_case "structure" `Quick test_gadget_structure;
+          Alcotest.test_case "bad graphs rejected" `Quick test_gadget_rejects_bad_graphs;
+          qtest test_solution_of_mis_consistent_qcheck;
+          qtest test_mis_of_solution_independent_qcheck;
+          qtest test_theorem2_correspondence_qcheck;
+          qtest test_roundtrip_preserves_size_qcheck;
+        ] );
+      ( "as_csr",
+        [
+          Alcotest.test_case "instance shape" `Quick test_to_instance_shape;
+          Alcotest.test_case "exact agreement" `Quick test_to_instance_exact_equals_csop;
+          qtest test_to_instance_solvers_qcheck;
+        ] );
+    ]

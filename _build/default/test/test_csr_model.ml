@@ -1,0 +1,425 @@
+(* Tests for the CSR data model: instances, matches (Def 3-4), consistent
+   solutions (Def 2, Def 5), and the conjecture-pair construction
+   (Remark 1): every solution our algorithms can produce must materialize
+   as a conjecture pair of exactly equal score. *)
+
+open Fsa_seq
+open Fsa_csr
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let qtest t = QCheck_alcotest.to_alcotest ~verbose:false t
+
+let paper = Instance.paper_example
+
+(* ------------------------------------------------------------------ *)
+(* Instance                                                             *)
+
+let test_paper_example_shape () =
+  let inst = paper () in
+  check_int "h fragments" 2 (Instance.fragment_count inst Species.H);
+  check_int "m fragments" 2 (Instance.fragment_count inst Species.M);
+  check_int "h length" 4 (Instance.total_length inst Species.H);
+  check_int "m length" 4 (Instance.total_length inst Species.M);
+  check_int "max matches" 4 (Instance.max_matches inst)
+
+let test_paper_example_sigma () =
+  let inst = paper () in
+  let sym n = Alphabet.symbol_of_string inst.Instance.alphabet n in
+  check_float "σ(a,s)" 4.0 (Scoring.get inst.Instance.sigma (sym "a") (sym "s"));
+  check_float "σ(b,t')" 3.0 (Scoring.get inst.Instance.sigma (sym "b") (sym "t'"));
+  check_float "σ(b,t)" 0.0 (Scoring.get inst.Instance.sigma (sym "b") (sym "t"));
+  check_float "σ(d,v')" 2.0 (Scoring.get inst.Instance.sigma (sym "d") (sym "v'"))
+
+let test_text_roundtrip () =
+  let inst = paper () in
+  let inst2 = Instance.of_text (Instance.to_text inst) in
+  check_int "h count" (Instance.fragment_count inst Species.H)
+    (Instance.fragment_count inst2 Species.H);
+  (* Re-serializing the parse must be a fixpoint. *)
+  Alcotest.(check string) "serialization fixpoint" (Instance.to_text inst2)
+    (Instance.to_text (Instance.of_text (Instance.to_text inst2)));
+  (* And the optimum is preserved. *)
+  check_float "same optimum" (Exact.solve_score inst) (Exact.solve_score inst2)
+
+let test_text_rejects_garbage () =
+  check_bool "garbage rejected" true
+    (try
+       ignore (Instance.of_text "X nonsense");
+       false
+     with Failure _ -> true)
+
+let test_random_planted_wellformed_qcheck =
+  QCheck.Test.make ~name:"planted generator produces well-formed instances" ~count:50
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Fsa_util.Rng.create seed in
+      let inst =
+        Instance.random_planted rng ~regions:10 ~h_fragments:3 ~m_fragments:4
+          ~inversion_rate:0.2 ~noise_pairs:3
+      in
+      Instance.total_length inst Species.H = 10
+      && Instance.total_length inst Species.M = 10
+      && Instance.fragment_count inst Species.H = 3
+      && Instance.fragment_count inst Species.M = 4)
+
+let test_random_uniform_wellformed_qcheck =
+  QCheck.Test.make ~name:"uniform generator produces well-formed instances" ~count:50
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Fsa_util.Rng.create seed in
+      let inst =
+        Instance.random_uniform rng ~regions:8 ~h_fragments:2 ~m_fragments:3 ~density:0.3
+      in
+      Instance.total_length inst Species.H = 8
+      && Instance.total_length inst Species.M = 8)
+
+(* ------------------------------------------------------------------ *)
+(* Cmatch                                                               *)
+
+let test_full_match_classify () =
+  let inst = paper () in
+  (* plug h2 = ⟨d⟩ into m1's site (1,1) = t: σ(d,t) = 2 forward. *)
+  let m = Cmatch.full inst ~full_side:Species.H 1 ~other_frag:0 ~other_site:(Site.make 1 1) in
+  check_float "score" 2.0 m.Cmatch.score;
+  check_bool "forward" false m.Cmatch.m_reversed;
+  check_bool "classified full" true (Cmatch.classify inst m = Some Cmatch.Full_match)
+
+let test_full_match_orientation_choice () =
+  let inst = paper () in
+  (* plug h2 = ⟨d⟩ into m2's site (1,1) = v: σ(d,v') = 2 needs reversal. *)
+  let m = Cmatch.full inst ~full_side:Species.H 1 ~other_frag:1 ~other_site:(Site.make 1 1) in
+  check_float "score" 2.0 m.Cmatch.score;
+  check_bool "reversed" true m.Cmatch.m_reversed
+
+let test_full_match_m_side () =
+  let inst = paper () in
+  (* plug m1 = ⟨s,t⟩ into h1's prefix (0,1) = ⟨a,b⟩: σ(a,s) = 4. *)
+  let m = Cmatch.full inst ~full_side:Species.M 0 ~other_frag:0 ~other_site:(Site.make 0 1) in
+  check_float "score" 4.0 m.Cmatch.score;
+  check_bool "full match" true (Cmatch.classify inst m = Some Cmatch.Full_match)
+
+let test_border_geometry () =
+  let inst = paper () in
+  (* h1 suffix ⟨c⟩ with m2 prefix ⟨u⟩: opposite shapes, forward, σ(c,u)=5. *)
+  match Cmatch.border inst ~h_frag:0 ~h_site:(Site.make 2 2) ~m_frag:1 ~m_site:(Site.make 0 0) with
+  | None -> Alcotest.fail "expected a border match"
+  | Some b ->
+      check_float "score" 5.0 b.Cmatch.score;
+      check_bool "forward for opposite shapes" false b.Cmatch.m_reversed;
+      check_bool "border kind" true (Cmatch.classify inst b = Some Cmatch.Border_match)
+
+let test_border_equal_shapes_reversed () =
+  let inst = paper () in
+  (* h1 prefix with m1 prefix: equal shapes force the reversed orientation. *)
+  match Cmatch.border inst ~h_frag:0 ~h_site:(Site.make 0 0) ~m_frag:0 ~m_site:(Site.make 0 0) with
+  | None -> Alcotest.fail "expected a border match"
+  | Some b -> check_bool "reversed forced" true b.Cmatch.m_reversed
+
+let test_border_rejects_full_site () =
+  let inst = paper () in
+  (* h2 has length 1: its only site is Full, not border. *)
+  check_bool "full site rejected" true
+    (Cmatch.border inst ~h_frag:1 ~h_site:(Site.make 0 0) ~m_frag:0 ~m_site:(Site.make 0 0)
+    = None)
+
+let test_classify_rejects_bad_orientation () =
+  let inst = paper () in
+  (* Build a shape-incompatible border match by hand: equal shapes with
+     forward orientation are not realizable. *)
+  let bad =
+    {
+      Cmatch.h_frag = 0;
+      h_site = Site.make 0 0;
+      m_frag = 0;
+      m_site = Site.make 0 0;
+      m_reversed = false;
+      score = 0.0;
+    }
+  in
+  check_bool "rejected" true (Cmatch.classify inst bad = None)
+
+let test_classify_rejects_inner_inner () =
+  let alphabet = Alphabet.of_names [ "a"; "b"; "c"; "d"; "x"; "y"; "z"; "w" ] in
+  let sym = Alphabet.symbol_of_string alphabet in
+  let h = Fragment.make "h" [| sym "a"; sym "b"; sym "c"; sym "d" |] in
+  let m = Fragment.make "m" [| sym "x"; sym "y"; sym "z"; sym "w" |] in
+  let inst = Instance.make ~alphabet ~h:[ h ] ~m:[ m ] ~sigma:(Scoring.create ()) in
+  let bad =
+    {
+      Cmatch.h_frag = 0;
+      h_site = Site.make 1 2;
+      m_frag = 0;
+      m_site = Site.make 1 2;
+      m_reversed = false;
+      score = 0.0;
+    }
+  in
+  check_bool "inner x inner rejected" true (Cmatch.classify inst bad = None)
+
+let test_recompute_score_orientation () =
+  let inst = paper () in
+  let m = Cmatch.full inst ~full_side:Species.H 1 ~other_frag:1 ~other_site:(Site.make 1 1) in
+  check_float "recompute agrees" m.Cmatch.score (Cmatch.recompute_score inst m)
+
+(* ------------------------------------------------------------------ *)
+(* Solution                                                             *)
+
+let fig5_solution inst =
+  (* The Fig 5 optimum: (h1(0,1), m1 full), border (h1(2,2), m2(0,0)),
+     (h2 full reversed, m2(1,1)). *)
+  let m1 = Cmatch.full inst ~full_side:Species.M 0 ~other_frag:0 ~other_site:(Site.make 0 1) in
+  let m2 =
+    match Cmatch.border inst ~h_frag:0 ~h_site:(Site.make 2 2) ~m_frag:1 ~m_site:(Site.make 0 0) with
+    | Some b -> b
+    | None -> Alcotest.fail "border construction failed"
+  in
+  let m3 = Cmatch.full inst ~full_side:Species.H 1 ~other_frag:1 ~other_site:(Site.make 1 1) in
+  match Solution.of_matches inst [ m1; m2; m3 ] with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+let test_fig5_solution_score () =
+  let inst = paper () in
+  let s = fig5_solution inst in
+  check_float "score 11" 11.0 (Solution.score s);
+  check_int "three matches" 3 (Solution.size s);
+  check_int "one island" 1 (List.length (Solution.islands s))
+
+let test_fig5_roles () =
+  let inst = paper () in
+  let s = fig5_solution inst in
+  check_bool "h1 multiple" true (Solution.role s Species.H 0 = Solution.Multiple);
+  check_bool "h2 simple" true (Solution.role s Species.H 1 = Solution.Simple);
+  check_bool "m1 simple" true (Solution.role s Species.M 0 = Solution.Simple);
+  check_bool "m2 multiple" true (Solution.role s Species.M 1 = Solution.Multiple)
+
+let test_overlapping_sites_rejected () =
+  let inst = paper () in
+  let m1 = Cmatch.full inst ~full_side:Species.M 0 ~other_frag:0 ~other_site:(Site.make 0 1) in
+  let m2 = Cmatch.full inst ~full_side:Species.M 1 ~other_frag:0 ~other_site:(Site.make 1 2) in
+  check_bool "overlap detected" true (Result.is_error (Solution.of_matches inst [ m1; m2 ]))
+
+let test_border_cycle_rejected () =
+  (* Two fragments joined by two border matches (head-head and tail-tail)
+     would form a cycle. *)
+  let alphabet = Alphabet.of_names [ "a"; "b"; "x"; "y" ] in
+  let sym = Alphabet.symbol_of_string alphabet in
+  let h = Fragment.make "h" [| sym "a"; sym "b" |] in
+  let m = Fragment.make "m" [| sym "x"; sym "y" |] in
+  let sigma = Scoring.of_list [ (sym "a", sym "y", 1.0); (sym "b", sym "x", 1.0) ] in
+  let inst = Instance.make ~alphabet ~h:[ h ] ~m:[ m ] ~sigma in
+  let b1 = Cmatch.border inst ~h_frag:0 ~h_site:(Site.make 0 0) ~m_frag:0 ~m_site:(Site.make 1 1) in
+  let b2 = Cmatch.border inst ~h_frag:0 ~h_site:(Site.make 1 1) ~m_frag:0 ~m_site:(Site.make 0 0) in
+  match (b1, b2) with
+  | Some b1, Some b2 ->
+      check_bool "cycle rejected" true
+        (Result.is_error (Solution.of_matches inst [ b1; b2 ]))
+  | _ -> Alcotest.fail "border construction failed"
+
+let test_stale_score_rejected () =
+  let inst = paper () in
+  let m = Cmatch.full inst ~full_side:Species.H 1 ~other_frag:0 ~other_site:(Site.make 1 1) in
+  let tampered = { m with Cmatch.score = 99.0 } in
+  check_bool "stale score rejected" true
+    (Result.is_error (Solution.of_matches inst [ tampered ]))
+
+let test_free_sites_and_hidden () =
+  let inst = paper () in
+  let s = fig5_solution inst in
+  (* h1 is fully occupied: (0,1) and (2,2). *)
+  check_int "h1 free" 0 (List.length (Solution.free_sites s Species.H 0));
+  (* Def 5 hiding is strict on both ends: (1,1) inside the site (0,1) is
+     contained but not hidden. *)
+  check_bool "contained is not hidden" false (Solution.is_hidden s Species.H 0 (Site.make 1 1));
+  (* m2's site (1,1) is occupied; (0,0) border used; nothing free. *)
+  check_int "m2 free" 0 (List.length (Solution.free_sites s Species.M 1));
+  let empty = Solution.empty inst in
+  check_int "everything free" 1 (List.length (Solution.free_sites empty Species.H 0));
+  check_bool "nothing hidden in empty" false
+    (Solution.is_hidden empty Species.H 0 (Site.make 1 1))
+
+let test_contribution () =
+  let inst = paper () in
+  let s = fig5_solution inst in
+  check_float "Cb(h1)" 9.0 (Solution.contribution s Species.H 0);
+  check_float "Cb(m2)" 7.0 (Solution.contribution s Species.M 1);
+  check_float "Cb sums to score per side" (Solution.score s)
+    (Solution.contribution s Species.H 0 +. Solution.contribution s Species.H 1)
+
+let test_prepare_detaches_simple () =
+  let inst = paper () in
+  let s = fig5_solution inst in
+  (* Preparing h2's full site detaches h2 from m2 and frees m2(1,1). *)
+  match Solution.prepare s Species.H 1 (Site.make 0 0) with
+  | None -> Alcotest.fail "should be preparable"
+  | Some (s', freed) ->
+      check_int "one match gone" 2 (Solution.size s');
+      check_int "one freed site" 1 (List.length freed);
+      let f = List.hd freed in
+      check_bool "freed on m2" true (f.Solution.side = Species.M && f.Solution.frag = 1);
+      check_bool "freed site is (1,1)" true (Site.equal f.Solution.site (Site.make 1 1))
+
+let test_prepare_restricts_host () =
+  let inst = paper () in
+  let s = fig5_solution inst in
+  (* Preparing h1(1,2): m1's hosted site (0,1) overlaps at 1 -> restricted
+     to (0,0); the border at (2,2) is inside the prepared region -> removed
+     with its partner site orphaned. *)
+  match Solution.prepare s Species.H 0 (Site.make 1 2) with
+  | None -> Alcotest.fail "not hidden"
+  | Some (s', freed) ->
+      check_bool "still valid" true (Result.is_ok (Solution.validate s'));
+      let m1_matches = Solution.matches_on s' Species.H 0 in
+      check_int "one remaining on h1" 1 (List.length m1_matches);
+      let remaining = List.hd m1_matches in
+      check_bool "restricted to (0,0)" true
+        (Site.equal (Cmatch.site_of remaining Species.H) (Site.make 0 0));
+      check_float "restricted score is σ(a,s)" 4.0 remaining.Cmatch.score;
+      check_int "orphan reported" 1 (List.length freed)
+
+let hidden_setup () =
+  (* Plug m1 into h1's span (0,2): h1(1,1) is then strictly inside an
+     occupied site, i.e. hidden. *)
+  let inst = paper () in
+  let m = Cmatch.full inst ~full_side:Species.M 0 ~other_frag:0 ~other_site:(Site.make 0 2) in
+  (inst, Solution.add_exn (Solution.empty inst) m)
+
+let test_hidden_strict () =
+  let _, s = hidden_setup () in
+  check_bool "strictly inside is hidden" true (Solution.is_hidden s Species.H 0 (Site.make 1 1));
+  check_bool "sharing an end is not hidden" false
+    (Solution.is_hidden s Species.H 0 (Site.make 0 1))
+
+let test_prepare_hidden_fails () =
+  let _, s = hidden_setup () in
+  check_bool "hidden site not preparable" true
+    (Solution.prepare s Species.H 0 (Site.make 1 1) = None)
+
+let test_add_remove_roundtrip () =
+  let inst = paper () in
+  let m = Cmatch.full inst ~full_side:Species.H 1 ~other_frag:0 ~other_site:(Site.make 1 1) in
+  let s = Solution.add_exn (Solution.empty inst) m in
+  check_int "added" 1 (Solution.size s);
+  let s = Solution.remove s m in
+  check_int "removed" 0 (Solution.size s)
+
+(* ------------------------------------------------------------------ *)
+(* Conjecture                                                           *)
+
+let test_conjecture_of_fig5 () =
+  let inst = paper () in
+  let s = fig5_solution inst in
+  let c = Conjecture.of_solution s in
+  check_bool "structurally valid" true (Result.is_ok (Conjecture.check inst c));
+  check_float "score equals match total" (Solution.score s) (Conjecture.score inst c)
+
+let test_conjecture_empty_solution () =
+  let inst = paper () in
+  let c = Conjecture.of_solution (Solution.empty inst) in
+  check_bool "valid" true (Result.is_ok (Conjecture.check inst c));
+  check_float "score 0" 0.0 (Conjecture.score inst c);
+  check_int "all h fragments placed" 2 (List.length c.Conjecture.h_order)
+
+let random_algorithm_solution seed =
+  (* Random instances solved by greedy and by CSR_Improve give a varied
+     supply of structurally interesting solutions. *)
+  let rng = Fsa_util.Rng.create seed in
+  let inst =
+    Instance.random_planted rng ~regions:8
+      ~h_fragments:(1 + Fsa_util.Rng.int rng 3)
+      ~m_fragments:(1 + Fsa_util.Rng.int rng 3)
+      ~inversion_rate:0.3 ~noise_pairs:4
+  in
+  let sol =
+    if Fsa_util.Rng.bool rng then Greedy.solve inst
+    else fst (Csr_improve.solve inst)
+  in
+  (inst, sol)
+
+let test_conjecture_score_equality_qcheck =
+  QCheck.Test.make ~name:"conjecture pair realizes solution score (Remark 1)"
+    ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let inst, sol = random_algorithm_solution seed in
+      let c = Conjecture.of_solution sol in
+      Result.is_ok (Conjecture.check inst c)
+      && Float.abs (Conjecture.score inst c -. Solution.score sol) < 1e-6)
+
+let test_conjecture_rows_equal_length_qcheck =
+  QCheck.Test.make ~name:"conjecture rows always have equal length" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let _, sol = random_algorithm_solution seed in
+      let c = Conjecture.of_solution sol in
+      Array.length c.Conjecture.h_row = Array.length c.Conjecture.m_row)
+
+let test_layout_scoring () =
+  let inst = paper () in
+  (* Fig 4 layout: h = ⟨h1, h2ᴿ⟩, m = ⟨m1, m2⟩ scores 11. *)
+  let hl = { Conjecture.order = [| 0; 1 |]; reversed = [| false; true |] } in
+  let ml = Conjecture.identity_layout 2 in
+  check_float "Fig 4 layout scores 11" 11.0 (Conjecture.score_of_layouts inst hl ml);
+  (* Identity layouts leave b,t and the reversals unmatched. *)
+  let hid = Conjecture.identity_layout 2 in
+  check_float "identity layout" 9.0 (Conjecture.score_of_layouts inst hid ml)
+
+let test_concat_word_reversal () =
+  let inst = paper () in
+  let l = { Conjecture.order = [| 1; 0 |]; reversed = [| true; false |] } in
+  let w = Conjecture.concat_word inst Species.H l in
+  check_int "total length" 4 (Array.length w);
+  (* h2ᴿ = ⟨dᴿ⟩ comes first. *)
+  check_bool "first symbol is dᴿ" true (Symbol.is_reversed w.(0))
+
+let () =
+  Alcotest.run "fsa_csr_model"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "paper example shape" `Quick test_paper_example_shape;
+          Alcotest.test_case "paper example sigma" `Quick test_paper_example_sigma;
+          Alcotest.test_case "text roundtrip" `Quick test_text_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_text_rejects_garbage;
+          qtest test_random_planted_wellformed_qcheck;
+          qtest test_random_uniform_wellformed_qcheck;
+        ] );
+      ( "cmatch",
+        [
+          Alcotest.test_case "full classify" `Quick test_full_match_classify;
+          Alcotest.test_case "orientation choice" `Quick test_full_match_orientation_choice;
+          Alcotest.test_case "m-side full" `Quick test_full_match_m_side;
+          Alcotest.test_case "border geometry" `Quick test_border_geometry;
+          Alcotest.test_case "equal shapes reversed" `Quick test_border_equal_shapes_reversed;
+          Alcotest.test_case "full site not border" `Quick test_border_rejects_full_site;
+          Alcotest.test_case "bad orientation rejected" `Quick test_classify_rejects_bad_orientation;
+          Alcotest.test_case "inner x inner rejected" `Quick test_classify_rejects_inner_inner;
+          Alcotest.test_case "recompute score" `Quick test_recompute_score_orientation;
+        ] );
+      ( "solution",
+        [
+          Alcotest.test_case "Fig 5 score" `Quick test_fig5_solution_score;
+          Alcotest.test_case "Fig 5 roles" `Quick test_fig5_roles;
+          Alcotest.test_case "overlap rejected" `Quick test_overlapping_sites_rejected;
+          Alcotest.test_case "cycle rejected" `Quick test_border_cycle_rejected;
+          Alcotest.test_case "stale score rejected" `Quick test_stale_score_rejected;
+          Alcotest.test_case "free sites & hidden" `Quick test_free_sites_and_hidden;
+          Alcotest.test_case "contributions" `Quick test_contribution;
+          Alcotest.test_case "prepare detaches simple" `Quick test_prepare_detaches_simple;
+          Alcotest.test_case "prepare restricts host" `Quick test_prepare_restricts_host;
+          Alcotest.test_case "hidden strictness" `Quick test_hidden_strict;
+          Alcotest.test_case "prepare hidden fails" `Quick test_prepare_hidden_fails;
+          Alcotest.test_case "add/remove" `Quick test_add_remove_roundtrip;
+        ] );
+      ( "conjecture",
+        [
+          Alcotest.test_case "Fig 5 conjecture" `Quick test_conjecture_of_fig5;
+          Alcotest.test_case "empty solution" `Quick test_conjecture_empty_solution;
+          qtest test_conjecture_score_equality_qcheck;
+          qtest test_conjecture_rows_equal_length_qcheck;
+          Alcotest.test_case "layout scoring" `Quick test_layout_scoring;
+          Alcotest.test_case "concat word reversal" `Quick test_concat_word_reversal;
+        ] );
+    ]

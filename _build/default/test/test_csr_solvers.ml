@@ -1,0 +1,429 @@
+(* Solver tests: exact ground truth, the greedy strawman, the ISP-based
+   4-approximation (Cor 1), the Thm 3 doubling inequality, and the three
+   local-search algorithms with their measured ratios. *)
+
+open Fsa_seq
+open Fsa_csr
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let qtest t = QCheck_alcotest.to_alcotest ~verbose:false t
+
+let paper = Instance.paper_example
+
+(* Small random instances where the exact solver is affordable. *)
+let small_instance seed =
+  let rng = Fsa_util.Rng.create seed in
+  let planted = Fsa_util.Rng.bool rng in
+  let h_fragments = 1 + Fsa_util.Rng.int rng 3 in
+  let m_fragments = 1 + Fsa_util.Rng.int rng 3 in
+  if planted then
+    Instance.random_planted rng ~regions:6 ~h_fragments ~m_fragments
+      ~inversion_rate:0.3 ~noise_pairs:4
+  else
+    Instance.random_uniform rng ~regions:6 ~h_fragments ~m_fragments ~density:0.25
+
+let seed_gen = QCheck.(int_bound 1_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Exact                                                                *)
+
+let test_exact_paper () =
+  check_float "optimum 11" 11.0 (Exact.solve_score (paper ()))
+
+let test_exact_layout_witness () =
+  let inst = paper () in
+  let opt, hl, ml = Exact.solve inst in
+  check_float "witness scores the optimum" opt (Conjecture.score_of_layouts inst hl ml)
+
+let test_exact_scaling_covariance_qcheck =
+  QCheck.Test.make ~name:"doubling σ doubles the optimum" ~count:20 seed_gen
+    (fun seed ->
+      let inst = small_instance seed in
+      let doubled = Instance.with_sigma inst (Scoring.scale inst.Instance.sigma 2.0) in
+      Float.abs ((2.0 *. Exact.solve_score inst) -. Exact.solve_score doubled) < 1e-6)
+
+let test_exact_layout_count () =
+  let inst = paper () in
+  (* two fragments per side: (2! * 4)^2 = 64 *)
+  check_int "layout count" 64 (Exact.layout_count inst)
+
+let test_exact_budget () =
+  let rng = Fsa_util.Rng.create 1 in
+  let inst =
+    Instance.random_planted rng ~regions:16 ~h_fragments:8 ~m_fragments:8
+      ~inversion_rate:0.1 ~noise_pairs:0
+  in
+  check_bool "budget exceeded" true
+    (try
+       ignore (Exact.solve ~budget:1000 inst);
+       false
+     with Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy                                                               *)
+
+let test_greedy_feasible_qcheck =
+  QCheck.Test.make ~name:"greedy solutions are consistent" ~count:60 seed_gen
+    (fun seed ->
+      let inst = small_instance seed in
+      Result.is_ok (Solution.validate (Greedy.solve inst)))
+
+let test_greedy_below_optimum_qcheck =
+  QCheck.Test.make ~name:"greedy never exceeds the optimum" ~count:30 seed_gen
+    (fun seed ->
+      let inst = small_instance seed in
+      Solution.score (Greedy.solve inst) <= Exact.solve_score inst +. 1e-6)
+
+let test_greedy_positive_when_possible () =
+  let inst = paper () in
+  check_bool "greedy finds something" true (Solution.score (Greedy.solve inst) > 0.0)
+
+let test_greedy_candidates_addable () =
+  let inst = paper () in
+  let sol = Solution.empty inst in
+  List.iter
+    (fun c ->
+      check_bool "candidate addable" true (Result.is_ok (Solution.add sol c)))
+    (Greedy.candidate_matches inst sol)
+
+(* ------------------------------------------------------------------ *)
+(* One_csr (Cor 1 / Thm 3)                                              *)
+
+let test_four_approx_feasible_qcheck =
+  QCheck.Test.make ~name:"4-approx solutions are consistent full-match stars"
+    ~count:60 seed_gen (fun seed ->
+      let inst = small_instance seed in
+      let sol = One_csr.four_approx inst in
+      Result.is_ok (Solution.validate sol)
+      && List.for_all
+           (fun m -> Cmatch.classify inst m = Some Cmatch.Full_match)
+           (Solution.matches sol))
+
+let test_four_approx_ratio_qcheck =
+  QCheck.Test.make ~name:"Cor 1: TPA-based solver is within factor 4" ~count:30
+    seed_gen (fun seed ->
+      let inst = small_instance seed in
+      let opt = Exact.solve_score inst in
+      let sol = One_csr.four_approx inst in
+      (4.0 *. Solution.score sol) +. 1e-6 >= opt)
+
+let test_two_approx_with_exact_isp_qcheck =
+  QCheck.Test.make ~name:"Thm 3: exact-ISP doubling is within factor 2" ~count:25
+    seed_gen (fun seed ->
+      let inst = small_instance seed in
+      let opt = Exact.solve_score inst in
+      let sol = One_csr.four_approx ~algorithm:One_csr.Exact_isp inst in
+      (2.0 *. Solution.score sol) +. 1e-6 >= opt)
+
+let test_doubling_inequality_qcheck =
+  QCheck.Test.make ~name:"Thm 3 inequality: side optima sum to at least Opt"
+    ~count:25 seed_gen (fun seed ->
+      let inst = small_instance seed in
+      let opt = Exact.solve_score inst in
+      let a = Solution.score (One_csr.solve_side ~algorithm:One_csr.Exact_isp inst ~jobs_side:Species.H) in
+      let b = Solution.score (One_csr.solve_side ~algorithm:One_csr.Exact_isp inst ~jobs_side:Species.M) in
+      a +. b +. 1e-6 >= opt)
+
+let test_isp_of_shape () =
+  let inst = paper () in
+  let isp = One_csr.isp_of inst ~jobs_side:Species.H in
+  check_int "jobs = h fragments" 2 (Fsa_intervals.Isp.jobs isp);
+  check_bool "candidates present" true (Fsa_intervals.Isp.size isp > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Improvement framework                                                *)
+
+let test_improve_run_terminates () =
+  let inst = paper () in
+  let sol, stats = Csr_improve.solve inst in
+  check_bool "positive improvements" true (stats.Improve.improvements > 0);
+  check_bool "rounds >= improvements" true (stats.Improve.rounds >= stats.Improve.improvements);
+  check_bool "valid" true (Result.is_ok (Solution.validate sol))
+
+let test_improve_max_improvements () =
+  let inst = paper () in
+  let _, stats =
+    Improve.run ~max_improvements:1
+      ~attempts:(fun _ -> Full_improve.attempts inst)
+      ~init:(Solution.empty inst) ()
+  in
+  check_int "stops at cap" 1 stats.Improve.improvements
+
+let test_tpa_fill_valid () =
+  let inst = paper () in
+  (* Fill the whole of m1 with H fragments. *)
+  let sol =
+    Improve.tpa_fill (Solution.empty inst) ~host:(Species.M, 0)
+      ~zones:[ Site.make 0 1 ] ~exclude:[]
+  in
+  check_bool "valid" true (Result.is_ok (Solution.validate sol));
+  check_bool "found the σ(a,s) or σ(d,t) plug" true (Solution.score sol > 0.0);
+  List.iter
+    (fun (m : Cmatch.t) -> check_int "fills target only" 0 m.Cmatch.m_frag)
+    (Solution.matches sol)
+
+let test_tpa_fill_respects_exclude () =
+  let inst = paper () in
+  let sol =
+    Improve.tpa_fill (Solution.empty inst) ~host:(Species.M, 0)
+      ~zones:[ Site.make 0 1 ] ~exclude:[ 0; 1 ]
+  in
+  check_int "nothing placed" 0 (Solution.size sol)
+
+let test_rescore_roundtrip () =
+  let inst = paper () in
+  let sol, _ = Csr_improve.solve inst in
+  let rescored = Improve.rescore inst sol in
+  check_float "same σ, same score" (Solution.score sol) (Solution.score rescored)
+
+let test_scaling_wrapper_close () =
+  let inst = paper () in
+  let scaled = Csr_improve.solve_scaled ~epsilon:0.05 inst in
+  let unscaled, _ = Csr_improve.solve inst in
+  check_bool "scaled within (1+eps) of unscaled" true
+    (Solution.score scaled >= 0.9 *. Solution.score unscaled);
+  check_bool "valid" true (Result.is_ok (Solution.validate scaled))
+
+(* ------------------------------------------------------------------ *)
+(* Full_improve (Thm 4)                                                 *)
+
+let test_full_improve_full_matches_only_qcheck =
+  QCheck.Test.make ~name:"Full_Improve emits only full matches" ~count:40 seed_gen
+    (fun seed ->
+      let inst = small_instance seed in
+      let sol, _ = Full_improve.solve inst in
+      Result.is_ok (Solution.validate sol)
+      && List.for_all
+           (fun m -> Cmatch.classify inst m = Some Cmatch.Full_match)
+           (Solution.matches sol))
+
+let test_full_improve_beats_third_of_full_opt_qcheck =
+  (* The 4-approx solver emits full matches only, so its score lower-bounds
+     the Full-CSR optimum; Full_Improve must reach at least a third of any
+     full-match solution by Theorem 4. *)
+  QCheck.Test.make ~name:"Thm 4: Full_Improve >= FullOpt/3 (vs 4-approx witness)"
+    ~count:40 seed_gen (fun seed ->
+      let inst = small_instance seed in
+      let full, _ = Full_improve.solve inst in
+      let witness = One_csr.four_approx ~algorithm:One_csr.Exact_isp inst in
+      (3.0 *. Solution.score full) +. 1e-6 >= Solution.score witness)
+
+let test_full_improve_paper () =
+  let inst = paper () in
+  let sol, _ = Full_improve.solve inst in
+  (* The full-match optimum of the running example is 9. *)
+  check_float "full optimum" 9.0 (Solution.score sol)
+
+let test_lemma3_oracle_2approx_qcheck =
+  (* Lemma 3's guarantee is relative to the full-match solution whose
+     roles the oracle reports.  We take a strong full-match witness (the
+     exact-ISP doubling solution), feed its roles to the two-TPA algorithm,
+     and demand at least half the witness's score. *)
+  QCheck.Test.make ~name:"Lemma 3: oracle roles give a Full-CSR 2-approx" ~count:60
+    seed_gen (fun seed ->
+      let inst = small_instance seed in
+      let witness = One_csr.four_approx ~algorithm:One_csr.Exact_isp inst in
+      let multiple = Full_improve.roles_of_solution witness in
+      let sol = Full_improve.lemma3_2approx inst ~multiple in
+      Result.is_ok (Solution.validate sol)
+      && List.for_all
+           (fun m -> Cmatch.classify inst m = Some Cmatch.Full_match)
+           (Solution.matches sol)
+      && (2.0 *. Solution.score sol) +. 1e-6 >= Solution.score witness)
+
+let test_lemma3_on_paper () =
+  let inst = paper () in
+  let witness, _ = Full_improve.solve inst in
+  (* witness is the Full-CSR optimum (9) here; its roles let the two-TPA
+     algorithm reach at least 4.5. *)
+  let multiple = Full_improve.roles_of_solution witness in
+  let sol = Full_improve.lemma3_2approx inst ~multiple in
+  check_bool "within the Lemma 3 bound" true
+    ((2.0 *. Solution.score sol) +. 1e-6 >= Solution.score witness)
+
+(* ------------------------------------------------------------------ *)
+(* Border_improve (Thm 5 / Lemma 9)                                     *)
+
+let test_border_improve_border_only_qcheck =
+  QCheck.Test.make ~name:"Border_Improve emits only border matches, paths only"
+    ~count:40 seed_gen (fun seed ->
+      let inst = small_instance seed in
+      let sol, _ = Border_improve.solve inst in
+      Result.is_ok (Solution.validate sol)
+      && List.for_all
+           (fun m -> Cmatch.classify inst m = Some Cmatch.Border_match)
+           (Solution.matches sol))
+
+let test_border_improve_paper () =
+  let inst = paper () in
+  let sol, _ = Border_improve.solve inst in
+  (* only the c~u border match is available (h2 is too short for borders) *)
+  check_float "border optimum" 5.0 (Solution.score sol)
+
+let test_matching_2approx_valid_qcheck =
+  QCheck.Test.make ~name:"Lemma 9 matching baseline is consistent" ~count:40 seed_gen
+    (fun seed ->
+      let inst = small_instance seed in
+      Result.is_ok (Solution.validate (Border_improve.matching_2approx inst)))
+
+let test_border_candidates_positive () =
+  let inst = paper () in
+  let cands = Border_improve.border_candidates inst in
+  check_bool "candidates exist" true (cands <> []);
+  List.iter (fun (c : Cmatch.t) -> check_bool "positive" true (c.Cmatch.score > 0.0)) cands
+
+(* ------------------------------------------------------------------ *)
+(* Csr_improve (Thm 6)                                                  *)
+
+let test_csr_improve_paper_optimal () =
+  let inst = paper () in
+  let sol, _ = Csr_improve.solve inst in
+  check_float "reaches the optimum 11" 11.0 (Solution.score sol)
+
+let test_csr_improve_valid_qcheck =
+  QCheck.Test.make ~name:"CSR_Improve solutions are consistent" ~count:40 seed_gen
+    (fun seed ->
+      let inst = small_instance seed in
+      Result.is_ok (Solution.validate (fst (Csr_improve.solve inst))))
+
+let test_csr_improve_ratio3_qcheck =
+  QCheck.Test.make ~name:"Thm 6: CSR_Improve is within factor 3 of the optimum"
+    ~count:30 seed_gen (fun seed ->
+      let inst = small_instance seed in
+      let opt = Exact.solve_score inst in
+      let sol, _ = Csr_improve.solve inst in
+      (3.0 *. Solution.score sol) +. 1e-6 >= opt)
+
+let test_csr_improve_all_containing_at_least_extremes_qcheck =
+  QCheck.Test.make ~name:"exhaustive container mode never loses to extremes"
+    ~count:10 seed_gen (fun seed ->
+      let inst = small_instance seed in
+      let extremes, _ = Csr_improve.solve inst in
+      let exhaustive, _ =
+        Csr_improve.solve
+          ~config:{ Csr_improve.default_config with site_mode = `All_containing }
+          inst
+      in
+      (* Local optima are not totally ordered, but the exhaustive attempt
+         space must at least match the 3-approx bound whenever extremes does;
+         here we just require both stay consistent and positive together. *)
+      Result.is_ok (Solution.validate exhaustive)
+      && (Solution.score extremes > 0.0) = (Solution.score exhaustive > 0.0))
+
+let test_solve_best_dominates_components () =
+  let inst = paper () in
+  let best = Csr_improve.solve_best inst in
+  check_bool "at least the 4-approx" true
+    (Solution.score best >= Solution.score (One_csr.four_approx inst));
+  check_bool "at least matching" true
+    (Solution.score best >= Solution.score (Border_improve.matching_2approx inst))
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial family (E8)                                              *)
+
+let test_trap_greedy_score () =
+  let inst = Adversarial.trap ~k:3 ~width:2 () in
+  let g = Greedy.solve inst in
+  check_float "greedy takes the baits" (Adversarial.trap_greedy_score ~w:10.0 ~delta:1.0 ~k:3 ~width:2)
+    (Solution.score g)
+
+let test_trap_csr_improve_escapes () =
+  let inst = Adversarial.trap ~k:2 ~width:3 () in
+  let sol, _ = Csr_improve.solve inst in
+  check_float "reaches planted optimum"
+    (Adversarial.trap_optimum ~w:10.0 ~k:2 ~width:3)
+    (Solution.score sol)
+
+let test_trap_ratio_grows_with_width () =
+  let ratio width =
+    let inst = Adversarial.trap ~k:1 ~width () in
+    let g = Solution.score (Greedy.solve inst) in
+    Adversarial.trap_optimum ~w:10.0 ~k:1 ~width /. g
+  in
+  check_bool "width 1" true (ratio 1 > 1.7);
+  check_bool "width 4 is worse" true (ratio 4 > ratio 2);
+  check_bool "unbounded trend" true (ratio 4 > 6.0)
+
+let test_trap_four_approx_bound () =
+  let inst = Adversarial.trap ~k:2 ~width:4 () in
+  let sol = One_csr.four_approx inst in
+  let opt = Adversarial.trap_optimum ~w:10.0 ~k:2 ~width:4 in
+  check_bool "4-approx honors its bound on traps" true
+    ((4.0 *. Solution.score sol) +. 1e-6 >= opt)
+
+let test_trap_invalid_params () =
+  check_bool "delta >= w rejected" true
+    (try
+       ignore (Adversarial.trap ~w:1.0 ~delta:2.0 ~k:1 ~width:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "fsa_csr_solvers"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "paper optimum" `Quick test_exact_paper;
+          Alcotest.test_case "layout witness" `Quick test_exact_layout_witness;
+          qtest test_exact_scaling_covariance_qcheck;
+          Alcotest.test_case "layout count" `Quick test_exact_layout_count;
+          Alcotest.test_case "budget" `Quick test_exact_budget;
+        ] );
+      ( "greedy",
+        [
+          qtest test_greedy_feasible_qcheck;
+          qtest test_greedy_below_optimum_qcheck;
+          Alcotest.test_case "finds something" `Quick test_greedy_positive_when_possible;
+          Alcotest.test_case "candidates addable" `Quick test_greedy_candidates_addable;
+        ] );
+      ( "one_csr",
+        [
+          qtest test_four_approx_feasible_qcheck;
+          qtest test_four_approx_ratio_qcheck;
+          qtest test_two_approx_with_exact_isp_qcheck;
+          qtest test_doubling_inequality_qcheck;
+          Alcotest.test_case "isp shape" `Quick test_isp_of_shape;
+        ] );
+      ( "improve",
+        [
+          Alcotest.test_case "terminates with stats" `Quick test_improve_run_terminates;
+          Alcotest.test_case "improvement cap" `Quick test_improve_max_improvements;
+          Alcotest.test_case "tpa_fill valid" `Quick test_tpa_fill_valid;
+          Alcotest.test_case "tpa_fill exclusion" `Quick test_tpa_fill_respects_exclude;
+          Alcotest.test_case "rescore" `Quick test_rescore_roundtrip;
+          Alcotest.test_case "scaling wrapper" `Quick test_scaling_wrapper_close;
+        ] );
+      ( "full_improve",
+        [
+          qtest test_full_improve_full_matches_only_qcheck;
+          qtest test_full_improve_beats_third_of_full_opt_qcheck;
+          Alcotest.test_case "paper full optimum" `Quick test_full_improve_paper;
+          qtest test_lemma3_oracle_2approx_qcheck;
+          Alcotest.test_case "Lemma 3 on the paper example" `Quick test_lemma3_on_paper;
+        ] );
+      ( "border_improve",
+        [
+          qtest test_border_improve_border_only_qcheck;
+          Alcotest.test_case "paper border optimum" `Quick test_border_improve_paper;
+          qtest test_matching_2approx_valid_qcheck;
+          Alcotest.test_case "candidates positive" `Quick test_border_candidates_positive;
+        ] );
+      ( "csr_improve",
+        [
+          Alcotest.test_case "paper optimal" `Quick test_csr_improve_paper_optimal;
+          qtest test_csr_improve_valid_qcheck;
+          qtest test_csr_improve_ratio3_qcheck;
+          qtest test_csr_improve_all_containing_at_least_extremes_qcheck;
+          Alcotest.test_case "solve_best dominates" `Quick test_solve_best_dominates_components;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "greedy trapped" `Quick test_trap_greedy_score;
+          Alcotest.test_case "csr_improve escapes" `Quick test_trap_csr_improve_escapes;
+          Alcotest.test_case "ratio grows" `Quick test_trap_ratio_grows_with_width;
+          Alcotest.test_case "4-approx bound" `Quick test_trap_four_approx_bound;
+          Alcotest.test_case "invalid params" `Quick test_trap_invalid_params;
+        ] );
+    ]

@@ -1,0 +1,301 @@
+(* Tests for the synthetic comparative-genomics substrate: genome
+   generation, evolutionary operators with coordinate tracking,
+   fragmentation, instance construction, and ground-truth metrics. *)
+
+open Fsa_seq
+open Fsa_genome
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let qtest t = QCheck_alcotest.to_alcotest ~verbose:false t
+
+let ancestor seed =
+  Genome.ancestral (Fsa_util.Rng.create seed) ~regions:8 ~region_len:30 ~spacer_len:20
+
+(* ------------------------------------------------------------------ *)
+(* Genome                                                               *)
+
+let test_ancestral_valid_qcheck =
+  QCheck.Test.make ~name:"ancestral genomes validate" ~count:50
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let g = ancestor seed in
+      Result.is_ok (Genome.validate g)
+      && List.length g.Genome.regions = 8
+      && Genome.sorted_region_ids g = [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+let test_region_dna_length () =
+  let g = ancestor 1 in
+  List.iter
+    (fun r -> check_int "region dna length" 30 (Dna.length (Genome.region_dna g r)))
+    g.Genome.regions
+
+let test_find_region () =
+  let g = ancestor 2 in
+  check_bool "found" true (Genome.find_region g 3 <> None);
+  check_bool "absent" true (Genome.find_region g 99 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Evolution                                                            *)
+
+let test_point_mutations_keep_coordinates () =
+  let g = ancestor 3 in
+  let g' = Evolution.point_mutations (Fsa_util.Rng.create 0) ~rate:0.1 g in
+  check_int "genome length unchanged" (Genome.length g) (Genome.length g');
+  check_bool "regions unchanged" true (g.Genome.regions = g'.Genome.regions);
+  check_bool "dna changed" false (Dna.equal g.Genome.dna g'.Genome.dna)
+
+let test_invert_flips_content_and_strand () =
+  let g = ancestor 4 in
+  let r = List.nth g.Genome.regions 2 in
+  let at = r.Genome.pos - 3 and len = r.Genome.len + 6 in
+  let g' = Evolution.invert (Fsa_util.Rng.create 0) ~at ~len g in
+  check_bool "valid after inversion" true (Result.is_ok (Genome.validate g'));
+  (match Genome.find_region g' r.Genome.id with
+  | None -> Alcotest.fail "region inside the segment must survive"
+  | Some r' ->
+      check_bool "strand flipped" true r'.Genome.reversed;
+      (* its bases, reverse-complemented back, equal the original copy *)
+      check_bool "content preserved" true
+        (Dna.equal
+           (Dna.reverse_complement (Genome.region_dna g' r'))
+           (Genome.region_dna g r)));
+  check_int "genome length unchanged" (Genome.length g) (Genome.length g')
+
+let test_invert_drops_straddlers () =
+  let g = ancestor 5 in
+  let r = List.nth g.Genome.regions 2 in
+  (* Cut through the middle of the region. *)
+  let at = r.Genome.pos + (r.Genome.len / 2) in
+  let g' = Evolution.invert (Fsa_util.Rng.create 0) ~at ~len:40 g in
+  check_bool "straddler dropped" true (Genome.find_region g' r.Genome.id = None);
+  check_bool "still valid" true (Result.is_ok (Genome.validate g'))
+
+let test_invert_involution () =
+  let g = ancestor 6 in
+  let g' = Evolution.invert (Fsa_util.Rng.create 0) ~at:50 ~len:80 g in
+  let g'' = Evolution.invert (Fsa_util.Rng.create 0) ~at:50 ~len:80 g' in
+  check_bool "dna restored" true (Dna.equal g.Genome.dna g''.Genome.dna)
+
+let test_translocate_moves_region () =
+  let g = ancestor 7 in
+  let r = List.hd g.Genome.regions in
+  let from_ = r.Genome.pos - 1 and len = r.Genome.len + 2 in
+  let dest = Genome.length g - len - 5 in
+  let g' = Evolution.translocate (Fsa_util.Rng.create 0) ~from_ ~len ~to_:dest g in
+  check_bool "valid" true (Result.is_ok (Genome.validate g'));
+  (match Genome.find_region g' r.Genome.id with
+  | None -> Alcotest.fail "moved region must survive"
+  | Some r' ->
+      check_bool "moved late" true (r'.Genome.pos > r.Genome.pos);
+      check_bool "content preserved" true
+        (Dna.equal (Genome.region_dna g' r') (Genome.region_dna g r)));
+  check_int "length unchanged" (Genome.length g) (Genome.length g')
+
+let test_random_ops_keep_validity_qcheck =
+  QCheck.Test.make ~name:"random rearrangements keep genomes valid" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Fsa_util.Rng.create seed in
+      let g = ancestor seed in
+      let g = Evolution.random_inversions rng ~count:3 ~mean_len:60 g in
+      let g = Evolution.random_translocations rng ~count:2 ~mean_len:60 g in
+      Result.is_ok (Genome.validate g) && Genome.length g = Genome.length (ancestor seed))
+
+let test_diverge_pipeline () =
+  let rng = Fsa_util.Rng.create 8 in
+  let g = ancestor 8 in
+  let g' =
+    Evolution.diverge rng ~substitution_rate:0.05 ~inversions:2 ~translocations:1
+      ~rearrangement_len:60 g
+  in
+  check_bool "valid" true (Result.is_ok (Genome.validate g'));
+  check_bool "some regions survive" true (g'.Genome.regions <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Fragmentation                                                        *)
+
+let test_fragment_covers_genome_qcheck =
+  QCheck.Test.make ~name:"contigs partition the genome" ~count:40
+    QCheck.(pair (int_bound 100_000) (int_range 1 6))
+    (fun (seed, pieces) ->
+      let g = ancestor seed in
+      let rng = Fsa_util.Rng.create seed in
+      let contigs =
+        Fragmentation.fragment rng ~pieces ~shuffle:false ~random_strand:false
+          ~name_prefix:"c" g
+      in
+      List.length contigs = pieces
+      && List.fold_left (fun acc c -> acc + Dna.length c.Fragmentation.dna) 0 contigs
+         = Genome.length g)
+
+let test_fragment_truth_tracks_content () =
+  let g = ancestor 9 in
+  let rng = Fsa_util.Rng.create 9 in
+  let contigs = Fragmentation.fragment rng ~pieces:4 ~name_prefix:"c" g in
+  List.iter
+    (fun c ->
+      (* Recover the original slice from ground truth and compare. *)
+      let n = Dna.length c.Fragmentation.dna in
+      let original = Dna.sub g.Genome.dna ~pos:c.Fragmentation.true_offset ~len:n in
+      let restored =
+        if c.Fragmentation.true_reversed then Dna.reverse_complement c.Fragmentation.dna
+        else c.Fragmentation.dna
+      in
+      check_bool "truth restores the slice" true (Dna.equal original restored))
+    contigs
+
+let test_fragment_region_local_coords () =
+  let g = ancestor 10 in
+  let rng = Fsa_util.Rng.create 10 in
+  let contigs = Fragmentation.fragment rng ~pieces:3 ~name_prefix:"c" g in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (r : Genome.region) ->
+          check_bool "in contig bounds" true
+            (r.Genome.pos >= 0 && r.Genome.pos + r.Genome.len <= Dna.length c.Fragmentation.dna))
+        c.Fragmentation.regions)
+    contigs
+
+let test_fragment_no_partial_regions_qcheck =
+  QCheck.Test.make ~name:"regions are never split across contigs" ~count:40
+    QCheck.(pair (int_bound 100_000) (int_range 2 8))
+    (fun (seed, pieces) ->
+      let g = ancestor seed in
+      let rng = Fsa_util.Rng.create seed in
+      let contigs =
+        Fragmentation.fragment rng ~pieces ~shuffle:false ~random_strand:false
+          ~name_prefix:"c" g
+      in
+      (* Each surviving region appears exactly once, whole. *)
+      let survivors = List.concat_map Fragmentation.contig_region_ids contigs in
+      List.length survivors = List.length (List.sort_uniq compare survivors)
+      && List.length survivors <= 8)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline + metrics                                                   *)
+
+let test_oracle_instance_regions_shared () =
+  let rng = Fsa_util.Rng.create 11 in
+  let p = { Pipeline.default_params with inversions = 0; translocations = 0 } in
+  let h, m = Pipeline.generate rng p in
+  let built = Pipeline.oracle_instance ~h ~m in
+  let inst = built.Pipeline.instance in
+  check_bool "sigma has entries" true (Fsa_seq.Scoring.entries inst.Fsa_csr.Instance.sigma <> []);
+  check_int "contig maps align with instance"
+    (Fsa_csr.Instance.fragment_count inst Fsa_csr.Species.H)
+    (Array.length built.Pipeline.h_contigs)
+
+let test_oracle_perfect_recovery () =
+  (* No rearrangements: a correct solver must recover order and orientation
+     perfectly (up to island mirroring). *)
+  let rng = Fsa_util.Rng.create 12 in
+  let p = { Pipeline.default_params with inversions = 0; translocations = 0 } in
+  let _, _, report =
+    Pipeline.run rng ~mode:`Oracle p ~solver:Fsa_csr.Csr_improve.solve_best
+  in
+  check_float "perfect order accuracy" 1.0 (Metrics.order_accuracy report);
+  check_bool "pairs were actually scored" true (report.Metrics.h_pairs + report.Metrics.m_pairs > 0)
+
+let test_oracle_survives_rearrangements_qcheck =
+  QCheck.Test.make ~name:"oracle pipeline always yields consistent solutions"
+    ~count:10
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Fsa_util.Rng.create seed in
+      let built, sol, report =
+        Pipeline.run rng ~mode:`Oracle Pipeline.default_params
+          ~solver:Fsa_csr.Csr_improve.solve_best
+      in
+      ignore built;
+      Result.is_ok (Fsa_csr.Solution.validate sol)
+      && Metrics.order_accuracy report >= 0.0
+      && Metrics.coverage report <= 1.0)
+
+let test_discovery_instance_finds_regions () =
+  let rng = Fsa_util.Rng.create 13 in
+  let p = { Pipeline.default_params with substitution_rate = 0.02 } in
+  let h, m = Pipeline.generate rng p in
+  let built = Pipeline.discovery_instance ~h ~m () in
+  let inst = built.Pipeline.instance in
+  check_bool "h fragments discovered" true
+    (Fsa_csr.Instance.fragment_count inst Fsa_csr.Species.H > 0);
+  check_bool "sigma populated" true
+    (Fsa_seq.Scoring.entries inst.Fsa_csr.Instance.sigma <> [])
+
+let test_discovery_recovery_reasonable () =
+  let rng = Fsa_util.Rng.create 14 in
+  let p = { Pipeline.default_params with inversions = 0; translocations = 0 } in
+  let _, _, report =
+    Pipeline.run rng ~mode:`Discovery p ~solver:Fsa_csr.Csr_improve.solve_best
+  in
+  check_bool "good accuracy without rearrangements" true
+    (Metrics.order_accuracy report >= 0.8)
+
+let test_metrics_counts () =
+  let rng = Fsa_util.Rng.create 15 in
+  let built, sol, report =
+    Pipeline.run rng ~mode:`Oracle Pipeline.default_params
+      ~solver:Fsa_csr.Csr_improve.solve_best
+  in
+  let inst = built.Pipeline.instance in
+  let total =
+    Fsa_csr.Instance.fragment_count inst Fsa_csr.Species.H
+    + Fsa_csr.Instance.fragment_count inst Fsa_csr.Species.M
+  in
+  check_int "total fragments" total report.Metrics.total_fragments;
+  check_bool "matched <= total" true (report.Metrics.matched_fragments <= total);
+  check_bool "correct <= pairs" true
+    (report.Metrics.h_correct <= report.Metrics.h_pairs
+    && report.Metrics.m_correct <= report.Metrics.m_pairs);
+  ignore sol
+
+let test_empty_solver_vacuous_metrics () =
+  let rng = Fsa_util.Rng.create 16 in
+  let _, _, report =
+    Pipeline.run rng ~mode:`Oracle Pipeline.default_params
+      ~solver:(fun inst -> Fsa_csr.Solution.empty inst)
+  in
+  check_int "no islands" 0 report.Metrics.islands;
+  check_float "vacuous accuracy" 1.0 (Metrics.order_accuracy report);
+  check_float "zero coverage" 0.0 (Metrics.coverage report)
+
+let () =
+  Alcotest.run "fsa_genome"
+    [
+      ( "genome",
+        [
+          qtest test_ancestral_valid_qcheck;
+          Alcotest.test_case "region dna" `Quick test_region_dna_length;
+          Alcotest.test_case "find region" `Quick test_find_region;
+        ] );
+      ( "evolution",
+        [
+          Alcotest.test_case "point mutations" `Quick test_point_mutations_keep_coordinates;
+          Alcotest.test_case "inversion flips" `Quick test_invert_flips_content_and_strand;
+          Alcotest.test_case "inversion drops straddlers" `Quick test_invert_drops_straddlers;
+          Alcotest.test_case "inversion involution" `Quick test_invert_involution;
+          Alcotest.test_case "translocation" `Quick test_translocate_moves_region;
+          qtest test_random_ops_keep_validity_qcheck;
+          Alcotest.test_case "diverge" `Quick test_diverge_pipeline;
+        ] );
+      ( "fragmentation",
+        [
+          qtest test_fragment_covers_genome_qcheck;
+          Alcotest.test_case "ground truth restores slices" `Quick test_fragment_truth_tracks_content;
+          Alcotest.test_case "local coordinates" `Quick test_fragment_region_local_coords;
+          qtest test_fragment_no_partial_regions_qcheck;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "oracle instance" `Quick test_oracle_instance_regions_shared;
+          Alcotest.test_case "perfect recovery" `Quick test_oracle_perfect_recovery;
+          qtest test_oracle_survives_rearrangements_qcheck;
+          Alcotest.test_case "discovery instance" `Quick test_discovery_instance_finds_regions;
+          Alcotest.test_case "discovery recovery" `Quick test_discovery_recovery_reasonable;
+          Alcotest.test_case "metrics counts" `Quick test_metrics_counts;
+          Alcotest.test_case "empty solver" `Quick test_empty_solver_vacuous_metrics;
+        ] );
+    ]

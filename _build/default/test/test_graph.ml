@@ -1,0 +1,183 @@
+(* Tests for Fsa_graph: graph structure, cubic generation, MIS solvers. *)
+
+open Fsa_graph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let qtest t = QCheck_alcotest.to_alcotest ~verbose:false t
+
+let path4 () = Graph.create 4 [ (0, 1); (1, 2); (2, 3) ]
+
+let test_graph_basics () =
+  let g = path4 () in
+  check_int "vertices" 4 (Graph.vertex_count g);
+  check_int "edges" 3 (Graph.edge_count g);
+  check_bool "adjacent" true (Graph.adjacent g 1 2);
+  check_bool "not adjacent" false (Graph.adjacent g 0 3);
+  check_int "degree" 2 (Graph.degree g 1);
+  check_int "max degree" 2 (Graph.max_degree g);
+  Alcotest.(check (list int)) "neighbors sorted" [ 0; 2 ] (Graph.neighbors g 1);
+  Graph.complement_check g
+
+let test_graph_dedup_edges () =
+  let g = Graph.create 3 [ (0, 1); (1, 0); (0, 1) ] in
+  check_int "deduped" 1 (Graph.edge_count g)
+
+let test_graph_rejects_self_loop () =
+  Alcotest.check_raises "loop" (Invalid_argument "Graph.create: self-loop") (fun () ->
+      ignore (Graph.create 2 [ (1, 1) ]))
+
+let test_graph_components () =
+  let g = Graph.create 5 [ (0, 1); (2, 3) ] in
+  let comps = Graph.connected_components g in
+  check_int "three components" 3 (List.length comps);
+  check_bool "pair component" true (List.mem [ 0; 1 ] comps);
+  check_bool "singleton" true (List.mem [ 4 ] comps)
+
+let test_graph_independent_set () =
+  let g = path4 () in
+  check_bool "alternating is independent" true (Graph.is_independent_set g [ 0; 2 ]);
+  check_bool "edge is not" false (Graph.is_independent_set g [ 1; 2 ])
+
+let test_cubic_random_is_cubic_qcheck =
+  QCheck.Test.make ~name:"random cubic graphs are simple and 3-regular" ~count:50
+    QCheck.(pair (int_bound 10_000) (int_range 2 8))
+    (fun (seed, half) ->
+      let n = 2 * half in
+      if n < 4 then true
+      else begin
+        let g = Cubic.random (Fsa_util.Rng.create seed) n in
+        Graph.complement_check g;
+        Graph.is_regular g 3 && Graph.edge_count g = 3 * n / 2
+      end)
+
+let test_cubic_adjacency_matrix () =
+  let rng = Fsa_util.Rng.create 1 in
+  let g = Cubic.random rng 8 in
+  let a = Cubic.adjacency_matrix g in
+  check_int "rows" 8 (Array.length a);
+  Array.iteri
+    (fun v row ->
+      check_int "three columns" 3 (Array.length row);
+      Array.iter (fun w -> check_bool "entry is neighbor" true (Graph.adjacent g v w)) row)
+    a
+
+let test_cubic_matrix_rejects_non_cubic () =
+  Alcotest.check_raises "not cubic"
+    (Invalid_argument "Cubic.adjacency_matrix: graph is not 3-regular") (fun () ->
+      ignore (Cubic.adjacency_matrix (path4 ())))
+
+let test_cubic_ordering_qcheck =
+  QCheck.Test.make ~name:"non-consecutive ordering eliminates consecutive edges"
+    ~count:30
+    QCheck.(pair (int_bound 10_000) (int_range 4 10))
+    (fun (seed, half) ->
+      let rng = Fsa_util.Rng.create seed in
+      let g = Cubic.random rng (2 * half) in
+      let ord = Cubic.non_consecutive_ordering rng g in
+      let g' = Cubic.relabel g ord in
+      Graph.is_regular g' 3 && not (Cubic.has_consecutive_edge g'))
+
+let test_cubic_relabel_preserves_structure () =
+  let rng = Fsa_util.Rng.create 2 in
+  let g = Cubic.random rng 10 in
+  let ord = Fsa_util.Rng.permutation rng 10 in
+  let g' = Cubic.relabel g ord in
+  check_int "edges preserved" (Graph.edge_count g) (Graph.edge_count g');
+  check_bool "regular" true (Graph.is_regular g' 3)
+
+let exhaustive_mis g =
+  let n = Graph.vertex_count g in
+  let best = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let vs = List.filter (fun v -> mask land (1 lsl v) <> 0) (List.init n (fun i -> i)) in
+    if Graph.is_independent_set g vs && List.length vs > !best then
+      best := List.length vs
+  done;
+  !best
+
+let test_mis_exact_qcheck =
+  QCheck.Test.make ~name:"exact MIS equals exhaustive optimum" ~count:40
+    QCheck.(pair (int_bound 10_000) (int_range 2 7))
+    (fun (seed, half) ->
+      let rng = Fsa_util.Rng.create seed in
+      let n = 2 * half in
+      let g = Cubic.random rng n in
+      let mis = Mis.exact g in
+      Graph.is_independent_set g mis && List.length mis = exhaustive_mis g)
+
+let test_mis_exact_on_sparse_random_qcheck =
+  QCheck.Test.make ~name:"exact MIS on arbitrary sparse graphs" ~count:50
+    QCheck.(pair (int_bound 10_000) (int_range 1 10))
+    (fun (seed, n) ->
+      let rng = Fsa_util.Rng.create seed in
+      let edges = ref [] in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if Fsa_util.Rng.bernoulli rng 0.3 then edges := (i, j) :: !edges
+        done
+      done;
+      let g = Graph.create n !edges in
+      let mis = Mis.exact g in
+      Graph.is_independent_set g mis && List.length mis = exhaustive_mis g)
+
+let test_mis_greedy_quality_qcheck =
+  QCheck.Test.make ~name:"greedy MIS is independent, maximal, >= n/4 on cubic" ~count:40
+    QCheck.(pair (int_bound 10_000) (int_range 3 12))
+    (fun (seed, half) ->
+      let rng = Fsa_util.Rng.create seed in
+      let n = 2 * half in
+      let g = Cubic.random rng n in
+      let w = Mis.greedy_min_degree g in
+      Graph.is_independent_set g w && Mis.is_maximal g w && 4 * List.length w >= n)
+
+let test_mis_empty_graph () =
+  let g = Graph.create 5 [] in
+  check_int "all vertices" 5 (List.length (Mis.exact g));
+  check_int "greedy too" 5 (List.length (Mis.greedy_min_degree g))
+
+let test_mis_complete_graph () =
+  let n = 5 in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  let g = Graph.create n !edges in
+  check_int "single vertex" 1 (List.length (Mis.exact g))
+
+let test_mis_maximality_detection () =
+  let g = path4 () in
+  check_bool "0,2 extendable?" true (Mis.is_maximal g [ 0; 2 ]);
+  check_bool "only 1 is not maximal" false (Mis.is_maximal g [ 1 ])
+
+let () =
+  Alcotest.run "fsa_graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "edge dedup" `Quick test_graph_dedup_edges;
+          Alcotest.test_case "self loop rejected" `Quick test_graph_rejects_self_loop;
+          Alcotest.test_case "components" `Quick test_graph_components;
+          Alcotest.test_case "independent set" `Quick test_graph_independent_set;
+        ] );
+      ( "cubic",
+        [
+          qtest test_cubic_random_is_cubic_qcheck;
+          Alcotest.test_case "adjacency matrix" `Quick test_cubic_adjacency_matrix;
+          Alcotest.test_case "matrix rejects non-cubic" `Quick test_cubic_matrix_rejects_non_cubic;
+          qtest test_cubic_ordering_qcheck;
+          Alcotest.test_case "relabel" `Quick test_cubic_relabel_preserves_structure;
+        ] );
+      ( "mis",
+        [
+          qtest test_mis_exact_qcheck;
+          qtest test_mis_exact_on_sparse_random_qcheck;
+          qtest test_mis_greedy_quality_qcheck;
+          Alcotest.test_case "empty graph" `Quick test_mis_empty_graph;
+          Alcotest.test_case "complete graph" `Quick test_mis_complete_graph;
+          Alcotest.test_case "maximality" `Quick test_mis_maximality_detection;
+        ] );
+    ]

@@ -1,0 +1,270 @@
+(* Lemma 1 tests: the CSR -> UCSR construction, Property 2 (forward score
+   preservation and validity) and Property 3 (backward (1-eps) recovery). *)
+
+open Fsa_seq
+open Fsa_csr
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+let qtest t = QCheck_alcotest.to_alcotest ~verbose:false t
+
+let small_instance seed =
+  let rng = Fsa_util.Rng.create seed in
+  Instance.random_planted rng ~regions:4 ~h_fragments:2 ~m_fragments:2
+    ~inversion_rate:0.4 ~noise_pairs:2
+
+let exact_pairs inst =
+  let _, hl, ml = Exact.solve inst in
+  Reduction.pairs_of_layouts inst hl ml
+
+(* ------------------------------------------------------------------ *)
+(* uniquify                                                             *)
+
+let test_uniquify_preserves_optimum_qcheck =
+  QCheck.Test.make ~name:"uniquify preserves the optimum" ~count:15
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let inst = small_instance seed in
+      let u = Reduction.uniquify inst in
+      Float.abs (Exact.solve_score inst -. Exact.solve_score u) < 1e-6)
+
+let test_uniquify_letters_distinct () =
+  let u = Reduction.uniquify (Instance.paper_example ()) in
+  (* every position is a distinct forward letter *)
+  let seen = Hashtbl.create 16 in
+  let scan side =
+    Array.iter
+      (fun f ->
+        Array.iter
+          (fun s ->
+            check_bool "forward" false (Symbol.is_reversed s);
+            check_bool "fresh" false (Hashtbl.mem seen (Symbol.id s));
+            Hashtbl.replace seen (Symbol.id s) ())
+          (Fragment.symbols f))
+      (Instance.fragments u side)
+  in
+  scan Species.H;
+  scan Species.M;
+  check_int "letter count" 8 (Hashtbl.length seen)
+
+let test_uniquify_paper_optimum () =
+  check_float "uniquified paper optimum" 11.0
+    (Exact.solve_score (Reduction.uniquify (Instance.paper_example ())))
+
+(* ------------------------------------------------------------------ *)
+(* Construction shape                                                   *)
+
+let test_construction_sizes () =
+  let inst = Instance.paper_example () in
+  let red = Reduction.build ~epsilon:1.0 inst in
+  (* K = 8 letters, p = 1 => s = 16; each replacement word has 2*K*s = 256
+     symbols. *)
+  check_int "s" 16 (Reduction.s_blocks red);
+  let ucsr = Reduction.ucsr_instance red in
+  check_int "h1' length" (3 * 256) (Fragment.length (Instance.fragment ucsr Species.H 0));
+  check_int "fragment counts preserved" 2 (Instance.fragment_count ucsr Species.M)
+
+let test_construction_epsilon_scales_s () =
+  let inst = Instance.paper_example () in
+  let r1 = Reduction.build ~epsilon:0.5 inst in
+  check_int "p=2 doubles s" 32 (Reduction.s_blocks r1)
+
+(* ------------------------------------------------------------------ *)
+(* Property 2 (forward)                                                 *)
+
+let test_forward_paper () =
+  let inst = Instance.paper_example () in
+  let red = Reduction.build ~epsilon:1.0 inst in
+  let x1 = Reduction.unique red in
+  let pairs = exact_pairs x1 in
+  check_float "pairs realize the optimum" 11.0 (Reduction.pairs_score x1 pairs);
+  let word = Reduction.forward red pairs in
+  check_float "word scores the same" 11.0 (Reduction.word_score red word);
+  check_bool "word is a valid double conjecture" true (Reduction.is_valid_word red word)
+
+let test_forward_property2_qcheck =
+  QCheck.Test.make ~name:"Property 2: forward map preserves score and validity"
+    ~count:10
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let inst = small_instance seed in
+      let red = Reduction.build ~epsilon:1.0 inst in
+      let x1 = Reduction.unique red in
+      let pairs = exact_pairs x1 in
+      let word = Reduction.forward red pairs in
+      Float.abs (Reduction.word_score red word -. Reduction.pairs_score x1 pairs) < 1e-6
+      && Reduction.is_valid_word red word)
+
+let test_kappa_block_length () =
+  let inst = Instance.paper_example () in
+  let red = Reduction.build ~epsilon:1.0 inst in
+  let x1 = Reduction.unique red in
+  let pairs = exact_pairs x1 in
+  match pairs with
+  | [] -> Alcotest.fail "expected pairs"
+  | (c, d) :: _ ->
+      check_int "kappa emits s letters" (Reduction.s_blocks red)
+        (List.length (Reduction.kappa red c d))
+
+let test_kappa_rejects_wrong_sides () =
+  let inst = Instance.paper_example () in
+  let red = Reduction.build ~epsilon:1.0 inst in
+  (* both arguments from the H side must be rejected *)
+  check_bool "wrong side rejected" true
+    (try
+       ignore (Reduction.kappa red (Symbol.make 0) (Symbol.make 0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_validity_detects_shuffled_word () =
+  let inst = Instance.paper_example () in
+  let red = Reduction.build ~epsilon:1.0 inst in
+  let x1 = Reduction.unique red in
+  let pairs = exact_pairs x1 in
+  let word = Reduction.forward red pairs in
+  (* Reversing the letter order inside one kappa block breaks the
+     monotonicity requirement. *)
+  let arr = Array.of_list word in
+  let n = Array.length arr in
+  if n >= 2 then begin
+    let tmp = arr.(0) in
+    arr.(0) <- arr.(1);
+    arr.(1) <- tmp
+  end;
+  check_bool "shuffle detected" false (Reduction.is_valid_word red (Array.to_list arr))
+
+(* ------------------------------------------------------------------ *)
+(* Property 3 (backward)                                                *)
+
+let test_backward_recovers_forward () =
+  let inst = Instance.paper_example () in
+  let red = Reduction.build ~epsilon:1.0 inst in
+  let x1 = Reduction.unique red in
+  let pairs = exact_pairs x1 in
+  let word = Reduction.forward red pairs in
+  let back = Reduction.backward red word in
+  check_float "full recovery on forward words"
+    (Reduction.pairs_score x1 pairs)
+    (Reduction.pairs_score x1 back)
+
+let test_backward_one_minus_eps_qcheck =
+  QCheck.Test.make ~name:"Property 3: backward recovers (1-eps) of any subword"
+    ~count:20
+    QCheck.(pair (int_bound 100_000) (int_bound 1_000))
+    (fun (seed, drop_seed) ->
+      let inst = small_instance seed in
+      let epsilon = 1.0 in
+      let red = Reduction.build ~epsilon inst in
+      let x1 = Reduction.unique red in
+      let pairs = exact_pairs x1 in
+      let word = Reduction.forward red pairs in
+      (* Degrade: drop a random subset of letters — still a valid UCSR
+         solution word (subsequences of valid words stay valid). *)
+      let rng = Fsa_util.Rng.create drop_seed in
+      let degraded = List.filter (fun _ -> Fsa_util.Rng.bernoulli rng 0.7) word in
+      let back = Reduction.backward red degraded in
+      Reduction.is_valid_word red degraded
+      && Reduction.pairs_score x1 back
+         +. 1e-6
+         >= (1.0 -. epsilon) *. Reduction.word_score red degraded)
+
+let test_backward_mixed_partners () =
+  (* An h letter scoring against two m letters: a UCSR word can split its
+     budget between both partners; phi1 keeps the better one, which is at
+     least half — comfortably above 1 - eps for eps = 1. *)
+  let alphabet = Alphabet.of_names [ "a"; "x"; "y" ] in
+  let sym = Alphabet.symbol_of_string alphabet in
+  let h = Fragment.make "h" [| sym "a" |] in
+  let m1 = Fragment.make "m1" [| sym "x" |] in
+  let m2 = Fragment.make "m2" [| sym "y" |] in
+  let sigma = Scoring.of_list [ (sym "a", sym "x", 4.0); (sym "a", sym "y", 2.0) ] in
+  let inst = Instance.make ~alphabet ~h:[ h ] ~m:[ m1; m2 ] ~sigma in
+  let red = Reduction.build ~epsilon:1.0 inst in
+  let x1 = Reduction.unique red in
+  let s = Reduction.s_blocks red in
+  (* Hand-build a word using half the (a,x) block then half the (a,y)
+     block: valid (positions increase within x^a; the m sides live in
+     different fragments). *)
+  let ax = Reduction.kappa red (Symbol.make 0) (Symbol.make 1) in
+  let ay = Reduction.kappa red (Symbol.make 0) (Symbol.make 2) in
+  let take_first k l = List.filteri (fun i _ -> i < k) l in
+  let take_last k l = List.filteri (fun i _ -> i >= List.length l - k) l in
+  let word = take_first (s / 2) ax @ take_last (s / 2) ay in
+  check_bool "mixed word valid" true (Reduction.is_valid_word red word);
+  let back = Reduction.backward red word in
+  check_int "one reconstructed pair" 1 (List.length back);
+  check_float "keeps the better partner" 4.0 (Reduction.pairs_score x1 back);
+  check_float "word scored the blend" 3.0 (Reduction.word_score red word)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1, executably: run the general CSR algorithm on phi0(X), map the
+   solution back with phi1, and land on a valid X solution whose score is
+   comparable.  Kept tiny (one letter per side after uniquify is too
+   trivial; two letters per side) because phi0 blows the instance up. *)
+
+let test_theorem1_pipeline () =
+  let alphabet = Alphabet.of_names [ "a"; "b"; "x"; "y" ] in
+  let sym = Alphabet.symbol_of_string alphabet in
+  let sigma =
+    Scoring.of_list [ (sym "a", sym "x", 5.0); (sym "b", sym "y'", 3.0) ]
+  in
+  let inst =
+    Instance.make ~alphabet
+      ~h:[ Fragment.make "h" [| sym "a"; sym "b" |] ]
+      ~m:[ Fragment.make "m" [| sym "x"; sym "y" |] ]
+      ~sigma
+  in
+  let opt = Exact.solve_score inst in
+  Alcotest.(check (float 1e-6)) "tiny optimum" 5.0 opt;
+  (* a~x and b~yR conflict in orientation, so opt = 5 *)
+  let red = Reduction.build ~epsilon:1.0 inst in
+  let ucsr = Reduction.ucsr_instance red in
+  (* Solve the UCSR instance with the ISP-based CSR algorithm (fast on the
+     blown-up fragments) and read the matched letters off its conjecture. *)
+  let sol = One_csr.four_approx ucsr in
+  check_bool "ucsr solution valid" true (Result.is_ok (Solution.validate sol));
+  let conj = Conjecture.of_solution sol in
+  let letters = Reduction.letters_of_conjecture red conj in
+  check_bool "letters recovered" true (letters <> []);
+  let back = Reduction.backward red letters in
+  let x1 = Reduction.unique red in
+  let back_score = Reduction.pairs_score x1 back in
+  (* Theorem 1: a ratio-c algorithm on UCSR gives ratio ~c on CSR.  The
+     4-approx on phi0 plus phi1's (1 - eps) recovery must land within a
+     factor 4 of the original optimum (eps costs nothing here because the
+     recovered pairs score in full). *)
+  check_bool "theorem 1 ratio" true ((4.0 *. back_score) +. 1e-6 >= opt);
+  check_bool "never above optimum" true (back_score <= opt +. 1e-6)
+
+let () =
+  Alcotest.run "fsa_reduction"
+    [
+      ( "uniquify",
+        [
+          qtest test_uniquify_preserves_optimum_qcheck;
+          Alcotest.test_case "letters distinct" `Quick test_uniquify_letters_distinct;
+          Alcotest.test_case "paper optimum" `Quick test_uniquify_paper_optimum;
+        ] );
+      ( "construction",
+        [
+          Alcotest.test_case "sizes" `Quick test_construction_sizes;
+          Alcotest.test_case "epsilon scales s" `Quick test_construction_epsilon_scales_s;
+        ] );
+      ( "property2",
+        [
+          Alcotest.test_case "paper forward" `Quick test_forward_paper;
+          qtest test_forward_property2_qcheck;
+          Alcotest.test_case "kappa block length" `Quick test_kappa_block_length;
+          Alcotest.test_case "kappa side check" `Quick test_kappa_rejects_wrong_sides;
+          Alcotest.test_case "shuffle detected" `Quick test_validity_detects_shuffled_word;
+        ] );
+      ( "property3",
+        [
+          Alcotest.test_case "recovers forward" `Quick test_backward_recovers_forward;
+          qtest test_backward_one_minus_eps_qcheck;
+          Alcotest.test_case "mixed partners" `Quick test_backward_mixed_partners;
+        ] );
+      ( "theorem1",
+        [ Alcotest.test_case "end-to-end pipeline" `Quick test_theorem1_pipeline ] );
+    ]

@@ -87,6 +87,36 @@ let tests () =
       exact_bench ();
     ]
 
+(* Machine-readable bench results, diffable across PRs. *)
+let bench_json_path = "BENCH_solvers.json"
+
+let write_bench_json ~quick ~quota rows =
+  let module J = Fsa_obs.Json in
+  let benches =
+    List.map
+      (fun (name, ns, r2, runs) ->
+        J.Obj
+          [ ("name", J.String name); ("ns_per_run", J.Float ns);
+            ( "r_square",
+              match r2 with Some r -> J.Float r | None -> J.Null );
+            ("runs", J.Int runs) ])
+      rows
+  in
+  let doc =
+    J.Obj
+      [ ("schema", J.String "fsa-bench/1");
+        ( "config",
+          J.Obj
+            [ ("quota_s", J.Float quota); ("limit", J.Int 2000);
+              ("quick", J.Bool quick) ] );
+        ("benches", J.List benches) ]
+  in
+  let oc = open_out bench_json_path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nbench results written to %s\n" bench_json_path
+
 let run ~quick () =
   Printf.printf "\n== timing benches (Bechamel, monotonic clock) ==\n\n";
   let quota = if quick then 0.25 else 1.0 in
@@ -110,18 +140,20 @@ let run ~quick () =
       let ns =
         match Analyze.OLS.estimates ols with Some [ est ] -> est | _ -> nan
       in
-      let pretty =
-        if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-        else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-        else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-        else Printf.sprintf "%.0f ns" ns
+      let runs =
+        match Hashtbl.find_opt raw name with
+        | Some (b : Benchmark.t) -> b.Benchmark.stats.Benchmark.samples
+        | None -> 0
       in
-      let r2 =
-        match Analyze.OLS.r_square ols with Some r -> Printf.sprintf "%.3f" r | None -> "-"
-      in
-      rows := (name, pretty, r2) :: !rows)
+      rows := (name, ns, Analyze.OLS.r_square ols, runs) :: !rows)
     results;
+  let rows = List.sort compare !rows in
   List.iter
-    (fun (name, pretty, r2) -> Fsa_util.Tablefmt.add_row table [ name; pretty; r2 ])
-    (List.sort compare !rows);
-  Fsa_util.Tablefmt.print table
+    (fun (name, ns, r2, _runs) ->
+      let r2 =
+        match r2 with Some r -> Printf.sprintf "%.3f" r | None -> "-"
+      in
+      Fsa_util.Tablefmt.add_row table [ name; Fsa_obs.Report.pretty_ns ns; r2 ])
+    rows;
+  Fsa_util.Tablefmt.print table;
+  write_bench_json ~quick ~quota rows

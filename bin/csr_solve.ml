@@ -7,7 +7,8 @@
      S b t' 3         # sigma(b, t reversed) = 3
 
    Example:
-     dune exec bin/csr_solve.exe -- --algorithm csr-improve instance.txt *)
+     dune exec bin/csr_solve.exe -- --algorithm csr-improve --trace /tmp/t.jsonl \
+       --stats instance.txt *)
 
 open Cmdliner
 open Fsa_csr
@@ -43,36 +44,74 @@ let read_all ic =
    with End_of_file -> ());
   Buffer.contents buf
 
-let solve algorithm show_conjecture scaled epsilon output path =
+(* Exit code 2: bad input (missing/unreadable/malformed instance file). *)
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("csr_solve: error: " ^ msg); exit 2) fmt
+
+let load_instance path =
   let text =
     match path with
     | "-" -> read_all stdin
-    | p ->
-        let ic = open_in p in
-        let s = read_all ic in
-        close_in ic;
-        s
+    | p -> (
+        try
+          let ic = open_in p in
+          let s = read_all ic in
+          close_in ic;
+          s
+        with Sys_error msg -> die "cannot read instance file: %s" msg)
   in
-  let inst = Instance.of_text text in
+  try Instance.of_text text with
+  | Failure msg -> die "malformed instance %s: %s" (if path = "-" then "(stdin)" else path) msg
+  | Invalid_argument msg ->
+      die "malformed instance %s: %s" (if path = "-" then "(stdin)" else path) msg
+
+let setup_observation trace stats stats_json =
+  (match trace with
+  | Some file ->
+      let sink =
+        try Fsa_obs.Sink.jsonl file
+        with Sys_error msg -> die "cannot open trace file: %s" msg
+      in
+      Fsa_obs.Runtime.set_sink (Some sink);
+      at_exit (fun () -> sink.Fsa_obs.Sink.close ())
+  | None -> ());
+  if stats || stats_json <> None then begin
+    let reg = Fsa_obs.Registry.create () in
+    Fsa_obs.Runtime.set_registry (Some reg);
+    at_exit (fun () ->
+        (match stats_json with
+        | Some file -> (
+            try Fsa_obs.Report.write_json file reg
+            with Sys_error msg ->
+              prerr_endline ("csr_solve: error: cannot write stats file: " ^ msg))
+        | None -> ());
+        if stats then begin
+          print_newline ();
+          Fsa_obs.Report.print reg
+        end)
+  end
+
+let solve algorithm show_conjecture scaled epsilon output trace stats stats_json path =
+  setup_observation trace stats stats_json;
+  let inst = load_instance path in
   let sol =
     match algorithm with
     | Csr_improve_a ->
-        if scaled then Csr_improve.solve_scaled ~epsilon inst
-        else fst (Csr_improve.solve inst)
+        if scaled then Some (Csr_improve.solve_scaled ~epsilon inst)
+        else Some (fst (Csr_improve.solve inst))
     | Full_improve_a ->
-        if scaled then Full_improve.solve_scaled ~epsilon inst
-        else fst (Full_improve.solve inst)
+        if scaled then Some (Full_improve.solve_scaled ~epsilon inst)
+        else Some (fst (Full_improve.solve inst))
     | Border_improve_a ->
-        if scaled then Border_improve.solve_scaled ~epsilon inst
-        else fst (Border_improve.solve inst)
-    | Four_approx_a -> One_csr.four_approx inst
-    | Matching_a -> Border_improve.matching_2approx inst
-    | Greedy_a -> Greedy.solve inst
-    | Best_a -> Csr_improve.solve_best inst
+        if scaled then Some (Border_improve.solve_scaled ~epsilon inst)
+        else Some (fst (Border_improve.solve inst))
+    | Four_approx_a -> Some (One_csr.four_approx inst)
+    | Matching_a -> Some (Border_improve.matching_2approx inst)
+    | Greedy_a -> Some (Greedy.solve inst)
+    | Best_a -> Some (Csr_improve.solve_best inst)
     | Exact_a ->
         let _, hl, ml = Exact.solve inst in
         Format.printf "exact optimum: %.4g@." (Conjecture.score_of_layouts inst hl ml);
-        (* report the layout and exit: the exact solver's witness is a
+        (* report the layout and stop: the exact solver's witness is a
            layout, not a match set *)
         let show side (l : Conjecture.layout) =
           String.concat " "
@@ -83,25 +122,29 @@ let solve algorithm show_conjecture scaled epsilon output path =
                     if l.Conjecture.reversed.(i) then n ^ "'" else n)
                   l.Conjecture.order))
         in
-        Format.printf "H layout: %s@.M layout: %s@." (show Species.H hl) (show Species.M ml);
-        exit 0
+        Format.printf "H layout: %s@.M layout: %s@." (show Species.H hl)
+          (show Species.M ml);
+        None
   in
-  (match Solution.validate sol with
-  | Ok () -> ()
-  | Error e -> failwith ("internal error: inconsistent solution: " ^ e));
-  Format.printf "%a@." Solution.pp sol;
-  (match output with
-  | Some out ->
-      let oc = open_out out in
-      output_string oc (Solution.to_text sol);
-      close_out oc;
-      Format.printf "solution written to %s@." out
-  | None -> ());
-  if show_conjecture then begin
-    let conj = Conjecture.of_solution sol in
-    Format.printf "@.H row: %a@.M row: %a@." Fsa_seq.Padded.pp conj.Conjecture.h_row
-      Fsa_seq.Padded.pp conj.Conjecture.m_row
-  end
+  match sol with
+  | None -> ()
+  | Some sol ->
+      (match Solution.validate sol with
+      | Ok () -> ()
+      | Error e -> failwith ("internal error: inconsistent solution: " ^ e));
+      Format.printf "%a@." Solution.pp sol;
+      (match output with
+      | Some out ->
+          let oc = open_out out in
+          output_string oc (Solution.to_text sol);
+          close_out oc;
+          Format.printf "solution written to %s@." out
+      | None -> ());
+      if show_conjecture then begin
+        let conj = Conjecture.of_solution sol in
+        Format.printf "@.H row: %a@.M row: %a@." Fsa_seq.Padded.pp conj.Conjecture.h_row
+          Fsa_seq.Padded.pp conj.Conjecture.m_row
+      end
 
 let algorithm_arg =
   let doc =
@@ -125,6 +168,26 @@ let output_arg =
     & opt (some string) None
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the solution (reload with Solution.of_text).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a JSONL trace (spans, improvement moves, phases) to $(docv).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Collect span/counter/histogram telemetry and print a summary table.")
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"Serialize the telemetry report (schema fsa-obs-report/1) to $(docv).")
+
 let path_arg =
   Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Instance file ('-' for stdin).")
 
@@ -134,6 +197,6 @@ let cmd =
     (Cmd.info "csr_solve" ~doc)
     Term.(
       const solve $ algorithm_arg $ conjecture_arg $ scaled_arg $ epsilon_arg $ output_arg
-      $ path_arg)
+      $ trace_arg $ stats_arg $ stats_json_arg $ path_arg)
 
 let () = exit (Cmd.eval cmd)

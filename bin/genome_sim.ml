@@ -26,8 +26,29 @@ let export_fasta dir h m =
   Fsa_seq.Fasta.write_file (Filename.concat dir "m_contigs.fa") (entries m);
   Printf.printf "contigs exported to %s/{h,m}_contigs.fa\n" dir
 
+let setup_observation trace stats =
+  (match trace with
+  | Some file ->
+      let sink =
+        try Fsa_obs.Sink.jsonl file
+        with Sys_error msg ->
+          prerr_endline ("genome_sim: error: cannot open trace file: " ^ msg);
+          exit 2
+      in
+      Fsa_obs.Runtime.set_sink (Some sink);
+      at_exit (fun () -> sink.Fsa_obs.Sink.close ())
+  | None -> ());
+  if stats then begin
+    let reg = Fsa_obs.Registry.create () in
+    Fsa_obs.Runtime.set_registry (Some reg);
+    at_exit (fun () ->
+        print_newline ();
+        Fsa_obs.Report.print reg)
+  end
+
 let run seed mode regions region_len h_pieces m_pieces subst inversions translocations
-    indels duplications reps show_islands fasta_dir =
+    indels duplications reps show_islands fasta_dir trace stats =
+  setup_observation trace stats;
   let mode = match mode with "oracle" -> `Oracle | _ -> `Discovery in
   let params =
     {
@@ -95,9 +116,21 @@ let term =
     & opt (some string) None
     & info [ "export-fasta" ] ~docv:"DIR" ~doc:"Export the generated contigs as FASTA."
   in
+  let trace =
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a JSONL trace (pipeline phases, spans, solver moves) to $(docv)."
+  in
+  let stats =
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Collect span/counter/histogram telemetry and print a summary table."
+  in
   Term.(
     const run $ seed $ mode $ regions $ region_len $ h_pieces $ m_pieces $ subst
-    $ inversions $ transloc $ indels $ duplications $ reps $ show_islands $ fasta_dir)
+    $ inversions $ transloc $ indels $ duplications $ reps $ show_islands $ fasta_dir
+    $ trace $ stats)
 
 let cmd =
   let doc = "synthetic two-genome order/orient inference benchmark" in

@@ -27,6 +27,11 @@ type anchor = {
   score : float;
 }
 
+let runs_counter = Fsa_obs.Metric.Counter.make "seed.runs_extended"
+let found_counter = Fsa_obs.Metric.Counter.make "seed.anchors_found"
+let filtered_counter = Fsa_obs.Metric.Counter.make "seed.anchors_filtered"
+let dominated_counter = Fsa_obs.Metric.Counter.make "seed.anchors_dominated"
+
 (* One strand: seeds as (diagonal, query-pos) pairs, merged into runs along
    each diagonal, each run extended with x-drop.  Query coordinates here are
    in the possibly reverse-complemented sequence [q]; the caller converts. *)
@@ -79,14 +84,20 @@ let strand_runs ?(params = Dna_align.default) ~max_gap ~x_drop ~min_score idx ~t
     let score = !core_score +. left_score +. right_score in
     (d, q_lo, q_hi, score)
   in
+  Fsa_obs.Metric.Counter.incr ~by:(List.length runs) runs_counter;
   List.filter_map
     (fun run ->
       let d, q_lo, q_hi, score = extend run in
-      if score >= min_score then Some (d, q_lo, q_hi, score) else None)
+      if score >= min_score then Some (d, q_lo, q_hi, score)
+      else begin
+        Fsa_obs.Metric.Counter.incr filtered_counter;
+        None
+      end)
     runs
 
 let anchors ?(params = Dna_align.default) ?(max_gap = 4) ?(x_drop = 10.0)
     ?(min_score = 20.0) idx ~target ~query =
+  Fsa_obs.Span.with_ ~name:"seed.anchors" @@ fun () ->
   let fwd =
     strand_runs ~params ~max_gap ~x_drop ~min_score idx ~target ~q:query
     |> List.map (fun (d, q_lo, q_hi, score) ->
@@ -108,7 +119,9 @@ let anchors ?(params = Dna_align.default) ?(max_gap = 4) ?(x_drop = 10.0)
              score;
            })
   in
-  List.sort (fun a b -> compare b.score a.score) (fwd @ rev)
+  let all = fwd @ rev in
+  Fsa_obs.Metric.Counter.incr ~by:(List.length all) found_counter;
+  List.sort (fun a b -> compare b.score a.score) all
 
 let contains_range (lo1, hi1) (lo2, hi2) = lo1 <= lo2 && hi2 <= hi1
 
@@ -123,7 +136,11 @@ let filter_dominated anchors =
           && contains_range (b.q_lo, b.q_hi) (a.q_lo, a.q_hi))
         kept
     in
-    if dominated then kept else a :: kept
+    if dominated then begin
+      Fsa_obs.Metric.Counter.incr dominated_counter;
+      kept
+    end
+    else a :: kept
   in
   List.rev (List.fold_left keep [] anchors)
 

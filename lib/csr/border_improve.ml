@@ -104,9 +104,13 @@ let attempts inst candidates sol =
   in
   i2 @ i3
 
+let candidate_counter = Fsa_obs.Metric.Counter.make "border_improve.border_candidates"
+
 let solve ?min_gain ?max_improvements inst =
+  Fsa_obs.Span.with_ ~name:"border_improve.solve" @@ fun () ->
   let candidates = border_candidates inst in
-  Improve.run ?min_gain ?max_improvements
+  Fsa_obs.Metric.Counter.incr ~by:(List.length candidates) candidate_counter;
+  Improve.run ?min_gain ?max_improvements ~name:"border_improve"
     ~attempts:(attempts inst candidates)
     ~init:(Solution.empty inst) ()
 
@@ -114,6 +118,7 @@ let solve_scaled ?epsilon inst =
   Improve.with_scaling ?epsilon inst (fun scaled -> fst (solve scaled))
 
 let matching_2approx inst =
+  Fsa_obs.Span.with_ ~name:"border_improve.matching_2approx" @@ fun () ->
   let nh = Instance.fragment_count inst Species.H in
   let nm = Instance.fragment_count inst Species.M in
   let w =

@@ -146,9 +146,14 @@ let attempts config inst candidates sol =
   in
   i2 @ i1 @ i3
 
+let candidate_counter = Fsa_obs.Metric.Counter.make "csr_improve.border_candidates"
+
 let solve ?(config = default_config) inst =
+  Fsa_obs.Span.with_ ~name:"csr_improve.solve" @@ fun () ->
   let candidates = Border_improve.border_candidates inst in
+  Fsa_obs.Metric.Counter.incr ~by:(List.length candidates) candidate_counter;
   Improve.run ~min_gain:config.min_gain ~max_improvements:config.max_improvements
+    ~name:"csr_improve"
     ~attempts:(attempts config inst candidates)
     ~init:(Solution.empty inst) ()
 
@@ -156,6 +161,7 @@ let solve_scaled ?config ?epsilon inst =
   Improve.with_scaling ?epsilon inst (fun scaled -> fst (solve ?config scaled))
 
 let solve_best inst =
+  Fsa_obs.Span.with_ ~name:"csr_improve.solve_best" @@ fun () ->
   let sols =
     [
       fst (solve inst);

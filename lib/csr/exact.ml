@@ -38,6 +38,10 @@ let iter_orientations k f =
 let solve ?(budget = 2_000_000) inst =
   if layout_count inst > budget then
     failwith "Exact.solve: layout budget exceeded (instance too large)";
+  Fsa_obs.Span.with_ ~name:"exact.solve" @@ fun () ->
+  Fsa_obs.Metric.Gauge.set
+    (Fsa_obs.Metric.Gauge.make "exact.layouts")
+    (float_of_int (layout_count inst));
   let kh = Instance.fragment_count inst Species.H in
   let km = Instance.fragment_count inst Species.M in
   let best = ref neg_infinity in

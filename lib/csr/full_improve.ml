@@ -82,11 +82,16 @@ let attempts ?(site_mode = `Extremes) inst =
   per_direction Species.M;
   List.rev !acc
 
+let attempt_counter = Fsa_obs.Metric.Counter.make "full_improve.attempt_space"
+
 let solve ?site_mode ?min_gain ?max_improvements inst =
   (* The I1 parameter space does not depend on the current solution, so the
      attempt list is built once; applicability is re-checked inside apply. *)
+  Fsa_obs.Span.with_ ~name:"full_improve.solve" @@ fun () ->
   let atts = attempts ?site_mode inst in
-  Improve.run ?min_gain ?max_improvements ~attempts:(fun _ -> atts)
+  Fsa_obs.Metric.Counter.incr ~by:(List.length atts) attempt_counter;
+  Improve.run ?min_gain ?max_improvements ~name:"full_improve"
+    ~attempts:(fun _ -> atts)
     ~init:(Solution.empty inst) ()
 
 let solve_scaled ?site_mode ?epsilon inst =

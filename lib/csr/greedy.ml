@@ -68,7 +68,10 @@ let candidate_matches inst sol =
   in
   full_candidates Species.H @ full_candidates Species.M @ border_candidates ()
 
+let candidate_counter = Fsa_obs.Metric.Counter.make "greedy.candidates"
+
 let solve ?(max_steps = 10_000) inst =
+  Fsa_obs.Span.with_ ~name:"greedy.solve" @@ fun () ->
   let rec step sol steps =
     if steps = 0 then sol
     else begin
@@ -77,6 +80,7 @@ let solve ?(max_steps = 10_000) inst =
           (fun (a : Cmatch.t) b -> compare b.Cmatch.score a.Cmatch.score)
           (candidate_matches inst sol)
       in
+      Fsa_obs.Metric.Counter.incr ~by:(List.length cands) candidate_counter;
       (* Best candidate that actually keeps the solution consistent (border
          path/cycle constraints can reject shape-valid candidates). *)
       let rec try_add = function
@@ -85,7 +89,19 @@ let solve ?(max_steps = 10_000) inst =
             match Solution.add sol c with Ok sol' -> Some sol' | Error _ -> try_add rest)
       in
       match try_add cands with
-      | Some sol' -> step sol' (steps - 1)
+      | Some sol' ->
+          if Fsa_obs.Runtime.tracing () then
+            Fsa_obs.Runtime.emit
+              (Fsa_obs.Event.Move
+                 {
+                   solver = "greedy";
+                   round = max_steps - steps;
+                   label = "add best candidate";
+                   accepted = true;
+                   score_before = Solution.score sol;
+                   score_after = Solution.score sol';
+                 });
+          step sol' (steps - 1)
       | None -> sol
     end
   in

@@ -3,29 +3,65 @@ open Fsa_seq
 type attempt = { label : string; apply : Solution.t -> Solution.t option }
 type stats = { rounds : int; improvements : int; evaluated : int }
 
-let run ?(min_gain = 1e-9) ?(max_improvements = 100_000) ~attempts ~init () =
+let evaluated_counter = Fsa_obs.Metric.Counter.make "improve.evaluated"
+let accepted_counter = Fsa_obs.Metric.Counter.make "improve.accepted"
+let rejected_counter = Fsa_obs.Metric.Counter.make "improve.rejected"
+
+let run ?(min_gain = 1e-9) ?(max_improvements = 100_000) ?(name = "improve")
+    ~attempts ~init () =
+  Fsa_obs.Span.with_ ~name:(name ^ ".run") @@ fun () ->
   let evaluated = ref 0 in
   let rec loop sol rounds improvements =
     if improvements >= max_improvements then
       (sol, { rounds; improvements; evaluated = !evaluated })
     else begin
       let base = Solution.score sol in
-      let rec scan = function
-        | [] -> None
+      let rec scan scanned = function
+        | [] -> (None, scanned)
         | a :: rest -> (
             incr evaluated;
             match a.apply sol with
-            | Some sol' when Solution.score sol' -. base > min_gain -> Some sol'
-            | Some _ | None -> scan rest)
+            | Some sol' when Solution.score sol' -. base > min_gain ->
+                (Some (a, sol'), scanned + 1)
+            | Some _ | None -> scan (scanned + 1) rest)
       in
-      match scan (attempts sol) with
-      | Some sol' -> loop sol' (rounds + 1) (improvements + 1)
-      | None -> (sol, { rounds = rounds + 1; improvements; evaluated = !evaluated })
+      match scan 0 (attempts sol) with
+      | Some (a, sol'), scanned ->
+          if Fsa_obs.Runtime.observing () then begin
+            Fsa_obs.Metric.Counter.incr ~by:scanned evaluated_counter;
+            Fsa_obs.Metric.Counter.incr accepted_counter;
+            Fsa_obs.Metric.Counter.incr ~by:(scanned - 1) rejected_counter;
+            if Fsa_obs.Runtime.tracing () then
+              Fsa_obs.Runtime.emit
+                (Fsa_obs.Event.Move
+                   {
+                     solver = name;
+                     round = rounds;
+                     label = a.label;
+                     accepted = true;
+                     score_before = base;
+                     score_after = Solution.score sol';
+                   })
+          end;
+          loop sol' (rounds + 1) (improvements + 1)
+      | None, scanned ->
+          if Fsa_obs.Runtime.observing () then begin
+            Fsa_obs.Metric.Counter.incr ~by:scanned evaluated_counter;
+            Fsa_obs.Metric.Counter.incr ~by:scanned rejected_counter;
+            if Fsa_obs.Runtime.tracing () then
+              Fsa_obs.Runtime.emit
+                (Fsa_obs.Event.Step
+                   { solver = name; round = rounds; evaluated = scanned; score = base })
+          end;
+          (sol, { rounds = rounds + 1; improvements; evaluated = !evaluated })
     end
   in
   loop init 0 0
 
+let tpa_fill_counter = Fsa_obs.Metric.Counter.make "improve.tpa_fill_calls"
+
 let tpa_fill sol ~host:(side, frag) ~zones ~exclude =
+  Fsa_obs.Metric.Counter.incr tpa_fill_counter;
   let inst = Solution.instance sol in
   let other = Species.other side in
   let jobs = Instance.fragment_count inst other in

@@ -24,6 +24,7 @@ type stats = {
 val run :
   ?min_gain:float ->
   ?max_improvements:int ->
+  ?name:string ->
   attempts:(Solution.t -> attempt list) ->
   init:Solution.t ->
   unit ->
@@ -31,7 +32,14 @@ val run :
 (** First-improvement local search: scan the attempt list, commit the first
     attempt whose gain exceeds [min_gain] (default 1e-9), restart the scan;
     finish when a full scan commits nothing or [max_improvements]
-    (default 100_000) is reached. *)
+    (default 100_000) is reached.
+
+    Telemetry (no-op unless [Fsa_obs] observation is on): the whole loop is
+    wrapped in a span [<name>.run] ([name] defaults to ["improve"]); every
+    committed attempt emits a [Move] event with its label and score delta;
+    every exhausted scan emits a [Step] event; counters
+    [improve.evaluated]/[improve.accepted]/[improve.rejected] aggregate
+    across rounds. *)
 
 val tpa_fill :
   Solution.t ->

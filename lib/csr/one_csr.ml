@@ -12,7 +12,10 @@ let offsets inst side =
   done;
   off
 
+let isp_candidate_counter = Fsa_obs.Metric.Counter.make "one_csr.isp_candidates"
+
 let isp_of inst ~jobs_side =
+  Fsa_obs.Span.with_ ~name:"one_csr.isp_build" @@ fun () ->
   let sites_side = Species.other jobs_side in
   let off = offsets inst sites_side in
   let jobs = Instance.fragment_count inst jobs_side in
@@ -40,9 +43,14 @@ let isp_of inst ~jobs_side =
         (Site.all_subsites len)
     done
   done;
+  Fsa_obs.Metric.Counter.incr ~by:(List.length !cands) isp_candidate_counter;
   Fsa_intervals.Isp.create ~jobs !cands
 
 let solve_side ?(algorithm = Tpa) inst ~jobs_side =
+  Fsa_obs.Span.with_
+    ~name:
+      (Printf.sprintf "one_csr.solve_side.%s" (Species.to_string jobs_side))
+  @@ fun () ->
   let sites_side = Species.other jobs_side in
   let off = offsets inst sites_side in
   let isp = isp_of inst ~jobs_side in
@@ -75,6 +83,7 @@ let solve_side ?(algorithm = Tpa) inst ~jobs_side =
   | Error e -> invalid_arg ("One_csr.solve_side: inconsistent output: " ^ e)
 
 let four_approx ?algorithm inst =
+  Fsa_obs.Span.with_ ~name:"one_csr.four_approx" @@ fun () ->
   let a = solve_side ?algorithm inst ~jobs_side:Species.H in
   let b = solve_side ?algorithm inst ~jobs_side:Species.M in
   if Solution.score a >= Solution.score b then a else b

@@ -26,6 +26,7 @@ let s_blocks t = t.s
 (* Step 0: make every occurrence a distinct forward letter.            *)
 
 let uniquify inst =
+  Fsa_obs.Span.with_ ~name:"reduction.uniquify" @@ fun () ->
   let alphabet = Alphabet.create () in
   let next = ref 0 in
   let originals = ref [] in
@@ -75,6 +76,7 @@ let uniquify inst =
 
 let build ~epsilon inst =
   if epsilon <= 0.0 then invalid_arg "Reduction.build: epsilon must be positive";
+  Fsa_obs.Span.with_ ~name:"reduction.build" @@ fun () ->
   let unique = uniquify inst in
   let nh = Instance.total_length unique Species.H in
   let k = nh + Instance.total_length unique Species.M in

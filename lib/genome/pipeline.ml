@@ -234,11 +234,20 @@ let generate rng p =
   (h, m)
 
 let run rng ?(mode = `Oracle) p ~solver =
-  let h, m = generate rng p in
+  Fsa_obs.Span.with_ ~name:"pipeline.run" @@ fun () ->
+  Fsa_obs.Span.phase "generate";
+  let h, m = Fsa_obs.Span.with_ ~name:"pipeline.generate" (fun () -> generate rng p) in
+  Fsa_obs.Span.phase "build";
   let built =
-    match mode with
-    | `Oracle -> oracle_instance ~h ~m
-    | `Discovery -> discovery_instance ~h ~m ()
+    Fsa_obs.Span.with_ ~name:"pipeline.build" (fun () ->
+        match mode with
+        | `Oracle -> oracle_instance ~h ~m
+        | `Discovery -> discovery_instance ~h ~m ())
   in
-  let sol = solver built.instance in
-  (built, sol, Metrics.evaluate built sol)
+  Fsa_obs.Span.phase "solve";
+  let sol = Fsa_obs.Span.with_ ~name:"pipeline.solve" (fun () -> solver built.instance) in
+  Fsa_obs.Span.phase "score";
+  let report =
+    Fsa_obs.Span.with_ ~name:"pipeline.score" (fun () -> Metrics.evaluate built sol)
+  in
+  (built, sol, report)

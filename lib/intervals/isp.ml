@@ -34,7 +34,11 @@ let is_feasible t sel =
    already-stacked candidates it conflicts with (interval overlap or same
    job); push iff the value is positive.  Selection: walk the stack in LIFO
    order, keeping every candidate compatible with what is already kept. *)
+let size_hist = Fsa_obs.Metric.Histogram.make "isp.candidates"
+
 let tpa t =
+  Fsa_obs.Span.with_ ~name:"isp.tpa" @@ fun () ->
+  Fsa_obs.Metric.Histogram.observe_int size_hist (Array.length t.candidates);
   let stack = ref [] in
   (* Stacked entries carry their computed value.  Stack is naturally in
      decreasing push order, i.e. decreasing right endpoint order. *)
@@ -84,6 +88,8 @@ let tpa t =
 exception Node_limit
 
 let exact ?(node_limit = 20_000_000) t =
+  Fsa_obs.Span.with_ ~name:"isp.exact" @@ fun () ->
+  Fsa_obs.Metric.Histogram.observe_int size_hist (Array.length t.candidates);
   let cands = t.candidates in
   let n = Array.length cands in
   (* suffix_ub.(i): sum over jobs of the best positive profit among
@@ -130,6 +136,8 @@ let exact ?(node_limit = 20_000_000) t =
   (!best, List.rev !best_sel)
 
 let greedy t =
+  Fsa_obs.Span.with_ ~name:"isp.greedy" @@ fun () ->
+  Fsa_obs.Metric.Histogram.observe_int size_hist (Array.length t.candidates);
   let sorted =
     List.sort (fun a b -> compare b.profit a.profit)
       (List.filter (fun c -> c.profit > 0.0) (candidates t))

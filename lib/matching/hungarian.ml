@@ -55,6 +55,8 @@ let assignment cost n =
   (* p.(j) is the row (1-based) assigned to column j. *)
   Array.init n (fun j -> p.(j + 1) - 1)
 
+let size_hist = Fsa_obs.Metric.Histogram.make "hungarian.n"
+
 let solve w =
   let rows = Array.length w in
   let cols = if rows = 0 then 0 else Array.length w.(0) in
@@ -64,6 +66,8 @@ let solve w =
     w;
   if rows = 0 || cols = 0 then ([], 0.0)
   else begin
+    Fsa_obs.Span.with_ ~name:"hungarian.solve" @@ fun () ->
+    Fsa_obs.Metric.Histogram.observe_int size_hist (rows + cols);
     let n = rows + cols in
     let cost = Array.make_matrix n n 0.0 in
     for i = 0 to rows - 1 do

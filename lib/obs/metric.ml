@@ -1,0 +1,46 @@
+(* Handles are just names; each operation is one bool read when telemetry
+   is off, and a hashtable update on the current registry when on.  Handles
+   therefore survive registry swaps. *)
+
+module Counter = struct
+  type t = string
+
+  let make name = name
+  let name t = t
+
+  let add t by =
+    if Runtime.observing () then
+      match Runtime.registry () with
+      | Some r -> Registry.incr_counter r t by
+      | None -> ()
+
+  let incr ?(by = 1) t = add t (float_of_int by)
+end
+
+module Gauge = struct
+  type t = string
+
+  let make name = name
+  let name t = t
+
+  let set t v =
+    if Runtime.observing () then
+      match Runtime.registry () with
+      | Some r -> Registry.set_gauge r t v
+      | None -> ()
+end
+
+module Histogram = struct
+  type t = string
+
+  let make name = name
+  let name t = t
+
+  let observe t v =
+    if Runtime.observing () then
+      match Runtime.registry () with
+      | Some r -> Registry.observe r t v
+      | None -> ()
+
+  let observe_int t v = observe t (float_of_int v)
+end

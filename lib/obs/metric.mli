@@ -1,0 +1,29 @@
+(** Typed metric handles.  A handle is cheap to create (it is just the
+    metric name), safe to keep in module toplevels, and writes to whatever
+    registry is installed at call time — zero-cost when none is. *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  val name : t -> string
+  val incr : ?by:int -> t -> unit
+  val add : t -> float -> unit
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  val name : t -> string
+  val set : t -> float -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val make : string -> t
+  val name : t -> string
+  val observe : t -> float -> unit
+  val observe_int : t -> int -> unit
+end

@@ -1,0 +1,145 @@
+type span_stat = {
+  mutable s_count : int;
+  mutable total_ns : float;
+  mutable s_minor_words : float;
+  mutable s_major_words : float;
+}
+
+(* Histograms keep exact values up to a cap, then degrade to the running
+   moments (count/sum/min/max stay exact). *)
+let value_cap = 8192
+
+type hist = {
+  mutable h_count : int;
+  mutable sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  mutable values : float list;
+  mutable stored : int;
+}
+
+type t = {
+  counters : (string, float ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, hist) Hashtbl.t;
+  spans : (string, span_stat) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+    spans = Hashtbl.create 32;
+  }
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.histograms;
+  Hashtbl.reset t.spans
+
+let incr_counter t name by =
+  match Hashtbl.find_opt t.counters name with
+  | Some cell -> cell := !cell +. by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some cell -> cell := v
+  | None -> Hashtbl.add t.gauges name (ref v)
+
+let observe t name v =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h ->
+      h.h_count <- h.h_count + 1;
+      h.sum <- h.sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      if h.stored < value_cap then begin
+        h.values <- v :: h.values;
+        h.stored <- h.stored + 1
+      end
+  | None ->
+      Hashtbl.add t.histograms name
+        { h_count = 1; sum = v; h_min = v; h_max = v; values = [ v ]; stored = 1 }
+
+let record_span t name ~elapsed_ns ~minor_words ~major_words =
+  match Hashtbl.find_opt t.spans name with
+  | Some s ->
+      s.s_count <- s.s_count + 1;
+      s.total_ns <- s.total_ns +. elapsed_ns;
+      s.s_minor_words <- s.s_minor_words +. minor_words;
+      s.s_major_words <- s.s_major_words +. major_words
+  | None ->
+      Hashtbl.add t.spans name
+        {
+          s_count = 1;
+          total_ns = elapsed_ns;
+          s_minor_words = minor_words;
+          s_major_words = major_words;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+let sorted_bindings tbl value_of =
+  Hashtbl.fold (fun k v acc -> (k, value_of v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters t = sorted_bindings t.counters (fun c -> !c)
+let gauges t = sorted_bindings t.gauges (fun g -> !g)
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some c -> Some !c | None -> None
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.gauges name with Some g -> Some !g | None -> None
+
+type hist_summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+}
+
+let summarize_hist h =
+  let xs = Array.of_list h.values in
+  let pct p =
+    if Array.length xs = 0 then Float.nan else Fsa_util.Stats.percentile xs p
+  in
+  {
+    count = h.h_count;
+    mean = (if h.h_count = 0 then Float.nan else h.sum /. float_of_int h.h_count);
+    min = h.h_min;
+    max = h.h_max;
+    p50 = pct 50.0;
+    p90 = pct 90.0;
+  }
+
+let histograms t = sorted_bindings t.histograms summarize_hist
+
+let histogram_summary t name =
+  Option.map summarize_hist (Hashtbl.find_opt t.histograms name)
+
+type span_summary = {
+  span_count : int;
+  span_total_ns : float;
+  span_minor_words : float;
+  span_major_words : float;
+}
+
+let span_of_stat (s : span_stat) =
+  {
+    span_count = s.s_count;
+    span_total_ns = s.total_ns;
+    span_minor_words = s.s_minor_words;
+    span_major_words = s.s_major_words;
+  }
+
+let spans t = sorted_bindings t.spans span_of_stat
+
+let span_summary t name =
+  Option.map span_of_stat (Hashtbl.find_opt t.spans name)

@@ -1,0 +1,49 @@
+(** Aggregating store for counters, gauges, histograms, and span totals.
+
+    A registry is plain mutable state with no global hooks of its own; the
+    process-wide "current" registry is managed by {!Runtime} and written to
+    by {!Metric} and {!Span}.  Keeping the type first-class lets tests (and
+    future multi-run drivers) swap registries in and out. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+(** {1 Recording} *)
+
+val incr_counter : t -> string -> float -> unit
+val set_gauge : t -> string -> float -> unit
+val observe : t -> string -> float -> unit
+
+val record_span :
+  t -> string -> elapsed_ns:float -> minor_words:float -> major_words:float -> unit
+
+(** {1 Snapshots} (sorted by name) *)
+
+val counters : t -> (string * float) list
+val gauges : t -> (string * float) list
+val counter_value : t -> string -> float option
+val gauge_value : t -> string -> float option
+
+type hist_summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+}
+
+val histograms : t -> (string * hist_summary) list
+val histogram_summary : t -> string -> hist_summary option
+
+type span_summary = {
+  span_count : int;
+  span_total_ns : float;
+  span_minor_words : float;
+  span_major_words : float;
+}
+
+val spans : t -> (string * span_summary) list
+val span_summary : t -> string -> span_summary option

@@ -1,0 +1,114 @@
+module Tablefmt = Fsa_util.Tablefmt
+
+let pretty_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let span_table reg =
+  let t =
+    Tablefmt.create
+      [ ("span", Tablefmt.Left); ("calls", Tablefmt.Right);
+        ("total", Tablefmt.Right); ("mean", Tablefmt.Right);
+        ("minor words", Tablefmt.Right) ]
+  in
+  List.iter
+    (fun (name, (s : Registry.span_summary)) ->
+      Tablefmt.add_row t
+        [ name; string_of_int s.Registry.span_count;
+          pretty_ns s.Registry.span_total_ns;
+          pretty_ns (s.Registry.span_total_ns /. float_of_int s.Registry.span_count);
+          Printf.sprintf "%.3g" s.Registry.span_minor_words ])
+    (Registry.spans reg);
+  t
+
+let counter_table reg =
+  let t = Tablefmt.create [ ("counter", Tablefmt.Left); ("value", Tablefmt.Right) ] in
+  List.iter
+    (fun (name, v) -> Tablefmt.add_row t [ name; Printf.sprintf "%.6g" v ])
+    (Registry.counters reg);
+  List.iter
+    (fun (name, v) ->
+      Tablefmt.add_row t [ name ^ " (gauge)"; Printf.sprintf "%.6g" v ])
+    (Registry.gauges reg);
+  t
+
+let histogram_table reg =
+  let t =
+    Tablefmt.create
+      [ ("histogram", Tablefmt.Left); ("n", Tablefmt.Right);
+        ("mean", Tablefmt.Right); ("p50", Tablefmt.Right);
+        ("p90", Tablefmt.Right); ("min", Tablefmt.Right); ("max", Tablefmt.Right) ]
+  in
+  List.iter
+    (fun (name, (h : Registry.hist_summary)) ->
+      let f v = Printf.sprintf "%.4g" v in
+      Tablefmt.add_row t
+        [ name; string_of_int h.Registry.count; f h.Registry.mean;
+          f h.Registry.p50; f h.Registry.p90; f h.Registry.min; f h.Registry.max ])
+    (Registry.histograms reg);
+  t
+
+let render reg =
+  let buf = Buffer.create 1024 in
+  let section title table rows =
+    if rows > 0 then begin
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Tablefmt.render table);
+      Buffer.add_string buf "\n\n"
+    end
+  in
+  section "-- spans --" (span_table reg) (List.length (Registry.spans reg));
+  section "-- counters --" (counter_table reg)
+    (List.length (Registry.counters reg) + List.length (Registry.gauges reg));
+  section "-- histograms --" (histogram_table reg)
+    (List.length (Registry.histograms reg));
+  if Buffer.length buf = 0 then "(no telemetry recorded)\n" else Buffer.contents buf
+
+let print reg = print_string (render reg)
+
+let to_json reg =
+  let spans =
+    List.map
+      (fun (name, (s : Registry.span_summary)) ->
+        Json.Obj
+          [ ("name", Json.String name); ("count", Json.Int s.Registry.span_count);
+            ("total_ns", Json.Float s.Registry.span_total_ns);
+            ("minor_words", Json.Float s.Registry.span_minor_words);
+            ("major_words", Json.Float s.Registry.span_major_words) ])
+      (Registry.spans reg)
+  in
+  let scalars kind bindings =
+    List.map
+      (fun (name, v) ->
+        Json.Obj
+          [ ("name", Json.String name); ("kind", Json.String kind);
+            ("value", Json.Float v) ])
+      bindings
+  in
+  let histograms =
+    List.map
+      (fun (name, (h : Registry.hist_summary)) ->
+        Json.Obj
+          [ ("name", Json.String name); ("count", Json.Int h.Registry.count);
+            ("mean", Json.Float h.Registry.mean); ("p50", Json.Float h.Registry.p50);
+            ("p90", Json.Float h.Registry.p90); ("min", Json.Float h.Registry.min);
+            ("max", Json.Float h.Registry.max) ])
+      (Registry.histograms reg)
+  in
+  Json.Obj
+    [ ("schema", Json.String "fsa-obs-report/1");
+      ("spans", Json.List spans);
+      ( "metrics",
+        Json.List
+          (scalars "counter" (Registry.counters reg)
+          @ scalars "gauge" (Registry.gauges reg)) );
+      ("histograms", Json.List histograms) ]
+
+let write_json path reg =
+  let oc = open_out path in
+  output_string oc (Json.to_string (to_json reg));
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,10 @@
+(** Run-summary rendering of a {!Registry}: aligned tables (spans, counters
+    and gauges, histograms) via [Fsa_util.Tablefmt], and a JSON document
+    with schema ["fsa-obs-report/1"]. *)
+
+val render : Registry.t -> string
+val print : Registry.t -> unit
+val to_json : Registry.t -> Json.t
+val write_json : string -> Registry.t -> unit
+val pretty_ns : float -> string
+(** Human-scaled duration: ["123 ns"], ["4.56 us"], ["7.89 ms"], ["1.23 s"]. *)

@@ -1,0 +1,43 @@
+(* The global-but-swappable switchboard.  Everything is off by default:
+   instrumentation sites guard on [active] (a single bool read) and build
+   no events, so uninstrumented runs pay one branch per site. *)
+
+let current_sink : Sink.t option ref = ref None
+let current_registry : Registry.t option ref = ref None
+let active = ref false
+
+let refresh () =
+  active := Option.is_some !current_sink || Option.is_some !current_registry
+
+let set_sink s =
+  current_sink := s;
+  refresh ()
+
+let set_registry r =
+  current_registry := r;
+  refresh ()
+
+let sink () = !current_sink
+let registry () = !current_registry
+let observing () = !active
+let tracing () = Option.is_some !current_sink
+
+let emit ev = match !current_sink with Some s -> s.Sink.emit ev | None -> ()
+
+let with_observation ?sink:s ?registry:r f =
+  let old_sink = !current_sink and old_registry = !current_registry in
+  current_sink := s;
+  current_registry := r;
+  refresh ();
+  let restore () =
+    current_sink := old_sink;
+    current_registry := old_registry;
+    refresh ()
+  in
+  match f () with
+  | v ->
+      restore ();
+      v
+  | exception e ->
+      restore ();
+      raise e

@@ -1,0 +1,28 @@
+(** Process-wide observation state: at most one event sink and one metric
+    registry, both [None] by default.  Instrumentation sites check
+    {!observing} (one bool read) before building any event or touching any
+    table, so disabled telemetry is effectively free. *)
+
+val set_sink : Sink.t option -> unit
+(** Install (or remove) the event sink.  The caller keeps ownership: call
+    [Sink.close] yourself when done. *)
+
+val set_registry : Registry.t option -> unit
+val sink : unit -> Sink.t option
+val registry : unit -> Registry.t option
+
+val observing : unit -> bool
+(** True iff a sink or a registry is installed. *)
+
+val tracing : unit -> bool
+(** True iff a sink is installed (events will actually go somewhere). *)
+
+val emit : Event.t -> unit
+(** Send one event to the current sink, if any.  Callers should guard with
+    {!tracing} (or {!observing}) to avoid allocating events when disabled. *)
+
+val with_observation :
+  ?sink:Sink.t -> ?registry:Registry.t -> (unit -> 'a) -> 'a
+(** Run [f] with the given sink/registry installed, restoring the previous
+    configuration afterwards (also on exceptions).  Omitted arguments mean
+    "off", not "keep". *)

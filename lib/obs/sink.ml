@@ -1,0 +1,46 @@
+type t = { emit : Event.t -> unit; close : unit -> unit }
+
+let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+
+let pretty ?(ppf = Format.err_formatter) () =
+  {
+    emit = (fun ev -> Format.fprintf ppf "%a@." Event.pp ev);
+    close = (fun () -> Format.pp_print_flush ppf ());
+  }
+
+let jsonl path =
+  let oc = open_out path in
+  let buf = Buffer.create 512 in
+  let t0 = Unix.gettimeofday () in
+  let emit ev =
+    Buffer.clear buf;
+    (* Prefix every line with a relative timestamp; Event.of_json ignores
+       fields it does not know. *)
+    let json =
+      match Event.to_json ev with
+      | Json.Obj fields ->
+          Json.Obj (("ts", Json.Float (Unix.gettimeofday () -. t0)) :: fields)
+      | other -> other
+    in
+    Json.to_buffer buf json;
+    Buffer.add_char buf '\n';
+    Buffer.output_buffer oc buf
+  in
+  { emit; close = (fun () -> close_out oc) }
+
+let memory () =
+  let events = ref [] in
+  ( { emit = (fun ev -> events := ev :: !events); close = (fun () -> ()) },
+    fun () -> List.rev !events )
+
+let tee a b =
+  {
+    emit =
+      (fun ev ->
+        a.emit ev;
+        b.emit ev);
+    close =
+      (fun () ->
+        a.close ();
+        b.close ());
+  }

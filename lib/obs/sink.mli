@@ -1,0 +1,20 @@
+(** Pluggable destinations for the trace-event stream. *)
+
+type t = { emit : Event.t -> unit; close : unit -> unit }
+
+val null : t
+(** Swallows every event.  Installing it exercises the instrumentation
+    paths without producing output — solver results must be identical. *)
+
+val pretty : ?ppf:Format.formatter -> unit -> t
+(** Human-readable lines, indented by span depth (default stderr). *)
+
+val jsonl : string -> t
+(** One JSON object per line appended to [path]; each line carries the
+    event fields of {!Event.to_json} plus a relative ["ts"] timestamp in
+    seconds.  [close] flushes and closes the file. *)
+
+val memory : unit -> t * (unit -> Event.t list)
+(** In-memory sink for tests; the thunk returns events in emission order. *)
+
+val tee : t -> t -> t

@@ -1,0 +1,42 @@
+let depth = ref 0
+
+let with_ ~name f =
+  if not (Runtime.observing ()) then f ()
+  else begin
+    let d = !depth in
+    if Runtime.tracing () then Runtime.emit (Event.Span_begin { name; depth = d });
+    incr depth;
+    (* On OCaml 5.1 [Gc.quick_stat] reports minor_words only as of the last
+       minor collection; [Gc.minor_words ()] reads the live allocation
+       pointer. *)
+    let m0 = Gc.minor_words () in
+    let g0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    let finish () =
+      let t1 = Unix.gettimeofday () in
+      let g1 = Gc.quick_stat () in
+      let m1 = Gc.minor_words () in
+      decr depth;
+      let elapsed_ns = (t1 -. t0) *. 1e9 in
+      let minor_words = m1 -. m0 in
+      let major_words = g1.Gc.major_words -. g0.Gc.major_words in
+      (match Runtime.registry () with
+      | Some r -> Registry.record_span r name ~elapsed_ns ~minor_words ~major_words
+      | None -> ());
+      if Runtime.tracing () then
+        Runtime.emit
+          (Event.Span_end { name; depth = d; elapsed_ns; minor_words; major_words })
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let phase name =
+  if Runtime.tracing () then Runtime.emit (Event.Phase { name })
+
+let current_depth () = !depth

@@ -23,7 +23,8 @@ let sorted_copy xs =
 
 let percentile xs p =
   check_nonempty "Stats.percentile" xs;
-  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of [0,100]";
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile: p out of [0,100]";
   let ys = sorted_copy xs in
   let n = Array.length ys in
   let rank = p /. 100.0 *. float_of_int (n - 1) in

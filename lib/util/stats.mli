@@ -13,7 +13,8 @@ val median : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] for [p] in [\[0, 100\]], linear interpolation between
-    order statistics. *)
+    order statistics.  Raises [Invalid_argument] on empty input and on [p]
+    outside the range (including NaN) — it never reads out of bounds. *)
 
 val min_max : float array -> float * float
 

@@ -152,6 +152,55 @@ let test_pipeline_discovery_vs_oracle () =
   check_bool "discovery coverage" true (run `Discovery 23 >= 0.6)
 
 (* ------------------------------------------------------------------ *)
+(* CLI error handling: csr_solve must fail cleanly, not with a raw
+   exception trace.  The executable declared in (deps) lives next to this
+   test binary's directory (_build/default/{test,bin}), so resolve it from
+   [Sys.executable_name] rather than the cwd.                              *)
+
+let csr_solve_exe =
+  let dir = Filename.dirname Sys.executable_name in
+  let dir = if Filename.is_relative dir then Filename.concat (Sys.getcwd ()) dir else dir in
+  Filename.concat dir (Filename.concat Filename.parent_dir_name
+                         (Filename.concat "bin" "csr_solve.exe"))
+
+let run_csr_solve args =
+  let out = Filename.temp_file "csr_solve_out" ".txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote csr_solve_exe) args
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_cli_missing_file () =
+  let code, text = run_csr_solve "/nonexistent/instance.txt" in
+  check_int "exit code" 2 code;
+  check_bool "prefixed error" true (contains ~needle:"csr_solve: error" text);
+  check_bool "no raw backtrace" false (contains ~needle:"Fatal error" text)
+
+let test_cli_malformed_file () =
+  let bad = Filename.temp_file "csr_bad" ".txt" in
+  let oc = open_out bad in
+  output_string oc "this is not an instance\n%%%\n";
+  close_out oc;
+  let code, text = run_csr_solve (Filename.quote bad) in
+  Sys.remove bad;
+  check_int "exit code" 2 code;
+  check_bool "prefixed error" true (contains ~needle:"csr_solve: error" text);
+  check_bool "names the file" true (contains ~needle:"csr_bad" text);
+  check_bool "no raw backtrace" false (contains ~needle:"Fatal error" text)
+
+(* ------------------------------------------------------------------ *)
 (* Cross-checking MS against the conjecture semantics                   *)
 
 let test_ms_is_achievable_qcheck =
@@ -187,6 +236,11 @@ let () =
         ] );
       ( "hardness",
         [ Alcotest.test_case "gadget chain" `Quick test_gadget_to_csr_chain ] );
+      ( "cli",
+        [
+          Alcotest.test_case "missing instance file" `Quick test_cli_missing_file;
+          Alcotest.test_case "malformed instance file" `Quick test_cli_malformed_file;
+        ] );
       ( "genome",
         [
           Alcotest.test_case "larger scale" `Quick test_pipeline_larger_scale;

@@ -1,0 +1,253 @@
+(* Telemetry subsystem tests: span nesting, counter aggregation across
+   registry swaps, JSONL round-trips, and the zero-interference guarantee
+   (instrumented solvers return bit-identical solutions). *)
+
+open Fsa_obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Int 3);
+        ("b", Json.Float 2.5);
+        ("c", Json.String "x\"y\n");
+        ("d", Json.List [ Json.Bool true; Json.Null ]);
+      ]
+  in
+  let j' = Json.of_string (Json.to_string j) in
+  check_bool "roundtrip" true (j = j')
+
+let test_json_special_floats () =
+  check_string "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  check_string "inf is null" "null" (Json.to_string (Json.Float Float.infinity));
+  check_string "float keeps fraction" "4.0" (Json.to_string (Json.Float 4.0))
+
+let test_json_malformed () =
+  check_bool "garbage" true (Json.of_string_opt "{oops" = None);
+  check_bool "trailing" true (Json.of_string_opt "1 2" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+let test_span_nesting () =
+  let sink, events = Sink.memory () in
+  let registry = Registry.create () in
+  Runtime.with_observation ~sink ~registry (fun () ->
+      Span.with_ ~name:"outer" (fun () ->
+          Span.with_ ~name:"inner" (fun () -> ());
+          Span.with_ ~name:"inner" (fun () -> ())));
+  let names =
+    List.map
+      (function
+        | Event.Span_begin { name; depth } -> Printf.sprintf "+%s@%d" name depth
+        | Event.Span_end { name; depth; _ } -> Printf.sprintf "-%s@%d" name depth
+        | _ -> "?")
+      (events ())
+  in
+  Alcotest.(check (list string))
+    "nesting order"
+    [ "+outer@0"; "+inner@1"; "-inner@1"; "+inner@1"; "-inner@1"; "-outer@0" ]
+    names;
+  match Registry.span_summary registry "inner" with
+  | None -> Alcotest.fail "inner span not recorded"
+  | Some s ->
+      check_int "inner count" 2 s.Registry.span_count;
+      check_bool "total ns nonneg" true (s.Registry.span_total_ns >= 0.0)
+
+let test_span_exception_safe () =
+  let sink, events = Sink.memory () in
+  Runtime.with_observation ~sink (fun () ->
+      (try Span.with_ ~name:"boom" (fun () -> failwith "x") with Failure _ -> ());
+      check_int "depth restored" 0 (Span.current_depth ()));
+  let ends =
+    List.filter (function Event.Span_end _ -> true | _ -> false) (events ())
+  in
+  check_int "span_end emitted despite raise" 1 (List.length ends)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics and registry swaps *)
+
+let test_counter_aggregation () =
+  let r1 = Registry.create () in
+  let r2 = Registry.create () in
+  let c = Metric.Counter.make "test.hits" in
+  Runtime.with_observation ~registry:r1 (fun () ->
+      Metric.Counter.incr c;
+      Metric.Counter.incr ~by:4 c;
+      Metric.Counter.add c 0.5);
+  Runtime.with_observation ~registry:r2 (fun () -> Metric.Counter.incr c);
+  check_bool "r1 total" true (Registry.counter_value r1 "test.hits" = Some 5.5);
+  check_bool "r2 independent" true (Registry.counter_value r2 "test.hits" = Some 1.0);
+  (* With no registry installed, metric ops are no-ops. *)
+  Metric.Counter.incr c;
+  check_bool "r1 unchanged when off" true
+    (Registry.counter_value r1 "test.hits" = Some 5.5)
+
+let test_gauge_and_histogram () =
+  let r = Registry.create () in
+  Runtime.with_observation ~registry:r (fun () ->
+      Metric.Gauge.set (Metric.Gauge.make "test.g") 7.0;
+      let h = Metric.Histogram.make "test.h" in
+      List.iter (Metric.Histogram.observe h) [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_bool "gauge" true (Registry.gauge_value r "test.g" = Some 7.0);
+  match Registry.histogram_summary r "test.h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      check_int "count" 4 h.Registry.count;
+      check_float "mean" 2.5 h.Registry.mean;
+      check_float "p50" 2.5 h.Registry.p50
+
+(* ------------------------------------------------------------------ *)
+(* Sinks: JSONL round-trip *)
+
+let sample_events =
+  [
+    Event.Span_begin { name = "s"; depth = 0 };
+    Event.Phase { name = "solve" };
+    Event.Move
+      {
+        solver = "csr_improve";
+        round = 3;
+        label = "border match";
+        accepted = true;
+        score_before = 1.25;
+        score_after = 2.75;
+      };
+    Event.Step { solver = "csr_improve"; round = 4; evaluated = 17; score = 2.75 };
+    Event.Note { name = "n"; value = 0.125 };
+    Event.Span_end
+      {
+        name = "s";
+        depth = 0;
+        elapsed_ns = 1234.5;
+        minor_words = 100.0;
+        major_words = 0.0;
+      };
+  ]
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let test_jsonl_roundtrip () =
+  let path = Filename.temp_file "fsa_obs_test" ".jsonl" in
+  let sink = Sink.jsonl path in
+  List.iter sink.Sink.emit sample_events;
+  sink.Sink.close ();
+  let lines = read_lines path in
+  Sys.remove path;
+  check_int "one line per event" (List.length sample_events) (List.length lines);
+  let parsed =
+    List.map
+      (fun line ->
+        let j = Json.of_string line in
+        check_bool "ts present" true (Json.member "ts" j <> None);
+        match Event.of_json j with
+        | Some ev -> ev
+        | None -> Alcotest.fail ("unparseable event line: " ^ line))
+      lines
+  in
+  check_bool "events round-trip" true (parsed = sample_events)
+
+let test_tee_and_memory () =
+  let s1, ev1 = Sink.memory () in
+  let s2, ev2 = Sink.memory () in
+  let t = Sink.tee s1 s2 in
+  t.Sink.emit (Event.Phase { name = "p" });
+  t.Sink.close ();
+  check_int "first copy" 1 (List.length (ev1 ()));
+  check_int "second copy" 1 (List.length (ev2 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Zero interference: instrumentation must not change solver output *)
+
+let small_instance seed =
+  let rng = Fsa_util.Rng.create seed in
+  Fsa_csr.Instance.random_planted rng ~regions:8 ~h_fragments:4 ~m_fragments:4
+    ~inversion_rate:0.2 ~noise_pairs:6
+
+let test_null_sink_identical_results () =
+  List.iter
+    (fun seed ->
+      let inst = small_instance seed in
+      let plain = Fsa_csr.Solution.score (Fsa_csr.Csr_improve.solve_best inst) in
+      let observed =
+        Runtime.with_observation ~sink:Sink.null ~registry:(Registry.create ())
+          (fun () -> Fsa_csr.Solution.score (Fsa_csr.Csr_improve.solve_best inst))
+      in
+      check_float "score identical under null sink" plain observed)
+    [ 11; 42; 99 ]
+
+let test_solver_trace_has_spans_and_moves () =
+  let inst = small_instance 7 in
+  let sink, events = Sink.memory () in
+  Runtime.with_observation ~sink (fun () ->
+      ignore (Fsa_csr.Csr_improve.solve inst));
+  let evs = events () in
+  let spans =
+    List.exists (function Event.Span_begin _ -> true | _ -> false) evs
+  in
+  let moves =
+    List.exists
+      (function Event.Move { accepted = true; _ } -> true | _ -> false)
+      evs
+  in
+  check_bool "at least one span" true spans;
+  check_bool "at least one accepted move" true moves
+
+let test_observation_restored () =
+  Runtime.with_observation ~sink:Sink.null (fun () ->
+      check_bool "tracing inside" true (Runtime.tracing ()));
+  check_bool "tracing restored" false (Runtime.tracing ());
+  check_bool "observing restored" false (Runtime.observing ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "special floats" `Quick test_json_special_floats;
+          Alcotest.test_case "malformed" `Quick test_json_malformed;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safe;
+        ] );
+      ( "metric",
+        [
+          Alcotest.test_case "counter aggregation" `Quick test_counter_aggregation;
+          Alcotest.test_case "gauge and histogram" `Quick test_gauge_and_histogram;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "tee and memory" `Quick test_tee_and_memory;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "null sink identical" `Quick
+            test_null_sink_identical_results;
+          Alcotest.test_case "trace has spans and moves" `Quick
+            test_solver_trace_has_spans_and_moves;
+          Alcotest.test_case "observation restored" `Quick test_observation_restored;
+        ] );
+    ]

@@ -195,6 +195,21 @@ let test_stats_percentile () =
   check_float "p100" 40.0 (Stats.percentile xs 100.0);
   check_float "p50 interp" 25.0 (Stats.percentile xs 50.0)
 
+let test_stats_percentile_edges () =
+  let bad_p = Invalid_argument "Stats.percentile: p out of [0,100]" in
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty input")
+    (fun () -> ignore (Stats.percentile [||] 50.0));
+  Alcotest.check_raises "p negative" bad_p (fun () ->
+      ignore (Stats.percentile [| 1.0; 2.0 |] (-1.0)));
+  Alcotest.check_raises "p above 100" bad_p (fun () ->
+      ignore (Stats.percentile [| 1.0; 2.0 |] 100.5));
+  Alcotest.check_raises "p nan" bad_p (fun () ->
+      ignore (Stats.percentile [| 1.0; 2.0 |] Float.nan));
+  let xs = [| 7.0; -2.0; 5.0 |] in
+  check_float "p0 is min" (-2.0) (Stats.percentile xs 0.0);
+  check_float "p100 is max" 7.0 (Stats.percentile xs 100.0);
+  check_float "singleton any p" 3.0 (Stats.percentile [| 3.0 |] 73.2)
+
 let test_stats_min_max () =
   let lo, hi = Stats.min_max [| 3.0; -1.0; 7.0 |] in
   check_float "min" (-1.0) lo;
@@ -413,6 +428,7 @@ let () =
           Alcotest.test_case "variance" `Quick test_stats_variance;
           Alcotest.test_case "median" `Quick test_stats_median;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile edges" `Quick test_stats_percentile_edges;
           Alcotest.test_case "min_max" `Quick test_stats_min_max;
           Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;

@@ -137,8 +137,10 @@ let e4 ~quick () =
               Fsa_intervals.Isp.random_instance rng ~jobs ~candidates_per_job:cpj
                 ~span:30 ~max_len:8 ~max_profit:10.0
             in
-            let opt, _ = Fsa_intervals.Isp.exact isp in
-            if opt <= 0.0 then 1.0 else fst (Fsa_intervals.Isp.tpa isp) /. opt)
+            match Fsa_intervals.Isp.exact isp with
+            | Error (`Node_limit _) -> 1.0 (* cannot happen at this size *)
+            | Ok (opt, _) ->
+                if opt <= 0.0 then 1.0 else fst (Fsa_intervals.Isp.tpa isp) /. opt)
       in
       T.add_row t (ratio_row (Printf.sprintf "%d x %d" jobs cpj) ratios))
     [ (3, 3); (5, 5); (8, 6) ];

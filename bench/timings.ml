@@ -53,6 +53,31 @@ let csr_improve_bench () =
   Test.make ~name:"CSR_Improve paper example"
     (Staged.stage (fun () -> ignore (Fsa_csr.Csr_improve.solve inst)))
 
+let full_improve_bench () =
+  let rng = Rng.create 14 in
+  let inst =
+    Fsa_csr.Instance.random_planted rng ~regions:12 ~h_fragments:3 ~m_fragments:3
+      ~inversion_rate:0.2 ~noise_pairs:6
+  in
+  Test.make ~name:"Full_Improve (12 regions)"
+    (Staged.stage (fun () -> ignore (Fsa_csr.Full_improve.solve inst)))
+
+let tpa_fill_bench () =
+  let rng = Rng.create 15 in
+  let inst =
+    Fsa_csr.Instance.random_planted rng ~regions:20 ~h_fragments:4 ~m_fragments:4
+      ~inversion_rate:0.2 ~noise_pairs:10
+  in
+  let empty = Fsa_csr.Solution.empty inst in
+  let zones =
+    [ Fsa_seq.Fragment.full_site (Fsa_csr.Instance.fragment inst Fsa_csr.Species.H 0) ]
+  in
+  Test.make ~name:"tpa_fill (20 regions)"
+    (Staged.stage (fun () ->
+         ignore
+           (Fsa_csr.Improve.tpa_fill empty ~host:(Fsa_csr.Species.H, 0) ~zones
+              ~exclude:[])))
+
 let four_approx_bench () =
   let rng = Rng.create 11 in
   let inst =
@@ -83,6 +108,8 @@ let tests () =
       seed_extend_bench 4096;
       seed_extend_bench 16384;
       csr_improve_bench ();
+      full_improve_bench ();
+      tpa_fill_bench ();
       four_approx_bench ();
       exact_bench ();
     ]

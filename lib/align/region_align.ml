@@ -32,3 +32,55 @@ let ms_full sigma a b =
   let fwd = p_score sigma a b in
   let rev = p_score sigma a (reverse_word b) in
   if rev > fwd then (rev, true) else (fwd, false)
+
+(* All-windows kernels: P_score(a, w[lo..hi]) for every window of [w] in
+   O(|a|·|w|²) total instead of O(|a|·|w|³) for separate rescores.  The DP
+   is run column-major (one column per window symbol, extended in place), so
+   every cell is the same function of the same neighbor cells as in
+   [Pairwise.max_weight_score] — including Float.max nesting — and the
+   emitted scores are bit-identical to per-window [p_score] calls.  Cells
+   are never NaN and never -0.0 (each is a Float.max against a +0.0-rooted
+   cell), so evaluation order is the only float-identity concern. *)
+
+(* Extend the column state by one symbol [y]: col.(i) goes from
+   P(a[0..i-1], w') to P(a[0..i-1], w'y), reading the pre-update cells as
+   the dp(·, j-1) column. *)
+let extend_column ~get a la col y =
+  let diag = ref col.(0) in
+  for i = 1 to la do
+    let old_ci = col.(i) in
+    let best = Float.max col.(i - 1) old_ci in
+    let v = Float.max best (!diag +. get a.(i - 1) y) in
+    diag := old_ci;
+    col.(i) <- v
+  done
+
+let ms_windows_fwd ~get a w =
+  let la = Array.length a and lw = Array.length w in
+  let out = Array.make (max 1 (lw * lw)) 0.0 in
+  let col = Array.make (la + 1) 0.0 in
+  for lo = 0 to lw - 1 do
+    Array.fill col 0 (la + 1) 0.0;
+    for hi = lo to lw - 1 do
+      extend_column ~get a la col w.(hi);
+      out.((lo * lw) + hi) <- col.(la)
+    done
+  done;
+  out
+
+(* Reversed orientation: the aligned word for window [lo, hi] is
+   (w[lo..hi])ᴿ = wᴿ(hi), …, wᴿ(lo), so columns must be appended in
+   *decreasing* index order — fix [hi] and extend [lo] downward to follow
+   the exact column order a per-window [p_score a (reverse_word …)] sees. *)
+let ms_windows_rev ~get a w =
+  let la = Array.length a and lw = Array.length w in
+  let out = Array.make (max 1 (lw * lw)) 0.0 in
+  let col = Array.make (la + 1) 0.0 in
+  for hi = 0 to lw - 1 do
+    Array.fill col 0 (la + 1) 0.0;
+    for lo = hi downto 0 do
+      extend_column ~get a la col (Symbol.reverse w.(lo));
+      out.((lo * lw) + hi) <- col.(la)
+    done
+  done;
+  out

@@ -23,3 +23,24 @@ val ms_full : Scoring.t -> Symbol.t array -> Symbol.t array -> float * bool
 
 val reverse_word : Symbol.t array -> Symbol.t array
 (** (a₁…aₙ)ᴿ = aₙᴿ…a₁ᴿ. *)
+
+val ms_windows_fwd :
+  get:(Symbol.t -> Symbol.t -> float) ->
+  Symbol.t array ->
+  Symbol.t array ->
+  float array
+(** [ms_windows_fwd ~get a w]: P_score(a, w[lo..hi]) for every window
+    [0 <= lo <= hi < |w|], as a flat array indexed [lo * |w| + hi] (other
+    cells 0).  [get] is σ applied to (row symbol, column symbol).  The DP
+    reuses column state across windows, so the whole table costs
+    O(|a|·|w|²) — amortized O(|a|) per window — and every entry is
+    bit-identical to the corresponding {!p_score} call. *)
+
+val ms_windows_rev :
+  get:(Symbol.t -> Symbol.t -> float) ->
+  Symbol.t array ->
+  Symbol.t array ->
+  float array
+(** Same, but scoring [a] against the *reversal* of each window:
+    entry [lo * |w| + hi] equals [p_score a (reverse_word w[lo..hi])]
+    bit-for-bit (columns are appended in the reversed word's order). *)

@@ -40,50 +40,106 @@ let recompute_score inst t =
 
 (* MS values depend only on the instance's σ and the site geometry, never
    on the current solution, so they are memoized per instance uid.  The
-   local-search algorithms evaluate the same (fragment, site) pairs
-   thousands of times; this table turns those into lookups. *)
-let ms_cache : (int * bool * int * int * int * int, float * bool) Hashtbl.t =
-  Hashtbl.create 4096
+   local-search algorithms evaluate *every* site of the same
+   (full fragment, host fragment) pair, so the memo unit is a whole-pair
+   site table: MS for all (lo, hi) windows of the host, built by the
+   all-windows column kernel in O(full·host²) — amortized O(1) per site —
+   instead of an O(full·site) alignment per probe. *)
 
-let clear_cache () = Hashtbl.reset ms_cache
+type site_table = { host_len : int; fwd : float array; rev : float array }
+
+let table_cache : (int * bool * int * int, site_table) Hashtbl.t =
+  Hashtbl.create 256
+
+(* Bound the memo by total float cells, not table count: one long host
+   fragment costs host²·2 cells. *)
+let table_cells = ref 0
+let max_table_cells = 16_000_000
+
+(* σ probes dominate the kernel inner loop; use the dense snapshot unless
+   the region-id range is too large for it (then fall back to the hashed
+   table).  Snapshots are memoized per instance uid like the site tables. *)
+let dense_cache : (int, Scoring.dense option) Hashtbl.t = Hashtbl.create 16
+
+let clear_cache () =
+  Hashtbl.reset table_cache;
+  table_cells := 0;
+  Hashtbl.reset dense_cache
+
+let sigma_get inst =
+  let d =
+    match Hashtbl.find_opt dense_cache inst.Instance.uid with
+    | Some d -> d
+    | None ->
+        let d = Scoring.dense inst.Instance.sigma in
+        if Hashtbl.length dense_cache > 64 then Hashtbl.reset dense_cache;
+        Hashtbl.add dense_cache inst.Instance.uid d;
+        d
+  in
+  match d with
+  | Some d -> fun a b -> Scoring.dense_get d a b
+  | None -> fun a b -> Scoring.get inst.Instance.sigma a b
+
+let full_table inst ~full_side idx ~other_frag =
+  let key = (inst.Instance.uid, full_side = Species.H, idx, other_frag) in
+  match Hashtbl.find_opt table_cache key with
+  | Some t -> t
+  | None ->
+      let other_side = Species.other full_side in
+      let full_word = Fragment.symbols (Instance.fragment inst full_side idx) in
+      let host_word =
+        Fragment.symbols (Instance.fragment inst other_side other_frag)
+      in
+      let get = sigma_get inst in
+      let fwd, rev =
+        match full_side with
+        | Species.H ->
+            (* σ takes (h, m): the full H word is the row word, host M sites
+               are the windows. *)
+            ( Fsa_align.Region_align.ms_windows_fwd ~get full_word host_word,
+              Fsa_align.Region_align.ms_windows_rev ~get full_word host_word )
+        | Species.M ->
+            (* Full M word as rows is the *transpose* of the per-site DP
+               (bit-identical: every cell is the same max of the same
+               neighbors), with σ's arguments swapped back into (h, m)
+               order.  The reversed orientation reverses the full M word —
+               a fixed row word — so both tables use the forward kernel. *)
+            let get_hm m_sym h_sym = get h_sym m_sym in
+            ( Fsa_align.Region_align.ms_windows_fwd ~get:get_hm full_word
+                host_word,
+              Fsa_align.Region_align.ms_windows_fwd ~get:get_hm
+                (Fsa_align.Region_align.reverse_word full_word)
+                host_word )
+      in
+      let t = { host_len = Array.length host_word; fwd; rev } in
+      let cells = 2 * t.host_len * t.host_len in
+      if !table_cells + cells > max_table_cells then begin
+        Hashtbl.reset table_cache;
+        table_cells := 0
+      end;
+      table_cells := !table_cells + cells;
+      Hashtbl.add table_cache key t;
+      t
+
+let table_ms t ~lo ~hi =
+  let i = (lo * t.host_len) + hi in
+  let f = t.fwd.(i) and r = t.rev.(i) in
+  if r > f then (r, true) else (f, false)
 
 let full inst ~full_side idx ~other_frag ~other_site =
-  let other_side = Species.other full_side in
-  let full_word =
-    Fragment.symbols (Instance.fragment inst full_side idx)
-  in
-  let other_word =
-    Fragment.sub (Instance.fragment inst other_side other_frag) other_site
-  in
-  (* Arrange as (h word, m word) for σ's argument order. *)
-  let h_word, m_word =
-    match full_side with
-    | Species.H -> (full_word, other_word)
-    | Species.M -> (other_word, full_word)
-  in
-  let key =
-    ( inst.Instance.uid,
-      full_side = Species.H,
-      idx,
-      other_frag,
-      other_site.Site.lo,
-      other_site.Site.hi )
-  in
   let score, m_reversed =
-    match Hashtbl.find_opt ms_cache key with
-    | Some r -> r
-    | None ->
-        let r = Fsa_align.Region_align.ms_full inst.Instance.sigma h_word m_word in
-        if Hashtbl.length ms_cache > 2_000_000 then Hashtbl.reset ms_cache;
-        Hashtbl.add ms_cache key r;
-        r
+    table_ms
+      (full_table inst ~full_side idx ~other_frag)
+      ~lo:other_site.Site.lo ~hi:other_site.Site.hi
   in
-  let full_site_of w = Site.make 0 (Array.length w - 1) in
+  let full_site =
+    Fragment.full_site (Instance.fragment inst full_side idx)
+  in
   match full_side with
   | Species.H ->
       {
         h_frag = idx;
-        h_site = full_site_of full_word;
+        h_site = full_site;
         m_frag = other_frag;
         m_site = other_site;
         m_reversed;
@@ -94,7 +150,7 @@ let full inst ~full_side idx ~other_frag ~other_site =
         h_frag = other_frag;
         h_site = other_site;
         m_frag = idx;
-        m_site = full_site_of full_word;
+        m_site = full_site;
         m_reversed;
         score;
       }

@@ -47,12 +47,28 @@ val full :
   Instance.t -> full_side:Species.t -> int -> other_frag:int -> other_site:Site.t -> t
 (** Best full match plugging the whole fragment [full_side, index] into
     [other_site] of fragment [other_frag] on the other side: evaluates both
-    orientations (Def 4 / Fig 7) and records the winner.  Results are
-    memoized per instance uid (σ must not be mutated after construction;
-    see {!Instance.with_sigma}). *)
+    orientations (Def 4 / Fig 7) and records the winner.  Backed by
+    {!full_table}, so results are memoized per instance uid (σ must not be
+    mutated after construction; see {!Instance.with_sigma}) and a repeat
+    probe of any site of the same fragment pair is O(1). *)
+
+type site_table
+(** MS values of {e every} site of one (full fragment, host fragment) pair:
+    the unit of memoization.  Built once per pair in O(full·host²) by the
+    all-windows column kernel ({!Fsa_align.Region_align.ms_windows_fwd}) —
+    amortized O(full) per site versus O(full·site) for a fresh alignment —
+    and bit-identical to per-site {!Fsa_align.Region_align.ms_full} calls. *)
+
+val full_table : Instance.t -> full_side:Species.t -> int -> other_frag:int -> site_table
+(** Memoized per instance uid; the cache is bounded by total cells and
+    self-resetting. *)
+
+val table_ms : site_table -> lo:int -> hi:int -> float * bool
+(** MS of the host site [lo, hi] and whether the reversed orientation
+    attains it (ties prefer forward, as in {!Fsa_align.Region_align.ms_full}). *)
 
 val clear_cache : unit -> unit
-(** Drops the MS memo table (it is also bounded and self-resetting). *)
+(** Drops the MS memo tables (they are also bounded and self-resetting). *)
 
 val border :
   Instance.t -> h_frag:int -> h_site:Site.t -> m_frag:int -> m_site:Site.t -> t option

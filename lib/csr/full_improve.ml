@@ -126,13 +126,15 @@ let lemma3_2approx inst ~multiple =
         for g = 0 to host_count - 1 do
           if multiple host_side g then begin
             let len = Fragment.length (Instance.fragment inst host_side g) in
+            let tbl =
+              Cmatch.full_table inst ~full_side:simple_side job ~other_frag:g
+            in
             List.iter
-              (fun site ->
-                let m =
-                  Cmatch.full inst ~full_side:simple_side job ~other_frag:g
-                    ~other_site:site
+              (fun (site : Site.t) ->
+                let ms, _rev =
+                  Cmatch.table_ms tbl ~lo:site.Site.lo ~hi:site.Site.hi
                 in
-                if m.Cmatch.score > 0.0 then
+                if ms > 0.0 then
                   cands :=
                     {
                       Fsa_intervals.Isp.job;
@@ -140,7 +142,7 @@ let lemma3_2approx inst ~multiple =
                         Fsa_intervals.Interval.make
                           (off.(g) + site.Site.lo)
                           (off.(g) + site.Site.hi);
-                      profit = m.Cmatch.score;
+                      profit = ms;
                     }
                     :: !cands)
               (Site.all_subsites len)

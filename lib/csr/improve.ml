@@ -11,10 +11,17 @@ let run ?(min_gain = 1e-9) ?(max_improvements = 100_000) ?(name = "improve")
     ~attempts ~init () =
   Fsa_obs.Span.with_ ~name:(name ^ ".run") @@ fun () ->
   let evaluated = ref 0 in
+  (* Round convention: rounds = scans performed, counted when the scan
+     *starts* (so the first scan is round 1).  Both exit paths and every
+     emitted event report the same number — a run that converges immediately
+     did one scan and reports one round; a run cut off by
+     [max_improvements] reports exactly [improvements] rounds, since every
+     one of its scans committed. *)
   let rec loop sol rounds improvements =
     if improvements >= max_improvements then
       (sol, { rounds; improvements; evaluated = !evaluated })
     else begin
+      let rounds = rounds + 1 in
       let base = Solution.score sol in
       let rec scan scanned = function
         | [] -> (None, scanned)
@@ -43,7 +50,7 @@ let run ?(min_gain = 1e-9) ?(max_improvements = 100_000) ?(name = "improve")
                      score_after = Solution.score sol';
                    })
           end;
-          loop sol' (rounds + 1) (improvements + 1)
+          loop sol' rounds (improvements + 1)
       | None, scanned ->
           if Fsa_obs.Runtime.observing () then begin
             Fsa_obs.Metric.Counter.incr ~by:scanned evaluated_counter;
@@ -53,12 +60,19 @@ let run ?(min_gain = 1e-9) ?(max_improvements = 100_000) ?(name = "improve")
                 (Fsa_obs.Event.Step
                    { solver = name; round = rounds; evaluated = scanned; score = base })
           end;
-          (sol, { rounds = rounds + 1; improvements; evaluated = !evaluated })
+          (sol, { rounds; improvements; evaluated = !evaluated })
     end
   in
   loop init 0 0
 
 let tpa_fill_counter = Fsa_obs.Metric.Counter.make "improve.tpa_fill_calls"
+
+(* Consistency surface for the two "cannot happen" branches below (a full
+   site reported hidden; an add of a TPA-selected match rejected): instead
+   of silently keeping the pre-plug solution, count the event so it shows
+   up in --stats. *)
+let prepare_miss_counter = Fsa_obs.Metric.Counter.make "improve.tpa_fill_prepare_misses"
+let add_error_counter = Fsa_obs.Metric.Counter.make "improve.tpa_fill_add_errors"
 
 let tpa_fill sol ~host:(side, frag) ~zones ~exclude =
   Fsa_obs.Metric.Counter.incr tpa_fill_counter;
@@ -69,13 +83,15 @@ let tpa_fill sol ~host:(side, frag) ~zones ~exclude =
   for job = 0 to jobs - 1 do
     if not (List.mem job exclude) then begin
       let opportunity_cost = Solution.contribution sol other job in
+      (* One site-table probe per candidate: the (job, host) pair's MS
+         values for every (lo, hi) come from a single shared precompute. *)
+      let tbl = Cmatch.full_table inst ~full_side:other job ~other_frag:frag in
       List.iter
         (fun (zone : Site.t) ->
           for lo = zone.Site.lo to zone.Site.hi do
             for hi = lo to zone.Site.hi do
-              let site = Site.make lo hi in
-              let m = Cmatch.full inst ~full_side:other job ~other_frag:frag ~other_site:site in
-              let profit = m.Cmatch.score -. opportunity_cost in
+              let ms, _rev = Cmatch.table_ms tbl ~lo ~hi in
+              let profit = ms -. opportunity_cost in
               if profit > 0.0 then
                 cands :=
                   {
@@ -101,7 +117,10 @@ let tpa_fill sol ~host:(side, frag) ~zones ~exclude =
           Fragment.full_site (Instance.fragment inst other c.job)
         in
         match Solution.prepare sol other c.job full_site with
-        | None -> sol (* cannot happen: a full site is never hidden *)
+        | None ->
+            (* Cannot happen: a full site is never hidden. *)
+            Fsa_obs.Metric.Counter.incr prepare_miss_counter;
+            sol
         | Some (sol, _freed) -> (
             let site =
               Site.make c.interval.Fsa_intervals.Interval.lo
@@ -110,7 +129,11 @@ let tpa_fill sol ~host:(side, frag) ~zones ~exclude =
             let m =
               Cmatch.full inst ~full_side:other c.job ~other_frag:frag ~other_site:site
             in
-            match Solution.add sol m with Ok sol' -> sol' | Error _ -> sol))
+            match Solution.add sol m with
+            | Ok sol' -> sol'
+            | Error _ ->
+                Fsa_obs.Metric.Counter.incr add_error_counter;
+                sol))
       sol selection
   end
 

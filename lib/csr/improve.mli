@@ -16,7 +16,13 @@ type attempt = {
 }
 
 type stats = {
-  rounds : int;  (** full scans over the attempt space *)
+  rounds : int;
+      (** scans performed over the attempt space, counted when the scan
+          starts: a run that converges immediately reports 1 round, a run
+          with [n] committed improvements reports [n] or [n + 1] rounds
+          (the latter when it ran a final empty scan to prove convergence
+          rather than stopping at [max_improvements]).  The [Step]/[Move]
+          events of a scan carry this same 1-based round number. *)
   improvements : int;  (** committed attempts *)
   evaluated : int;  (** attempts whose gain was computed *)
 }
@@ -60,10 +66,28 @@ val rescore : Instance.t -> Solution.t -> Solution.t
 val with_scaling :
   ?epsilon:float -> Instance.t -> (Instance.t -> Solution.t) -> Solution.t
 (** §4.1 scaling: obtain a reference score X from the ISP 4-approximation,
-    truncate σ to multiples of εX/k (k = {!Instance.max_matches}), run the
-    given algorithm on the truncated instance, and rescore the result under
-    the true σ.  Any positive gain on the truncated instance is at least
-    εX/k, so the local search commits at most 4k/ε improvements; the
-    truncation costs at most a (1+ε) factor in the ratio.  (The paper
-    truncates match scores to multiples of X/k²; truncating σ entries is
-    equivalent up to the choice of unit and keeps MS additive.) *)
+    truncate σ to multiples of u = εX/k (k = {!Instance.max_matches}), run
+    the given algorithm on the truncated instance, and rescore the result
+    under the true σ.
+
+    This deviates from the paper deliberately.  §4.1 truncates {e match}
+    scores to multiples of X/k², because a solution may contain up to k
+    matches and the argument needs a polynomial bound on the number of
+    distinct gain values.  We truncate the {e σ entries} instead, which
+    keeps MS additive (a match score is the sum of its alignment's σ
+    entries, so it is automatically a multiple of u) and supports the same
+    argument with k in place of k²:
+
+    - {e Termination.}  Every solution score on the truncated instance is a
+      multiple of u, so any accepted improvement gains at least u = εX/k.
+      Scores never exceed Opt ≤ 4X (X is a 4-approximation), so at most
+      4X/u = 4k/ε improvements commit — polynomial, as required.
+    - {e Loss.}  A solution aligns at most k symbol pairs in total (each
+      pair consumes a symbol of the smaller side, of which there are
+      exactly k), and each σ entry loses less than u to truncation, so
+      Score(S) − Score_trunc(S) < k·u = εX ≤ ε·Opt for every solution S.
+      An algorithm with ratio r on the truncated instance therefore yields,
+      after rescoring, at least (Opt − εX)/r ≥ Opt·(1 − ε)/r: the
+      truncation costs at most a (1+O(ε)) factor in the ratio, exactly as
+      in the paper — with a coarser (hence cheaper) unit, εX/k instead of
+      the paper's X/k². *)

@@ -23,13 +23,12 @@ let isp_of inst ~jobs_side =
   for job = 0 to jobs - 1 do
     for target = 0 to Instance.fragment_count inst sites_side - 1 do
       let len = Fragment.length (Instance.fragment inst sites_side target) in
+      (* All sites of this (job, target) pair share one MS precompute. *)
+      let tbl = Cmatch.full_table inst ~full_side:jobs_side job ~other_frag:target in
       List.iter
-        (fun site ->
-          let m =
-            Cmatch.full inst ~full_side:jobs_side job ~other_frag:target
-              ~other_site:site
-          in
-          if m.Cmatch.score > 0.0 then
+        (fun (site : Site.t) ->
+          let ms, _rev = Cmatch.table_ms tbl ~lo:site.Site.lo ~hi:site.Site.hi in
+          if ms > 0.0 then
             cands :=
               {
                 Fsa_intervals.Isp.job;
@@ -37,7 +36,7 @@ let isp_of inst ~jobs_side =
                   Fsa_intervals.Interval.make
                     (off.(target) + site.Site.lo)
                     (off.(target) + site.Site.hi);
-                profit = m.Cmatch.score;
+                profit = ms;
               }
               :: !cands)
         (Site.all_subsites len)
@@ -57,7 +56,7 @@ let solve_side ?(algorithm = Tpa) inst ~jobs_side =
   let _, selection =
     match algorithm with
     | Tpa -> Fsa_intervals.Isp.tpa isp
-    | Exact_isp -> Fsa_intervals.Isp.exact isp
+    | Exact_isp -> Fsa_intervals.Isp.exact_or_tpa isp
     | Greedy_isp -> Fsa_intervals.Isp.greedy isp
   in
   (* Map each selected candidate's line interval back to its fragment. *)

@@ -1,23 +1,76 @@
 open Fsa_seq
 
-type t = { inst : Instance.t; matches : Cmatch.t list }
+(* Incremental representation (see DESIGN.md, "Incremental solutions"):
 
-let empty inst = { inst; matches = [] }
+   - [matches] is the master list in insertion order — the order every
+     consumer of [matches]/[to_text]/[pp] observes, and the order [prepare]
+     walks, exactly as the original list-backed structure did.
+   - [score] caches the left fold of the master list's scores and [size] its
+     length, so probes during attempt scans are O(1).  The score cache is
+     refreshed by re-folding the (small) master list on every mutation
+     rather than by +=/-= deltas: a mutation already pays for alignment
+     work, the fold keeps the cache bit-identical to the list it summarizes
+     (no accumulated drift), and reads stay O(1).
+   - [by_h]/[by_m] index the same match values per fragment, sorted by the
+     site on that fragment, making [matches_on]/[contribution]/[occupied]/
+     [free_sites]/[is_hidden] O(matches on that fragment).  Updates are
+     copy-on-write (only the touched fragment's bucket array is copied), so
+     solutions remain persistent values. *)
+type t = {
+  inst : Instance.t;
+  matches : Cmatch.t list;
+  score : float;
+  size : int;
+  by_h : Cmatch.t list array;
+  by_m : Cmatch.t list array;
+}
+
+let sum_scores ms = List.fold_left (fun acc m -> acc +. m.Cmatch.score) 0.0 ms
+
+let index t = function Species.H -> t.by_h | Species.M -> t.by_m
+
+let site_insert side m lst =
+  let s = Cmatch.site_of m side in
+  let rec ins = function
+    | [] -> [ m ]
+    | x :: rest as l ->
+        if Site.compare s (Cmatch.site_of x side) <= 0 then m :: l
+        else x :: ins rest
+  in
+  ins lst
+
+let site_remove m lst = List.filter (fun m' -> not (Cmatch.equal m m')) lst
+
+let empty inst =
+  {
+    inst;
+    matches = [];
+    score = 0.0;
+    size = 0;
+    by_h = Array.make (Instance.fragment_count inst Species.H) [];
+    by_m = Array.make (Instance.fragment_count inst Species.M) [];
+  }
+
+(* Rebuild every cache from a master list (no validation). *)
+let rebuild inst ms =
+  let t = empty inst in
+  List.iter
+    (fun (m : Cmatch.t) ->
+      t.by_h.(m.Cmatch.h_frag) <- site_insert Species.H m t.by_h.(m.Cmatch.h_frag);
+      t.by_m.(m.Cmatch.m_frag) <- site_insert Species.M m t.by_m.(m.Cmatch.m_frag))
+    ms;
+  { t with matches = ms; score = sum_scores ms; size = List.length ms }
+
 let instance t = t.inst
 let matches t = t.matches
-let score t = List.fold_left (fun acc m -> acc +. m.Cmatch.score) 0.0 t.matches
-let size t = List.length t.matches
+let score t = t.score
+let size t = t.size
 
-let involves side frag (m : Cmatch.t) = Cmatch.frag_of m side = frag
-
-let matches_on t side frag =
-  List.filter (involves side frag) t.matches
-  |> List.sort (fun a b -> Site.compare (Cmatch.site_of a side) (Cmatch.site_of b side))
+let matches_on t side frag = (index t side).(frag)
 
 let contribution t side frag =
-  List.fold_left
-    (fun acc m -> if involves side frag m then acc +. m.Cmatch.score else acc)
-    0.0 t.matches
+  List.fold_left (fun acc (m : Cmatch.t) -> acc +. m.Cmatch.score) 0.0
+    (index t side).(frag)
 
 type role = Unmatched | Simple | Multiple
 
@@ -29,7 +82,8 @@ let role t side frag =
       if Site.equal (Cmatch.site_of m side) full then Simple else Multiple
   | _ :: _ :: _ -> Multiple
 
-let occupied t side frag = List.map (fun m -> Cmatch.site_of m side) (matches_on t side frag)
+let occupied t side frag =
+  List.map (fun m -> Cmatch.site_of m side) (index t side).(frag)
 
 let free_sites t side frag =
   let n = Fragment.length (Instance.fragment t.inst side frag) in
@@ -42,7 +96,9 @@ let free_sites t side frag =
   gaps 0 (occupied t side frag)
 
 let is_hidden t side frag site =
-  List.exists (fun s -> Site.hides s site) (occupied t side frag)
+  List.exists
+    (fun m -> Site.hides (Cmatch.site_of m side) site)
+    (index t side).(frag)
 
 let is_border_match t (m : Cmatch.t) =
   match Cmatch.classify t.inst m with
@@ -63,6 +119,29 @@ let node t side frag =
 
 let node_count t =
   Instance.fragment_count t.inst Species.H + Instance.fragment_count t.inst Species.M
+
+(* Whether the border-match graph already connects the two fragments — the
+   incremental form of the acyclicity invariant: on a valid solution the
+   graph is a union of simple paths, so adding the edge (h_frag, m_frag)
+   closes a cycle iff its endpoints are connected. *)
+let border_connected t ~h_frag ~m_frag =
+  let seen = Array.make (node_count t) false in
+  let rec dfs side frag =
+    node t side frag = node t Species.M m_frag
+    || begin
+         seen.(node t side frag) <- true;
+         List.exists
+           (fun (m : Cmatch.t) ->
+             let side', frag' =
+               match side with
+               | Species.H -> (Species.M, m.Cmatch.m_frag)
+               | Species.M -> (Species.H, m.Cmatch.h_frag)
+             in
+             (not seen.(node t side' frag')) && dfs side' frag')
+           (border_matches_of t side frag)
+       end
+  in
+  dfs Species.H h_frag
 
 let validate t =
   let ( let* ) r f = Result.bind r f in
@@ -113,15 +192,114 @@ let validate t =
         end
         else check_paths rest
   in
-  check_paths t.matches
+  let* () = check_paths t.matches in
+  (* Cache consistency: the incremental structure must agree with the
+     master list it summarizes. *)
+  let* () =
+    if t.size <> List.length t.matches then
+      err "size cache %d out of sync (%d matches)" t.size (List.length t.matches)
+    else Ok ()
+  in
+  let* () =
+    let fresh = sum_scores t.matches in
+    if Float.abs (t.score -. fresh) > 1e-6 then
+      err "score cache %.9f out of sync (fold %.9f)" t.score fresh
+    else Ok ()
+  in
+  let check_index side =
+    let arr = index t side in
+    let total = Array.fold_left (fun acc l -> acc + List.length l) 0 arr in
+    if total <> t.size then
+      err "%a index holds %d entries (size %d)" Species.pp side total t.size
+    else begin
+      let bad = ref None in
+      Array.iteri
+        (fun frag l ->
+          let rec sorted = function
+            | a :: (b :: _ as rest) ->
+                Site.compare (Cmatch.site_of a side) (Cmatch.site_of b side) <= 0
+                && sorted rest
+            | [ _ ] | [] -> true
+          in
+          if not (sorted l) then bad := Some (frag, "unsorted bucket")
+          else
+            List.iter
+              (fun m ->
+                if Cmatch.frag_of m side <> frag then
+                  bad := Some (frag, "entry filed under wrong fragment")
+                else if not (List.memq m t.matches) then
+                  bad := Some (frag, "entry not in the master list"))
+              l)
+        arr;
+      match !bad with
+      | Some (frag, what) -> err "%a index, fragment %d: %s" Species.pp side frag what
+      | None -> Ok ()
+    end
+  in
+  let* () = check_index Species.H in
+  check_index Species.M
 
 let of_matches inst ms =
-  let t = { inst; matches = ms } in
+  let t = rebuild inst ms in
   match validate t with Ok () -> Ok t | Error e -> Error e
 
-let add t m =
-  let t' = { t with matches = m :: t.matches } in
-  match validate t' with Ok () -> Ok t' | Error e -> Error e
+(* Incremental add: the base solution already satisfies the invariant, so
+   only conditions involving the new match need checking — its site must be
+   disjoint from the occupied sites of its two fragments, it must classify,
+   its score must be fresh, and a border match must not close a cycle.
+   This replaces the full [validate] (which re-aligned every match) the
+   list-backed structure ran on every add. *)
+let add t (m : Cmatch.t) =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let clash side =
+    let frag = Cmatch.frag_of m side in
+    let s = Cmatch.site_of m side in
+    List.find_opt
+      (fun m' -> Site.overlaps s (Cmatch.site_of m' side))
+      (index t side).(frag)
+  in
+  match clash Species.H with
+  | Some m' ->
+      err "fragment %a/%d: overlapping sites %a %a" Species.pp Species.H
+        m.Cmatch.h_frag Site.pp
+        (Cmatch.site_of m' Species.H)
+        Site.pp m.Cmatch.h_site
+  | None -> (
+      match clash Species.M with
+      | Some m' ->
+          err "fragment %a/%d: overlapping sites %a %a" Species.pp Species.M
+            m.Cmatch.m_frag Site.pp
+            (Cmatch.site_of m' Species.M)
+            Site.pp m.Cmatch.m_site
+      | None -> (
+          match Cmatch.classify t.inst m with
+          | None -> err "unrealizable match %a" (Cmatch.pp t.inst) m
+          | Some kind ->
+              let fresh = Cmatch.recompute_score t.inst m in
+              if Float.abs (fresh -. m.Cmatch.score) > 1e-9 then
+                err "stale score on %a (fresh %.6f)" (Cmatch.pp t.inst) m fresh
+              else if
+                kind = Cmatch.Border_match
+                && border_connected t ~h_frag:m.Cmatch.h_frag
+                     ~m_frag:m.Cmatch.m_frag
+              then err "border matches form a cycle at %a" (Cmatch.pp t.inst) m
+              else begin
+                let by_h = Array.copy t.by_h and by_m = Array.copy t.by_m in
+                by_h.(m.Cmatch.h_frag) <-
+                  site_insert Species.H m by_h.(m.Cmatch.h_frag);
+                by_m.(m.Cmatch.m_frag) <-
+                  site_insert Species.M m by_m.(m.Cmatch.m_frag);
+                let matches = m :: t.matches in
+                Ok
+                  {
+                    t with
+                    matches;
+                    score = sum_scores matches;
+                    size = t.size + 1;
+                    by_h;
+                    by_m;
+                  }
+              end))
 
 let add_exn t m =
   match add t m with
@@ -129,13 +307,25 @@ let add_exn t m =
   | Error e -> invalid_arg ("Solution.add_exn: " ^ e)
 
 let remove t m =
-  { t with matches = List.filter (fun m' -> not (Cmatch.equal m m')) t.matches }
+  let matches = List.filter (fun m' -> not (Cmatch.equal m m')) t.matches in
+  let by_h = Array.copy t.by_h and by_m = Array.copy t.by_m in
+  by_h.(m.Cmatch.h_frag) <- site_remove m by_h.(m.Cmatch.h_frag);
+  by_m.(m.Cmatch.m_frag) <- site_remove m by_m.(m.Cmatch.m_frag);
+  {
+    t with
+    matches;
+    score = sum_scores matches;
+    size = List.length matches;
+    by_h;
+    by_m;
+  }
 
 type freed = { side : Species.t; frag : int; site : Site.t }
 
 let prepare t side frag site =
   if is_hidden t side frag site then None
   else begin
+    let involves side frag (m : Cmatch.t) = Cmatch.frag_of m side = frag in
     let other_side = Species.other side in
     let full = Fragment.full_site (Instance.fragment t.inst side frag) in
     let process (kept, freed) (m : Cmatch.t) =
@@ -209,7 +399,7 @@ let prepare t side frag site =
       end
     in
     let kept, freed = List.fold_left process ([], []) t.matches in
-    Some ({ t with matches = List.rev kept }, freed)
+    Some (rebuild t.inst (List.rev kept), freed)
   end
 
 let to_text t =

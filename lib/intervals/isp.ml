@@ -39,53 +39,66 @@ let size_hist = Fsa_obs.Metric.Histogram.make "isp.candidates"
 let tpa t =
   Fsa_obs.Span.with_ ~name:"isp.tpa" @@ fun () ->
   Fsa_obs.Metric.Histogram.observe_int size_hist (Array.length t.candidates);
-  let stack = ref [] in
-  (* Stacked entries carry their computed value.  Stack is naturally in
-     decreasing push order, i.e. decreasing right endpoint order. *)
+  let n = Array.length t.candidates in
+  (* The stack lives in two parallel arrays (candidate index, value); pushes
+     happen in nondecreasing right-endpoint order, so walking from the top
+     downward visits entries by decreasing right endpoint — the same order
+     the list-backed stack exposed. *)
+  let stack_c = Array.make (max n 1) 0 in
+  let stack_v = Array.make (max n 1) 0.0 in
+  let top = ref 0 in
   let job_value = Array.make (max t.jobs 1) 0.0 in
-  Array.iter
-    (fun c ->
-      if c.profit > 0.0 then begin
-        let overlap_value =
-          (* Stacked intervals have hi <= c.hi; those with hi >= c.lo
-             overlap c.  The stack is ordered by decreasing hi, so stop at
-             the first non-overlapping entry. *)
-          let rec sum acc = function
-            | (c', v) :: rest when c'.interval.Interval.hi >= c.interval.Interval.lo ->
-                let acc =
-                  if c'.job = c.job then acc (* already counted in job_value *)
-                  else acc +. v
-                in
-                sum acc rest
-            | _ -> acc
-          in
-          sum 0.0 !stack
-        in
-        let value = c.profit -. overlap_value -. job_value.(c.job) in
-        if value > 0.0 then begin
-          stack := (c, value) :: !stack;
-          job_value.(c.job) <- job_value.(c.job) +. value
-        end
-      end)
-    t.candidates;
+  for i = 0 to n - 1 do
+    let c = t.candidates.(i) in
+    if c.profit > 0.0 then begin
+      let overlap_value =
+        (* Stacked intervals have hi <= c.hi; those with hi >= c.lo overlap
+           c.  Walk down from the top and stop at the first
+           non-overlapping entry.  The accumulation order (top downward)
+           matters: it fixes the float rounding. *)
+        let acc = ref 0.0 in
+        let k = ref (!top - 1) in
+        let stop = ref false in
+        while (not !stop) && !k >= 0 do
+          let c' = t.candidates.(stack_c.(!k)) in
+          if c'.interval.Interval.hi >= c.interval.Interval.lo then begin
+            if c'.job <> c.job then acc := !acc +. stack_v.(!k)
+            (* same job: already counted in job_value *);
+            decr k
+          end
+          else stop := true
+        done;
+        !acc
+      in
+      let value = c.profit -. overlap_value -. job_value.(c.job) in
+      if value > 0.0 then begin
+        stack_c.(!top) <- i;
+        stack_v.(!top) <- value;
+        incr top;
+        job_value.(c.job) <- job_value.(c.job) +. value
+      end
+    end
+  done;
+  (* Selection, LIFO: kept intervals accumulate downward (each new keep has
+     hi no greater than every kept one and is disjoint from them), so
+     "disjoint from all kept" collapses to "hi < the smallest kept lo" —
+     one comparison instead of a walk over the kept list. *)
   let job_used = Array.make (max t.jobs 1) false in
-  let selected =
-    List.fold_left
-      (fun kept (c, _v) ->
-        let compatible =
-          (not job_used.(c.job))
-          && List.for_all (fun k -> Interval.disjoint k.interval c.interval) kept
-        in
-        if compatible then begin
-          job_used.(c.job) <- true;
-          c :: kept
-        end
-        else kept)
-      [] !stack
-  in
-  (total_profit selected, selected)
+  let min_kept_lo = ref max_int in
+  let selected = ref [] in
+  for k = !top - 1 downto 0 do
+    let c = t.candidates.(stack_c.(k)) in
+    if (not job_used.(c.job)) && c.interval.Interval.hi < !min_kept_lo then begin
+      job_used.(c.job) <- true;
+      min_kept_lo := c.interval.Interval.lo;
+      selected := c :: !selected
+    end
+  done;
+  (total_profit !selected, !selected)
 
 exception Node_limit
+
+let exact_fallback_counter = Fsa_obs.Metric.Counter.make "isp.exact_fallbacks"
 
 let exact ?(node_limit = 20_000_000) t =
   Fsa_obs.Span.with_ ~name:"isp.exact" @@ fun () ->
@@ -131,9 +144,16 @@ let exact ?(node_limit = 20_000_000) t =
       go (i + 1) profit last_end sel
     end
   in
-  (try go 0 0.0 min_int []
-   with Node_limit -> failwith "Isp.exact: node limit exceeded");
-  (!best, List.rev !best_sel)
+  match go 0 0.0 min_int [] with
+  | () -> Ok (!best, List.rev !best_sel)
+  | exception Node_limit -> Error (`Node_limit node_limit)
+
+let exact_or_tpa ?node_limit t =
+  match exact ?node_limit t with
+  | Ok r -> r
+  | Error (`Node_limit _) ->
+      Fsa_obs.Metric.Counter.incr exact_fallback_counter;
+      tpa t
 
 let greedy t =
   Fsa_obs.Span.with_ ~name:"isp.greedy" @@ fun () ->
@@ -143,15 +163,28 @@ let greedy t =
       (List.filter (fun c -> c.profit > 0.0) (candidates t))
   in
   let job_used = Array.make (max t.jobs 1) false in
+  (* Occupancy bitset over the covered span: "disjoint from everything kept"
+     is "no set bit in my range", probed and painted word-at-a-time, instead
+     of a walk over the kept list. *)
+  let min_lo =
+    List.fold_left (fun acc c -> min acc c.interval.Interval.lo) max_int sorted
+  in
+  let max_hi =
+    List.fold_left (fun acc c -> max acc c.interval.Interval.hi) min_int sorted
+  in
+  let cells = if sorted = [] then 0 else max_hi - min_lo + 1 in
+  let taken = Fsa_util.Bitset.create cells in
   let selected =
     List.fold_left
       (fun kept c ->
+        let lo = c.interval.Interval.lo - min_lo
+        and hi = c.interval.Interval.hi - min_lo in
         let ok =
-          (not job_used.(c.job))
-          && List.for_all (fun k -> Interval.disjoint k.interval c.interval) kept
+          (not job_used.(c.job)) && not (Fsa_util.Bitset.any_in_range taken lo hi)
         in
         if ok then begin
           job_used.(c.job) <- true;
+          Fsa_util.Bitset.set_range taken lo hi;
           c :: kept
         end
         else kept)

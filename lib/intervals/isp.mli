@@ -32,16 +32,28 @@ val is_feasible : t -> candidate list -> bool
 val total_profit : candidate list -> float
 
 val tpa : t -> float * candidate list
-(** Two-phase algorithm; feasible, profit >= opt/2. *)
+(** Two-phase algorithm; feasible, profit >= opt/2.  Array-backed: the
+    evaluation stack is two parallel arrays and the LIFO selection tracks
+    the smallest kept left endpoint instead of re-walking the kept list, so
+    the selection phase is linear in the stack size. *)
 
-val exact : ?node_limit:int -> t -> float * candidate list
+val exact :
+  ?node_limit:int -> t -> (float * candidate list, [ `Node_limit of int ]) result
 (** Optimal selection by branch & bound over candidates in right-endpoint
     order, pruning with a per-job suffix bound.  Exponential worst case —
     intended for instances with up to a few dozen candidates.
-    @raise Failure if [node_limit] (default 20_000_000) nodes are exceeded. *)
+    [Error (`Node_limit n)] when [node_limit] (default 20_000_000) nodes are
+    exceeded; the search never raises. *)
+
+val exact_or_tpa : ?node_limit:int -> t -> float * candidate list
+(** {!exact}, degrading to {!tpa} when the node limit is exceeded — the
+    selection is then only guaranteed to be a 2-approximation.  Fallbacks
+    are counted under [isp.exact_fallbacks], so oversized instances surface
+    in [--stats] instead of crashing the solve. *)
 
 val greedy : t -> float * candidate list
-(** Baseline: decreasing profit, keep what fits. *)
+(** Baseline: decreasing profit, keep what fits.  Feasibility of each
+    candidate is probed against a bitset of occupied line positions. *)
 
 val upper_bound : t -> float
 (** Cheap upper bound on the optimum: the classic weighted-interval-

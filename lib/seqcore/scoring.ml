@@ -19,6 +19,41 @@ let set t a b v = Hashtbl.replace t.table (key_of a b) v
 let get t a b =
   match Hashtbl.find_opt t.table (key_of a b) with Some v -> v | None -> 0.0
 
+(* Flat-array view for inner-loop consumers: [get] allocates a key record
+   and hashes it on every probe, which dominates the column kernels of the
+   local search.  The dense view trades that for one bounds-checked array
+   read.  Cells are indexed ((h_region * stride) + m_region) * 2 + opposite;
+   region ids outside the stored range score 0 like any unset pair. *)
+type dense = { stride : int; cells : float array }
+
+let dense ?(max_cells = 4_000_000) t =
+  let max_id =
+    Hashtbl.fold
+      (fun k _ acc -> max acc (max k.h_region k.m_region))
+      t.table (-1)
+  in
+  let stride = max_id + 1 in
+  if stride > 0 && 2 * stride * stride > max_cells then None
+  else begin
+    let cells = Array.make (max 1 (2 * stride * stride)) 0.0 in
+    Hashtbl.iter
+      (fun k v ->
+        cells.(
+          (((k.h_region * stride) + k.m_region) * 2)
+          + if k.opposite then 1 else 0)
+        <- v)
+      t.table;
+    Some { stride; cells }
+  end
+
+let dense_get d a b =
+  let ha = a.Symbol.id and mb = b.Symbol.id in
+  if ha >= d.stride || mb >= d.stride then 0.0
+  else
+    d.cells.(
+      (((ha * d.stride) + mb) * 2)
+      + if a.Symbol.rev <> b.Symbol.rev then 1 else 0)
+
 let of_list entries =
   let t = create () in
   List.iter (fun (a, b, v) -> set t a b v) entries;

@@ -20,6 +20,20 @@ val get : t -> Symbol.t -> Symbol.t -> float
 
 val of_list : (Symbol.t * Symbol.t * float) list -> t
 
+type dense
+(** Immutable flat-array snapshot of a table, for inner loops that cannot
+    afford {!get}'s key allocation and hashing.  Building it is O(table);
+    probing is one array read. *)
+
+val dense : ?max_cells:int -> t -> dense option
+(** [None] when the region-id range would need more than [max_cells]
+    (default 4M) float cells — callers fall back to {!get}.  The snapshot
+    does not follow later {!set} mutations. *)
+
+val dense_get : dense -> Symbol.t -> Symbol.t -> float
+(** Same value as {!get} on the table the snapshot was taken from,
+    including the 0 default for unset pairs. *)
+
 val positive_pairs : t -> (int * int * bool * float) list
 (** All stored entries with positive score as
     [(h_region, m_region, opposite_orientation, score)], the canonical class

@@ -24,6 +24,41 @@ let mem t i =
   check t i;
   t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
 
+(* Word-at-a-time range primitives: the mask of a [lo, hi] span inside one
+   word is built once, so a range touches O(range / word_bits) words. *)
+let range_check t lo hi =
+  if lo < 0 || hi >= t.capacity then invalid_arg "Bitset: range out of bounds"
+
+let word_mask lo_bit hi_bit =
+  (* Bits [lo_bit, hi_bit] of a single word, inclusive; hi_bit < word_bits.
+     Guard the full-word case: [lsl] by word_bits is undefined. *)
+  let above = if hi_bit >= word_bits - 1 then -1 else (1 lsl (hi_bit + 1)) - 1 in
+  above land lnot ((1 lsl lo_bit) - 1)
+
+let iter_range_words lo hi f =
+  let w0 = lo / word_bits and w1 = hi / word_bits in
+  for wi = w0 to w1 do
+    let lo_bit = if wi = w0 then lo mod word_bits else 0 in
+    let hi_bit = if wi = w1 then hi mod word_bits else word_bits - 1 in
+    f wi (word_mask lo_bit hi_bit)
+  done
+
+let set_range t lo hi =
+  if lo <= hi then begin
+    range_check t lo hi;
+    iter_range_words lo hi (fun wi mask -> t.words.(wi) <- t.words.(wi) lor mask)
+  end
+
+let any_in_range t lo hi =
+  if lo > hi then false
+  else begin
+    range_check t lo hi;
+    let hit = ref false in
+    iter_range_words lo hi (fun wi mask ->
+        if t.words.(wi) land mask <> 0 then hit := true);
+    !hit
+  end
+
 let popcount x =
   let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
   go x 0

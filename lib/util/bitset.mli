@@ -12,6 +12,15 @@ val copy : t -> t
 val set : t -> int -> unit
 val clear : t -> int -> unit
 val mem : t -> int -> bool
+val set_range : t -> int -> int -> unit
+(** [set_range t lo hi] sets every bit of the inclusive range [lo, hi];
+    no-op when [lo > hi].  Word-at-a-time, O(range / word size). *)
+
+val any_in_range : t -> int -> int -> bool
+(** Whether any bit of the inclusive range [lo, hi] is set; [false] when
+    [lo > hi].  Word-at-a-time — this is the occupancy probe interval
+    solvers use for O(span/word) disjointness checks. *)
+
 val cardinal : t -> int
 val is_empty : t -> bool
 

@@ -1,0 +1,459 @@
+(* Regression and property tests for the incremental hot path:
+
+   - Improve.run round accounting: stats pinned for 0- and 1-improvement
+     runs, and the emitted Move/Step events carry the same round numbers;
+   - indexed Solution vs a naive list oracle (score, contribution,
+     free_sites, is_hidden) over random add/prepare sequences;
+   - array-backed Isp.tpa/greedy vs the original list-backed
+     implementations (identical values and selections);
+   - the all-windows MS kernel vs per-window p_score calls (bit equality);
+   - Bitset range operations vs a per-bit model;
+   - scaling truncation loss within the bound documented in Improve.mli;
+   - tpa_fill consistency counters stay silent on healthy runs. *)
+
+open Fsa_seq
+open Fsa_csr
+module Isp = Fsa_intervals.Isp
+module Interval = Fsa_intervals.Interval
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let qtest t = QCheck_alcotest.to_alcotest ~verbose:false t
+let paper = Instance.paper_example
+let seed_gen = QCheck.(int_bound 1_000_000)
+
+let small_instance seed =
+  let rng = Fsa_util.Rng.create seed in
+  let planted = Fsa_util.Rng.bool rng in
+  let h_fragments = 1 + Fsa_util.Rng.int rng 3 in
+  let m_fragments = 1 + Fsa_util.Rng.int rng 3 in
+  if planted then
+    Instance.random_planted rng ~regions:6 ~h_fragments ~m_fragments
+      ~inversion_rate:0.3 ~noise_pairs:4
+  else
+    Instance.random_uniform rng ~regions:6 ~h_fragments ~m_fragments ~density:0.25
+
+(* ------------------------------------------------------------------ *)
+(* Improve.run round accounting (S1)                                    *)
+
+let run_with_events ?max_improvements ~attempts inst =
+  let sink, events = Fsa_obs.Sink.memory () in
+  let result =
+    Fsa_obs.Runtime.with_observation ~sink (fun () ->
+        Improve.run ?max_improvements ~name:"t" ~attempts
+          ~init:(Solution.empty inst) ())
+  in
+  (result, events ())
+
+let step_rounds evs =
+  List.filter_map
+    (function Fsa_obs.Event.Step { round; _ } -> Some round | _ -> None)
+    evs
+
+let move_rounds evs =
+  List.filter_map
+    (function Fsa_obs.Event.Move { round; _ } -> Some round | _ -> None)
+    evs
+
+(* A positive-score full match of the instance, to drive one improvement. *)
+let positive_full_match inst =
+  let exception Found of Cmatch.t in
+  try
+    for f = 0 to Instance.fragment_count inst Species.H - 1 do
+      for g = 0 to Instance.fragment_count inst Species.M - 1 do
+        let len = Fragment.length (Instance.fragment inst Species.M g) in
+        List.iter
+          (fun site ->
+            let m =
+              Cmatch.full inst ~full_side:Species.H f ~other_frag:g
+                ~other_site:site
+            in
+            if m.Cmatch.score > 0.0 then raise (Found m))
+          (Site.all_subsites len)
+      done
+    done;
+    Alcotest.fail "instance has no positive full match"
+  with Found m -> m
+
+let test_rounds_zero_improvements () =
+  let (_, stats), evs = run_with_events ~attempts:(fun _ -> []) (paper ()) in
+  check_int "rounds" 1 stats.Improve.rounds;
+  check_int "improvements" 0 stats.Improve.improvements;
+  check_int "evaluated" 0 stats.Improve.evaluated;
+  check_bool "one Step event, same round as stats" true
+    (step_rounds evs = [ stats.Improve.rounds ]);
+  check_bool "no Move events" true (move_rounds evs = [])
+
+let test_rounds_one_improvement () =
+  let inst = paper () in
+  let m = positive_full_match inst in
+  let attempt =
+    {
+      Improve.label = "add-once";
+      apply =
+        (fun sol ->
+          if Solution.size sol > 0 then None
+          else match Solution.add sol m with Ok s -> Some s | Error _ -> None);
+    }
+  in
+  let (_, stats), evs = run_with_events ~attempts:(fun _ -> [ attempt ]) inst in
+  (* Scan 1 commits the attempt, scan 2 proves convergence. *)
+  check_int "rounds" 2 stats.Improve.rounds;
+  check_int "improvements" 1 stats.Improve.improvements;
+  check_int "evaluated" 2 stats.Improve.evaluated;
+  check_bool "Move in round 1" true (move_rounds evs = [ 1 ]);
+  check_bool "final Step carries stats.rounds" true
+    (step_rounds evs = [ stats.Improve.rounds ])
+
+let test_rounds_cut_by_max_improvements () =
+  let inst = paper () in
+  let m = positive_full_match inst in
+  let attempt =
+    {
+      Improve.label = "add-once";
+      apply =
+        (fun sol ->
+          if Solution.size sol > 0 then None
+          else match Solution.add sol m with Ok s -> Some s | Error _ -> None);
+    }
+  in
+  let (_, stats), evs =
+    run_with_events ~max_improvements:1 ~attempts:(fun _ -> [ attempt ]) inst
+  in
+  (* Every scan committed: rounds = improvements, and no closing Step. *)
+  check_int "rounds" 1 stats.Improve.rounds;
+  check_int "improvements" 1 stats.Improve.improvements;
+  check_int "evaluated" 1 stats.Improve.evaluated;
+  check_bool "Move in round 1" true (move_rounds evs = [ 1 ]);
+  check_bool "no Step event" true (step_rounds evs = [])
+
+(* ------------------------------------------------------------------ *)
+(* Indexed Solution vs naive list oracle (S5)                           *)
+
+let naive_score ms =
+  List.fold_left (fun acc (m : Cmatch.t) -> acc +. m.Cmatch.score) 0.0 ms
+
+let on_frag ms side frag =
+  List.filter (fun m -> Cmatch.frag_of m side = frag) ms
+
+let naive_free inst ms side frag =
+  let n = Fragment.length (Instance.fragment inst side frag) in
+  let covered = Array.make n false in
+  List.iter
+    (fun m ->
+      let s = Cmatch.site_of m side in
+      for p = s.Site.lo to s.Site.hi do
+        covered.(p) <- true
+      done)
+    (on_frag ms side frag);
+  let acc = ref [] and start = ref (-1) in
+  for p = 0 to n - 1 do
+    if not covered.(p) then begin
+      if !start < 0 then start := p
+    end
+    else if !start >= 0 then begin
+      acc := Site.make !start (p - 1) :: !acc;
+      start := -1
+    end
+  done;
+  if !start >= 0 then acc := Site.make !start (n - 1) :: !acc;
+  List.rev !acc
+
+let solution_oracle_prop seed =
+  let rng = Fsa_util.Rng.create seed in
+  let inst = small_instance seed in
+  let sol = ref (Solution.empty inst) in
+  let ok = ref true in
+  let check_consistent () =
+    let ms = Solution.matches !sol in
+    (* The cached score is the exact fold over the master list. *)
+    ok := !ok && Solution.score !sol = naive_score ms;
+    ok := !ok && Solution.size !sol = List.length ms;
+    ok := !ok && Result.is_ok (Solution.validate !sol);
+    List.iter
+      (fun side ->
+        for frag = 0 to Instance.fragment_count inst side - 1 do
+          let here = on_frag ms side frag in
+          ok :=
+            !ok
+            && Float.abs (Solution.contribution !sol side frag -. naive_score here)
+               < 1e-9;
+          ok := !ok && Solution.free_sites !sol side frag = naive_free inst ms side frag;
+          let n = Fragment.length (Instance.fragment inst side frag) in
+          for _ = 1 to 3 do
+            let lo = Fsa_util.Rng.int rng n in
+            let hi = lo + Fsa_util.Rng.int rng (n - lo) in
+            let site = Site.make lo hi in
+            let naive_hidden =
+              List.exists (fun m -> Site.hides (Cmatch.site_of m side) site) here
+            in
+            ok := !ok && Solution.is_hidden !sol side frag site = naive_hidden
+          done
+        done)
+      [ Species.H; Species.M ]
+  in
+  for _ = 1 to 25 do
+    let full_side = if Fsa_util.Rng.bool rng then Species.H else Species.M in
+    let other = Species.other full_side in
+    let job = Fsa_util.Rng.int rng (Instance.fragment_count inst full_side) in
+    let target = Fsa_util.Rng.int rng (Instance.fragment_count inst other) in
+    let n = Fragment.length (Instance.fragment inst other target) in
+    let lo = Fsa_util.Rng.int rng n in
+    let hi = lo + Fsa_util.Rng.int rng (n - lo) in
+    let site = Site.make lo hi in
+    if Fsa_util.Rng.bool rng then begin
+      let m = Cmatch.full inst ~full_side job ~other_frag:target ~other_site:site in
+      match Solution.add !sol m with Ok s -> sol := s | Error _ -> ()
+    end
+    else begin
+      match Solution.prepare !sol other target site with
+      | Some (s, _) -> sol := s
+      | None -> ()
+    end;
+    check_consistent ()
+  done;
+  !ok
+
+let test_solution_oracle_qcheck =
+  QCheck.Test.make ~name:"indexed solution agrees with list oracle" ~count:40
+    seed_gen solution_oracle_prop
+
+(* ------------------------------------------------------------------ *)
+(* Array-backed TPA / greedy vs the original list-backed code (S5)      *)
+
+(* Verbatim ports of the pre-index implementations, kept as oracles. *)
+let tpa_oracle t =
+  let stack = ref [] in
+  let job_value = Array.make (max (Isp.jobs t) 1) 0.0 in
+  List.iter
+    (fun (c : Isp.candidate) ->
+      if c.profit > 0.0 then begin
+        let overlap_value =
+          let rec sum acc = function
+            | ((c' : Isp.candidate), v) :: rest
+              when c'.interval.Interval.hi >= c.interval.Interval.lo ->
+                let acc = if c'.job = c.job then acc else acc +. v in
+                sum acc rest
+            | _ -> acc
+          in
+          sum 0.0 !stack
+        in
+        let value = c.profit -. overlap_value -. job_value.(c.job) in
+        if value > 0.0 then begin
+          stack := (c, value) :: !stack;
+          job_value.(c.job) <- job_value.(c.job) +. value
+        end
+      end)
+    (Isp.candidates t);
+  let job_used = Array.make (max (Isp.jobs t) 1) false in
+  let selected =
+    List.fold_left
+      (fun kept ((c : Isp.candidate), _v) ->
+        let compatible =
+          (not job_used.(c.job))
+          && List.for_all
+               (fun (k : Isp.candidate) -> Interval.disjoint k.interval c.interval)
+               kept
+        in
+        if compatible then begin
+          job_used.(c.job) <- true;
+          c :: kept
+        end
+        else kept)
+      [] !stack
+  in
+  (Isp.total_profit selected, selected)
+
+let greedy_oracle t =
+  let sorted =
+    List.sort
+      (fun (a : Isp.candidate) (b : Isp.candidate) -> compare b.profit a.profit)
+      (List.filter (fun (c : Isp.candidate) -> c.profit > 0.0) (Isp.candidates t))
+  in
+  let job_used = Array.make (max (Isp.jobs t) 1) false in
+  let selected =
+    List.fold_left
+      (fun kept (c : Isp.candidate) ->
+        let ok =
+          (not job_used.(c.job))
+          && List.for_all
+               (fun (k : Isp.candidate) -> Interval.disjoint k.interval c.interval)
+               kept
+        in
+        if ok then begin
+          job_used.(c.job) <- true;
+          c :: kept
+        end
+        else kept)
+      [] sorted
+  in
+  (Isp.total_profit selected, selected)
+
+let random_isp seed =
+  let rng = Fsa_util.Rng.create seed in
+  let jobs = 1 + Fsa_util.Rng.int rng 8 in
+  let candidates_per_job = 1 + Fsa_util.Rng.int rng 6 in
+  Isp.random_instance rng ~jobs ~candidates_per_job ~span:40 ~max_len:8
+    ~max_profit:10.0
+
+let test_tpa_oracle_qcheck =
+  QCheck.Test.make ~name:"array-backed tpa = list-backed tpa" ~count:300
+    seed_gen (fun seed ->
+      let t = random_isp seed in
+      Isp.tpa t = tpa_oracle t)
+
+let test_greedy_oracle_qcheck =
+  QCheck.Test.make ~name:"bitset greedy = list-backed greedy" ~count:300
+    seed_gen (fun seed ->
+      let t = random_isp seed in
+      Isp.greedy t = greedy_oracle t)
+
+(* ------------------------------------------------------------------ *)
+(* All-windows MS kernel vs per-window alignments (S5)                  *)
+
+let kernel_prop seed =
+  let inst = small_instance seed in
+  let sigma = inst.Instance.sigma in
+  let get = Scoring.get sigma in
+  let a = Fragment.symbols (Instance.fragment inst Species.H 0) in
+  let w = Fragment.symbols (Instance.fragment inst Species.M 0) in
+  let lw = Array.length w in
+  let fwd = Fsa_align.Region_align.ms_windows_fwd ~get a w in
+  let rev = Fsa_align.Region_align.ms_windows_rev ~get a w in
+  let ok = ref true in
+  for lo = 0 to lw - 1 do
+    for hi = lo to lw - 1 do
+      let window = Array.sub w lo (hi - lo + 1) in
+      (* Bit equality, not tolerance: the kernel must reproduce the exact
+         floats of a fresh per-window DP. *)
+      ok := !ok && fwd.((lo * lw) + hi) = Fsa_align.Region_align.p_score sigma a window;
+      ok :=
+        !ok
+        && rev.((lo * lw) + hi)
+           = Fsa_align.Region_align.p_score sigma a
+               (Fsa_align.Region_align.reverse_word window)
+    done
+  done;
+  !ok
+
+let test_kernel_qcheck =
+  QCheck.Test.make ~name:"window kernel bit-equal to per-window p_score"
+    ~count:60 seed_gen kernel_prop
+
+(* ------------------------------------------------------------------ *)
+(* Bitset range operations vs per-bit model (S5)                        *)
+
+let bitset_prop seed =
+  let rng = Fsa_util.Rng.create seed in
+  let n = 1 + Fsa_util.Rng.int rng 200 in
+  let b = Fsa_util.Bitset.create n in
+  let model = Array.make n false in
+  let ok = ref true in
+  for _ = 1 to 40 do
+    let lo = Fsa_util.Rng.int rng n in
+    let hi = Fsa_util.Rng.int rng n in
+    if Fsa_util.Rng.bool rng then begin
+      Fsa_util.Bitset.set_range b lo hi;
+      for p = lo to hi do
+        model.(p) <- true
+      done
+    end
+    else begin
+      let naive = ref false in
+      for p = lo to hi do
+        naive := !naive || model.(p)
+      done;
+      ok := !ok && Fsa_util.Bitset.any_in_range b lo hi = !naive
+    end
+  done;
+  for p = 0 to n - 1 do
+    ok := !ok && Fsa_util.Bitset.mem b p = model.(p)
+  done;
+  !ok
+
+let test_bitset_qcheck =
+  QCheck.Test.make ~name:"bitset range ops match per-bit model" ~count:200
+    seed_gen bitset_prop
+
+(* ------------------------------------------------------------------ *)
+(* Scaling truncation loss (S2)                                         *)
+
+(* The bound documented in Improve.with_scaling: truncating σ to multiples
+   of u = εX/k costs any fixed solution less than k·u = εX of its score
+   (and never gains, since truncation is a floor). *)
+let truncation_loss_prop seed =
+  let inst = small_instance seed in
+  let sol = One_csr.four_approx inst in
+  let x = Solution.score sol in
+  if x <= 0.0 then true
+  else begin
+    let k = Float.max (float_of_int (Instance.max_matches inst)) 1.0 in
+    let epsilon = 0.1 in
+    let u = epsilon *. x /. k in
+    let truncated =
+      Instance.with_sigma inst
+        (Scoring.truncate_to_multiples inst.Instance.sigma u)
+    in
+    let sol_t = Improve.rescore truncated sol in
+    let loss = x -. Solution.score sol_t in
+    loss >= -1e-9 && loss <= (k *. u) +. 1e-6
+  end
+
+let test_truncation_loss_qcheck =
+  QCheck.Test.make ~name:"truncation loses less than k·u = εX" ~count:60
+    seed_gen truncation_loss_prop
+
+let test_scaled_paper_score () =
+  (* On the paper example the ε = 0.05 scaled run loses nothing. *)
+  check_float "scaled CSR_Improve score" 11.0
+    (Solution.score (Csr_improve.solve_scaled ~epsilon:0.05 (paper ())))
+
+(* ------------------------------------------------------------------ *)
+(* tpa_fill consistency counters (S4)                                   *)
+
+let test_tpa_fill_counters () =
+  let reg = Fsa_obs.Registry.create () in
+  Fsa_obs.Runtime.with_observation ~registry:reg (fun () ->
+      ignore (Csr_improve.solve (paper ())));
+  check_bool "tpa_fill ran" true
+    (match Fsa_obs.Registry.counter_value reg "improve.tpa_fill_calls" with
+    | Some v -> v > 0.0
+    | None -> false);
+  (* The two "cannot happen" branches must stay silent on a healthy run. *)
+  List.iter
+    (fun name ->
+      check_bool name true
+        (match Fsa_obs.Registry.counter_value reg name with
+        | None -> true
+        | Some v -> v = 0.0))
+    [ "improve.tpa_fill_prepare_misses"; "improve.tpa_fill_add_errors" ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "rounds",
+        [
+          Alcotest.test_case "zero improvements" `Quick
+            test_rounds_zero_improvements;
+          Alcotest.test_case "one improvement" `Quick test_rounds_one_improvement;
+          Alcotest.test_case "cut by max_improvements" `Quick
+            test_rounds_cut_by_max_improvements;
+        ] );
+      ( "solution",
+        [ qtest test_solution_oracle_qcheck ] );
+      ( "isp",
+        [ qtest test_tpa_oracle_qcheck; qtest test_greedy_oracle_qcheck ] );
+      ( "kernel", [ qtest test_kernel_qcheck ] );
+      ( "bitset", [ qtest test_bitset_qcheck ] );
+      ( "scaling",
+        [
+          qtest test_truncation_loss_qcheck;
+          Alcotest.test_case "paper example scaled" `Quick test_scaled_paper_score;
+        ] );
+      ( "counters",
+        [ Alcotest.test_case "tpa_fill counters" `Quick test_tpa_fill_counters ]
+      );
+    ]

@@ -179,6 +179,11 @@ let instance_of (seed, jobs, cpj) =
   Isp.random_instance rng ~jobs ~candidates_per_job:cpj ~span:25 ~max_len:8
     ~max_profit:10.0
 
+let exact_exn ?node_limit isp =
+  match Isp.exact ?node_limit isp with
+  | Ok r -> r
+  | Error (`Node_limit n) -> Alcotest.failf "unexpected node limit (%d)" n
+
 let test_isp_tpa_feasible_qcheck =
   QCheck.Test.make ~name:"TPA output is feasible" ~count:300 isp_gen (fun params ->
       let isp = instance_of params in
@@ -189,7 +194,7 @@ let test_isp_exact_feasible_qcheck =
   QCheck.Test.make ~name:"exact output is feasible and beats TPA and greedy" ~count:200
     isp_gen (fun params ->
       let isp = instance_of params in
-      let opt, sel = Isp.exact isp in
+      let opt, sel = exact_exn isp in
       let tpa, _ = Isp.tpa isp in
       let gr, _ = Isp.greedy isp in
       Isp.is_feasible isp sel && opt >= tpa -. 1e-9 && opt >= gr -. 1e-9)
@@ -197,7 +202,7 @@ let test_isp_exact_feasible_qcheck =
 let test_isp_tpa_ratio2_qcheck =
   QCheck.Test.make ~name:"TPA is a 2-approximation" ~count:300 isp_gen (fun params ->
       let isp = instance_of params in
-      let opt, _ = Isp.exact isp in
+      let opt, _ = exact_exn isp in
       let tpa, _ = Isp.tpa isp in
       tpa *. 2.0 >= opt -. 1e-9)
 
@@ -205,7 +210,7 @@ let test_isp_upper_bound_qcheck =
   QCheck.Test.make ~name:"WIS relaxation bounds the optimum" ~count:200 isp_gen
     (fun params ->
       let isp = instance_of params in
-      let opt, _ = Isp.exact isp in
+      let opt, _ = exact_exn isp in
       Isp.upper_bound isp >= opt -. 1e-9)
 
 let test_isp_tpa_tight_family () =
@@ -219,7 +224,7 @@ let test_isp_tpa_tight_family () =
     ]
   in
   let isp = Isp.create ~jobs:3 cands in
-  let opt, _ = Isp.exact isp in
+  let opt, _ = exact_exn isp in
   check_float "optimum takes the two smalls" 12.0 opt;
   let tpa, _ = Isp.tpa isp in
   check_bool "TPA within factor 2" true (tpa *. 2.0 >= opt)
@@ -233,14 +238,14 @@ let test_isp_job_constraint () =
     ]
   in
   let isp = Isp.create ~jobs:1 cands in
-  let opt, sel = Isp.exact isp in
+  let opt, sel = exact_exn isp in
   check_float "only one" 5.0 opt;
   check_int "selection size" 1 (List.length sel)
 
 let test_isp_negative_profit_ignored () =
   let cands = [ { Isp.job = 0; interval = Interval.make 0 1; profit = -5.0 } ] in
   let isp = Isp.create ~jobs:1 cands in
-  let opt, sel = Isp.exact isp in
+  let opt, sel = exact_exn isp in
   check_float "nothing selected" 0.0 opt;
   check_int "empty" 0 (List.length sel);
   let tpa, tsel = Isp.tpa isp in
@@ -257,6 +262,21 @@ let test_isp_feasibility_detects_overlap () =
   let c2 = { Isp.job = 1; interval = Interval.make 5 9; profit = 1.0 } in
   let isp = Isp.create ~jobs:2 [ c1; c2 ] in
   check_bool "overlapping selection infeasible" false (Isp.is_feasible isp [ c1; c2 ])
+
+let test_isp_node_limit_typed () =
+  (* A tiny limit must yield a typed error, not an exception... *)
+  let isp = instance_of (42, 5, 5) in
+  (match Isp.exact ~node_limit:3 isp with
+  | Error (`Node_limit 3) -> ()
+  | Error (`Node_limit n) -> Alcotest.failf "wrong limit reported: %d" n
+  | Ok _ -> Alcotest.fail "limit of 3 nodes cannot finish this instance");
+  (* ... and the degrading wrapper must still return a feasible selection
+     (TPA's, at that point). *)
+  let v, sel = Isp.exact_or_tpa ~node_limit:3 isp in
+  check_bool "fallback selection feasible" true (Isp.is_feasible isp sel);
+  let tv, tsel = Isp.tpa isp in
+  check_float "fallback value is TPA's" tv v;
+  check_int "fallback selection is TPA's" (List.length tsel) (List.length sel)
 
 let () =
   Alcotest.run "fsa_intervals"
@@ -292,5 +312,6 @@ let () =
           Alcotest.test_case "negative profits" `Quick test_isp_negative_profit_ignored;
           Alcotest.test_case "bad job rejected" `Quick test_isp_bad_job_rejected;
           Alcotest.test_case "feasibility check" `Quick test_isp_feasibility_detects_overlap;
+          Alcotest.test_case "node limit typed" `Quick test_isp_node_limit_typed;
         ] );
     ]

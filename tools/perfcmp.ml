@@ -1,0 +1,43 @@
+(* Wall-clock micro-comparison of the improvement-loop hot paths. *)
+let time name n f =
+  ignore (f ());
+  let t0 = Sys.time () in
+  for _ = 1 to n do
+    ignore (f ())
+  done;
+  let dt = Sys.time () -. t0 in
+  Printf.printf "%-28s %10.1f us/run  (%d runs)\n" name
+    (dt /. float_of_int n *. 1e6)
+    n
+
+let () =
+  let paper = Fsa_csr.Instance.paper_example () in
+  time "csr_improve paper" 400 (fun () -> Fsa_csr.Csr_improve.solve paper);
+  let rng = Fsa_util.Rng.create 14 in
+  let inst =
+    Fsa_csr.Instance.random_planted rng ~regions:12 ~h_fragments:3
+      ~m_fragments:3 ~inversion_rate:0.2 ~noise_pairs:6
+  in
+  time "full_improve 12 regions" 40 (fun () -> Fsa_csr.Full_improve.solve inst);
+  let rng = Fsa_util.Rng.create 15 in
+  let inst2 =
+    Fsa_csr.Instance.random_planted rng ~regions:20 ~h_fragments:4
+      ~m_fragments:4 ~inversion_rate:0.2 ~noise_pairs:10
+  in
+  let empty = Fsa_csr.Solution.empty inst2 in
+  let zones =
+    [
+      Fsa_seq.Fragment.full_site
+        (Fsa_csr.Instance.fragment inst2 Fsa_csr.Species.H 0);
+    ]
+  in
+  time "tpa_fill 20 regions" 200 (fun () ->
+      Fsa_csr.Improve.tpa_fill empty ~host:(Fsa_csr.Species.H, 0) ~zones
+        ~exclude:[]);
+  time "four_approx 20 regions" 100 (fun () ->
+      let rng = Fsa_util.Rng.create 11 in
+      let inst =
+        Fsa_csr.Instance.random_planted rng ~regions:20 ~h_fragments:5
+          ~m_fragments:5 ~inversion_rate:0.2 ~noise_pairs:10
+      in
+      Fsa_csr.One_csr.four_approx inst)

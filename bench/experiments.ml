@@ -194,7 +194,7 @@ let e6 ~quick () =
         in
         let red = Reduction.build ~epsilon inst in
         let x1 = Reduction.unique red in
-        let _, hl, ml = Exact.solve x1 in
+        let _, hl, ml = Exact.solve_exn x1 in
         let pairs = Reduction.pairs_of_layouts x1 hl ml in
         let word = Reduction.forward red pairs in
         let ps = Reduction.pairs_score x1 pairs in
@@ -318,8 +318,12 @@ let e9 ~quick () =
       let opt =
         (* the 2k-1 shared regions r1..r_{2k-1} can all be matched by the
            natural chain layout and nothing else scores, so opt = w(2k-1);
-           verified against the exact solver where affordable *)
-        if k <= 3 then Exact.solve_score inst else 5.0 *. float_of_int ((2 * k) - 1)
+           verified against the exact solver where affordable (the budget
+           admits k <= 3; beyond it the counted fallback hook supplies the
+           closed form) *)
+        Exact.solve_score_or ~budget:20_000
+          ~fallback:(fun _ -> 5.0 *. float_of_int ((2 * k) - 1))
+          inst
       in
       let m = Solution.score (Border_improve.matching_2approx inst) in
       let b = Solution.score (fst (Border_improve.solve inst)) in

@@ -94,7 +94,7 @@ let exact_bench () =
       ~inversion_rate:0.2 ~noise_pairs:4
   in
   Test.make ~name:"exact solver (3x3 fragments)"
-    (Staged.stage (fun () -> ignore (Fsa_csr.Exact.solve inst)))
+    (Staged.stage (fun () -> ignore (Fsa_csr.Exact.solve_exn inst)))
 
 let tests () =
   Test.make_grouped ~name:"fsa" ~fmt:"%s %s"

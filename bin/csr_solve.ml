@@ -47,6 +47,14 @@ let read_all ic =
 (* Exit code 2: bad input (missing/unreadable/malformed instance file). *)
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("csr_solve: error: " ^ msg); exit 2) fmt
 
+(* Exit code 3: a solver produced an invalid solution — a bug in this
+   program, not in the input; reported as a message rather than a crash so
+   scripted callers can tell the two apart. *)
+let die_internal fmt =
+  Printf.ksprintf
+    (fun msg -> prerr_endline ("csr_solve: internal error: " ^ msg); exit 3)
+    fmt
+
 let load_instance path =
   let text =
     match path with
@@ -109,7 +117,12 @@ let solve algorithm show_conjecture scaled epsilon output trace stats stats_json
     | Greedy_a -> Some (Greedy.solve inst)
     | Best_a -> Some (Csr_improve.solve_best inst)
     | Exact_a ->
-        let _, hl, ml = Exact.solve inst in
+        let _, hl, ml =
+          match Exact.solve inst with
+          | Ok r -> r
+          | Error (`Budget_exceeded n) ->
+              die "instance too large for the exact solver (%d layout pairs)" n
+        in
         Format.printf "exact optimum: %.4g@." (Conjecture.score_of_layouts inst hl ml);
         (* report the layout and stop: the exact solver's witness is a
            layout, not a match set *)
@@ -131,7 +144,7 @@ let solve algorithm show_conjecture scaled epsilon output trace stats stats_json
   | Some sol ->
       (match Solution.validate sol with
       | Ok () -> ()
-      | Error e -> failwith ("internal error: inconsistent solution: " ^ e));
+      | Error e -> die_internal "inconsistent solution: %s" e);
       Format.printf "%a@." Solution.pp sol;
       (match output with
       | Some out ->
@@ -141,9 +154,12 @@ let solve algorithm show_conjecture scaled epsilon output trace stats stats_json
           Format.printf "solution written to %s@." out
       | None -> ());
       if show_conjecture then begin
-        let conj = Conjecture.of_solution sol in
-        Format.printf "@.H row: %a@.M row: %a@." Fsa_seq.Padded.pp conj.Conjecture.h_row
-          Fsa_seq.Padded.pp conj.Conjecture.m_row
+        match Conjecture.of_solution sol with
+        | Ok conj ->
+            Format.printf "@.H row: %a@.M row: %a@." Fsa_seq.Padded.pp
+              conj.Conjecture.h_row Fsa_seq.Padded.pp conj.Conjecture.m_row
+        | Error (Conjecture.Invalid_solution msg) ->
+            die_internal "solution has no conjecture layout: %s" msg
       end
 
 let algorithm_arg =

@@ -1,0 +1,120 @@
+(* fsa_fuzz: differential fuzzing of the CSR solvers (Fsa_check).
+
+   Draws random edge-case instances, runs every solver against the exact
+   optimum and the paper's approximation guarantees, and shrinks any
+   failure to a locally minimal counterexample.
+
+   Examples:
+     dune exec bin/fsa_fuzz.exe -- --seed 1 --count 500
+     dune exec bin/fsa_fuzz.exe -- --corpus --time 60 --out /tmp/cex.json *)
+
+open Cmdliner
+module Fuzz = Fsa_check.Fuzz
+
+let die fmt =
+  Printf.ksprintf (fun msg -> prerr_endline ("fsa_fuzz: error: " ^ msg); exit 2) fmt
+
+let setup_stats stats =
+  if stats then begin
+    let reg = Fsa_obs.Registry.create () in
+    Fsa_obs.Runtime.set_registry (Some reg);
+    at_exit (fun () ->
+        print_newline ();
+        Fsa_obs.Report.print reg)
+  end
+
+let print_counterexample c =
+  Printf.printf "FAIL %s (seed %d, instance %d, %d shrink steps)\n" c.Fuzz.property
+    c.Fuzz.seed c.Fuzz.index c.Fuzz.shrink_steps;
+  Printf.printf "  %s\n" c.Fuzz.shrunk_detail;
+  if c.Fuzz.other_properties <> [] then
+    Printf.printf "  also failing: %s\n" (String.concat ", " c.Fuzz.other_properties);
+  print_endline "  shrunk instance:";
+  String.split_on_char '\n' (String.trim c.Fuzz.shrunk)
+  |> List.iter (fun line -> Printf.printf "    %s\n" line)
+
+let fuzz seed count time corpus out stats =
+  setup_stats stats;
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) time in
+  let stop () =
+    match deadline with None -> false | Some d -> Unix.gettimeofday () >= d
+  in
+  let plan =
+    (if corpus then Fuzz.corpus else []) @ if count > 0 then [ (seed, count) ] else []
+  in
+  if plan = [] then die "nothing to do: --count 0 and no --corpus";
+  let outcomes =
+    List.map
+      (fun (seed, count) ->
+        let o = Fuzz.run ~stop ~seed ~count () in
+        Printf.printf "seed %6d: %4d/%4d instances, %d counterexample(s)\n" seed
+          o.Fuzz.instances count
+          (List.length o.Fuzz.counterexamples);
+        o)
+      plan
+  in
+  let cexs = List.concat_map (fun o -> o.Fuzz.counterexamples) outcomes in
+  List.iter print_counterexample cexs;
+  (match out with
+  | None -> ()
+  | Some file ->
+      let json =
+        Fsa_obs.Json.Obj
+          [
+            ("schema", String "fsa-fuzz-report/1");
+            ("runs", List (List.map Fuzz.outcome_to_json outcomes));
+          ]
+      in
+      (try
+         let oc = open_out file in
+         output_string oc (Fsa_obs.Json.to_string json);
+         output_char oc '\n';
+         close_out oc
+       with Sys_error msg -> die "cannot write report: %s" msg);
+      Printf.printf "report written to %s\n" file);
+  let total = List.fold_left (fun acc o -> acc + o.Fuzz.instances) 0 outcomes in
+  Printf.printf "%d instance(s) examined, %d counterexample(s)\n" total
+    (List.length cexs);
+  if cexs <> [] then exit 1
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~doc:"Seed for the fresh fuzzing run.")
+
+let count_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "n"; "count" ]
+        ~doc:"Instances to examine in the fresh run (0 to only replay --corpus).")
+
+let time_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "t"; "time" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock budget; runs stop early once it is spent.")
+
+let corpus_arg =
+  Arg.(
+    value & flag
+    & info [ "corpus" ] ~doc:"Replay the pinned (seed, count) corpus first.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Write a JSON report (schema fsa-fuzz-report/1) with every counterexample.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the telemetry counters (instances, failures, shrink steps).")
+
+let cmd =
+  let doc = "differential fuzzing for the CSR solvers" in
+  Cmd.v
+    (Cmd.info "fsa_fuzz" ~doc)
+    Term.(const fuzz $ seed_arg $ count_arg $ time_arg $ corpus_arg $ out_arg $ stats_arg)
+
+let () = exit (Cmd.eval cmd)

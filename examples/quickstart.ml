@@ -11,7 +11,7 @@ let () =
   Format.printf "Instance:@.%a@.@." Instance.pp inst;
 
   (* Exact optimum by exhaustive layout search (tiny instance). *)
-  let opt, hl, ml = Exact.solve inst in
+  let opt, hl, ml = Exact.solve_exn inst in
   let pp_layout side (l : Conjecture.layout) =
     String.concat " "
       (Array.to_list
@@ -34,7 +34,7 @@ let () =
 
   (* Every consistent match set materializes as a conjecture pair of equal
      score (Remark 1). *)
-  let conj = Conjecture.of_solution sol in
+  let conj = Conjecture.of_solution_exn sol in
   (match Conjecture.check inst conj with
   | Ok () -> Format.printf "Conjecture pair is structurally valid.@."
   | Error e -> Format.printf "BUG: %s@." e);

@@ -1,0 +1,96 @@
+module Rng = Fsa_util.Rng
+module Counter = Fsa_obs.Metric.Counter
+open Fsa_csr
+
+type counterexample = {
+  seed : int;
+  index : int;
+  property : string;
+  detail : string;
+  other_properties : string list;
+  instance : string;
+  shrunk : string;
+  shrunk_detail : string;
+  shrink_steps : int;
+}
+
+type outcome = {
+  run_seed : int;
+  instances : int;
+  counterexamples : counterexample list;
+}
+
+let instances_counter = Counter.make "check.instances"
+let failures_counter = Counter.make "check.failures"
+
+let examine ~seed ~index inst =
+  match Oracle.run inst with
+  | [] -> None
+  | first :: rest ->
+      Counter.incr failures_counter;
+      let shrunk, shrink_steps = Shrink.shrink ~property:first.Oracle.property inst in
+      let shrunk_detail =
+        match
+          List.find_opt
+            (fun f -> f.Oracle.property = first.Oracle.property)
+            (Oracle.run shrunk)
+        with
+        | Some f -> f.Oracle.detail
+        | None -> "(property no longer fails on shrunk form?)"
+      in
+      Some
+        {
+          seed;
+          index;
+          property = first.Oracle.property;
+          detail = first.Oracle.detail;
+          other_properties = List.map (fun f -> f.Oracle.property) rest;
+          instance = Instance.to_text inst;
+          shrunk = Instance.to_text shrunk;
+          shrunk_detail;
+          shrink_steps;
+        }
+
+let run ?(stop = fun () -> false) ~seed ~count () =
+  let rng = Rng.create seed in
+  let found = ref [] in
+  let examined = ref 0 in
+  (try
+     for index = 0 to count - 1 do
+       if stop () then raise Exit;
+       (* A split per instance: a counterexample's draw sequence does not
+          shift when the generator grows new draws for earlier instances. *)
+       let inst = Gen.instance (Rng.split rng) in
+       incr examined;
+       Counter.incr instances_counter;
+       match examine ~seed ~index inst with
+       | None -> ()
+       | Some cex -> found := cex :: !found
+     done
+   with Exit -> ());
+  { run_seed = seed; instances = !examined; counterexamples = List.rev !found }
+
+(* Seeds 1-5 are the CI front line; the rest add flavor coverage cheaply. *)
+let corpus = [ (1, 120); (2, 120); (3, 80); (4, 80); (5, 80); (42, 60); (1337, 60) ]
+
+let counterexample_to_json c =
+  Fsa_obs.Json.Obj
+    [
+      ("seed", Int c.seed);
+      ("index", Int c.index);
+      ("property", String c.property);
+      ("detail", String c.detail);
+      ("other_properties", List (List.map (fun p -> Fsa_obs.Json.String p) c.other_properties));
+      ("instance", String c.instance);
+      ("shrunk", String c.shrunk);
+      ("shrunk_detail", String c.shrunk_detail);
+      ("shrink_steps", Int c.shrink_steps);
+    ]
+
+let outcome_to_json o =
+  Fsa_obs.Json.Obj
+    [
+      ("seed", Int o.run_seed);
+      ("instances", Int o.instances);
+      ("counterexamples", List (List.map counterexample_to_json o.counterexamples));
+    ]

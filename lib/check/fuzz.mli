@@ -1,0 +1,47 @@
+(** The fuzzing loop: generate, check, shrink, report.
+
+    One {!run} draws instances from {!Gen.instance}, evaluates every
+    {!Oracle} property on each, and turns each failing instance into a
+    {!counterexample} carrying both the original and its {!Shrink}-minimal
+    form.  Everything is deterministic in the seed; the only
+    non-determinism is the optional [stop] hook (used for wall-clock
+    budgets), which can cut a run short but never changes what any
+    examined instance produces.
+
+    Progress is observable through the [check.instances],
+    [check.failures], and [check.shrink_steps] counters
+    ({!Fsa_obs.Metric}). *)
+
+type counterexample = {
+  seed : int;  (** seed of the run that found it *)
+  index : int;  (** 0-based instance number within that run *)
+  property : string;  (** first failing property on the instance *)
+  detail : string;  (** the failure's diagnostic message *)
+  other_properties : string list;  (** further properties failing on it *)
+  instance : string;  (** original instance, {!Fsa_csr.Instance.to_text} *)
+  shrunk : string;  (** locally minimal form, same format *)
+  shrunk_detail : string;  (** the property's message on the shrunk form *)
+  shrink_steps : int;  (** accepted reduction steps *)
+}
+
+type outcome = {
+  run_seed : int;
+  instances : int;  (** instances actually examined *)
+  counterexamples : counterexample list;  (** in discovery order *)
+}
+
+val run : ?stop:(unit -> bool) -> seed:int -> count:int -> unit -> outcome
+(** Examine up to [count] instances from [seed].  [stop] is polled before
+    each instance; once it returns [true] the run ends early (the
+    [instances] field tells how far it got).  A failing instance is
+    shrunk on its first failing property; the shrunk instance's other
+    failures are not re-reported. *)
+
+val corpus : (int * int) list
+(** Pinned (seed, count) pairs replayed by [dune runtest] and CI.  Every
+    pair must stay green; a bug found by a fresh seed gets fixed and its
+    shrunk instance pinned as a regression test, not appended here. *)
+
+val counterexample_to_json : counterexample -> Fsa_obs.Json.t
+val outcome_to_json : outcome -> Fsa_obs.Json.t
+(** Self-contained JSON for [fsa_fuzz --out] dumps and CI artifacts. *)

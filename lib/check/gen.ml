@@ -1,0 +1,110 @@
+open Fsa_seq
+module Rng = Fsa_util.Rng
+module Instance = Fsa_csr.Instance
+
+let max_fragments_per_side = 4
+
+(* Instance flavors, weighted toward the degenerate corners. *)
+type flavor =
+  | Plain  (** independent random symbols, random σ *)
+  | All_ambiguous  (** one region: every symbol is r0 or r0ᴿ *)
+  | Duplicated  (** every fragment is a copy or reversal of one motif *)
+  | Palindromic  (** fragments equal to their own reversals *)
+
+let pick_flavor rng =
+  match Rng.int rng 10 with
+  | 0 | 1 -> All_ambiguous
+  | 2 | 3 -> Duplicated
+  | 4 -> Palindromic
+  | _ -> Plain
+
+(* 1–4 fragments, biased small; 4 is rare (the exactness boundary). *)
+let side_count rng =
+  match Rng.int rng 20 with
+  | 0 -> 4
+  | n when n < 6 -> 3
+  | n when n < 13 -> 2
+  | _ -> 1
+
+(* Length 1 is the floor (empty fragments are rejected by Fragment.make)
+   and the most interesting case: a single-letter fragment has no proper
+   prefix or suffix, so it can never carry a border match. *)
+let frag_len rng =
+  match Rng.int rng 10 with
+  | 0 | 1 | 2 | 3 -> 1
+  | 4 | 5 -> 2
+  | 6 | 7 -> 3
+  | 8 -> 4
+  | _ -> 5
+
+let symbol rng regions =
+  let id = Rng.int rng regions in
+  if Rng.bool rng then Symbol.reversed id else Symbol.make id
+
+let random_word rng regions len = Array.init len (fun _ -> symbol rng regions)
+
+(* w with w = wᴿ: fill half, mirror with reversed symbols; an odd middle
+   cell must be its own reversal, which no symbol is, so odd palindromes
+   are only palindromic outside the center cell. *)
+let palindrome rng regions len =
+  let w = Array.init len (fun _ -> symbol rng regions) in
+  for i = 0 to (len / 2) - 1 do
+    w.(len - 1 - i) <- Symbol.reverse w.(i)
+  done;
+  w
+
+(* Copy of the motif (or its reversal), cyclically extended to [len]. *)
+let from_motif rng motif len =
+  let m = Array.length motif in
+  let rev = Rng.bool rng in
+  Array.init len (fun i ->
+      if rev then Symbol.reverse motif.(m - 1 - (i mod m)) else motif.(i mod m))
+
+let score_value rng =
+  match Rng.int rng 12 with
+  | 0 -> 0.0 (* explicit zero entries: matches that gain nothing *)
+  | 1 | 2 -> 0.5
+  | 3 | 4 | 5 -> 1.0
+  | 6 | 7 -> 2.0
+  | 8 | 9 -> 3.0
+  | _ -> 5.0
+
+let instance rng =
+  let flavor = pick_flavor rng in
+  let regions = match flavor with All_ambiguous -> 1 | _ -> 1 + Rng.int rng 5 in
+  let alphabet =
+    Alphabet.of_names (List.init regions (fun i -> Printf.sprintf "r%d" i))
+  in
+  let motif = random_word rng regions (1 + Rng.int rng 3) in
+  let fragment prefix idx =
+    let len = frag_len rng in
+    let word =
+      match flavor with
+      | Plain | All_ambiguous -> random_word rng regions len
+      | Duplicated -> from_motif rng motif len
+      | Palindromic -> palindrome rng regions len
+    in
+    Fragment.make (Printf.sprintf "%s%d" prefix (idx + 1)) word
+  in
+  let h = List.init (side_count rng) (fragment "h") in
+  let m = List.init (side_count rng) (fragment "m") in
+  let sigma = Scoring.create () in
+  (* Density spans empty σ (nothing scores — the optimum is 0) through
+     near-complete tables (everything matches everything). *)
+  let density = [| 0.0; 0.15; 0.35; 0.6; 0.9 |].(Rng.int rng 5) in
+  for hr = 0 to regions - 1 do
+    for mr = 0 to regions - 1 do
+      if Rng.bernoulli rng density then begin
+        let msym = if Rng.bool rng then Symbol.make mr else Symbol.reversed mr in
+        Scoring.set sigma (Symbol.make hr) msym (score_value rng)
+      end
+    done
+  done;
+  (* All-ambiguous instances must actually score, else the flavor is inert. *)
+  (match flavor with
+  | All_ambiguous ->
+      Scoring.set sigma (Symbol.make 0)
+        (if Rng.bool rng then Symbol.make 0 else Symbol.reversed 0)
+        (score_value rng)
+  | _ -> ());
+  Instance.make ~alphabet ~h ~m ~sigma

@@ -1,0 +1,23 @@
+(** Randomized CSR instance generator for the checking harness.
+
+    Unlike the experiment generators ({!Fsa_csr.Instance.random_planted},
+    [random_uniform]), which aim for realistic comparative-genomics shapes,
+    this one is biased toward the degenerate corners where solver bugs
+    hide: single-letter fragments (whose only site is [Full], so no border
+    match can touch them), fragments that are exact reverses or palindromic
+    duplicates of each other, all-ambiguous one-region alphabets (every
+    symbol matches every other), empty score tables, and zero scores.
+    Fragments are never empty — {!Fsa_seq.Fragment.make} rejects the empty
+    word, so length 1 is the generator's floor and gets the heaviest bias.
+
+    Sizes stay at most {!max_fragments_per_side} fragments per side so the
+    exact solver remains affordable as a differential oracle (see
+    {!Oracle}); σ entries are kept non-negative, matching the hypothesis
+    under which the paper's approximation guarantees are proved. *)
+
+val max_fragments_per_side : int
+(** 4 — the exactness boundary: (4!·2⁴)² ≈ 1.5·10⁵ layout pairs, well
+    inside {!Fsa_csr.Exact.solve}'s default budget. *)
+
+val instance : Fsa_util.Rng.t -> Fsa_csr.Instance.t
+(** One random instance.  Deterministic in the generator state. *)

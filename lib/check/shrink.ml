@@ -1,0 +1,81 @@
+open Fsa_seq
+open Fsa_csr
+
+let steps_counter = Fsa_obs.Metric.Counter.make "check.shrink_steps"
+
+(* Scoring.entries returns canonical (h_region, m_region, opposite, score)
+   classes in unspecified order; sort so candidate order is deterministic. *)
+let sigma_entries inst = List.sort compare (Scoring.entries inst.Instance.sigma)
+
+let rebuild inst ~h ~m ~entries =
+  let sigma = Scoring.create () in
+  List.iter
+    (fun (hr, mr, opposite, v) ->
+      let msym = if opposite then Symbol.reversed mr else Symbol.make mr in
+      Scoring.set sigma (Symbol.make hr) msym v)
+    entries;
+  Instance.make ~alphabet:inst.Instance.alphabet ~h ~m ~sigma
+
+(* All lists obtained from [xs] by deleting one element, in order. *)
+let drop_each xs =
+  List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) xs) xs
+
+let trimmed frag =
+  let w = Fragment.symbols frag in
+  let n = Array.length w in
+  if n <= 1 then []
+  else
+    [
+      Fragment.make (Fragment.name frag) (Array.sub w 0 (n - 1));
+      Fragment.make (Fragment.name frag) (Array.sub w 1 (n - 1));
+    ]
+
+(* Each list obtained from [xs] by replacing one element with a variant. *)
+let replace_each variants xs =
+  List.concat
+    (List.mapi
+       (fun i x ->
+         List.map
+           (fun x' -> List.mapi (fun j y -> if j = i then x' else y) xs)
+           (variants x))
+       xs)
+
+let candidates inst =
+  let h = Array.to_list inst.Instance.h and m = Array.to_list inst.Instance.m in
+  let entries = sigma_entries inst in
+  let with_h h' = rebuild inst ~h:h' ~m ~entries
+  and with_m m' = rebuild inst ~h ~m:m' ~entries in
+  let frag_drops =
+    (if List.length h > 1 then List.map with_h (drop_each h) else [])
+    @ if List.length m > 1 then List.map with_m (drop_each m) else []
+  in
+  let entry_drops =
+    List.map (fun entries' -> rebuild inst ~h ~m ~entries:entries')
+      (drop_each entries)
+  in
+  let trims =
+    List.map with_h (replace_each trimmed h)
+    @ List.map with_m (replace_each trimmed m)
+  in
+  frag_drops @ entry_drops @ trims
+
+let shrink_on fails inst =
+  let steps = ref 0 in
+  let cur = ref inst in
+  let continue = ref true in
+  while !continue do
+    match List.find_opt fails (candidates !cur) with
+    | Some smaller ->
+        cur := smaller;
+        incr steps;
+        Fsa_obs.Metric.Counter.incr steps_counter
+    | None -> continue := false
+  done;
+  (!cur, !steps)
+
+let shrink ~property inst =
+  (* Probe the property name once up front so a typo raises immediately
+     instead of silently returning the instance unshrunk. *)
+  if not (List.mem property Oracle.property_names) then
+    invalid_arg ("Shrink.shrink: unknown property " ^ property);
+  shrink_on (Oracle.fails property) inst

@@ -1,0 +1,31 @@
+(** Greedy delta-debugging of failing CSR instances.
+
+    Given an instance on which a named {!Oracle} property fails, repeatedly
+    try the one-step reductions of {!candidates} and keep the first that
+    still fails, until none does.  The result is {e locally minimal}: every
+    single reduction step from it makes the property pass.  The walk is
+    fully deterministic — candidates are enumerated in a fixed order and
+    the first failing one is always taken — so a given (property, instance)
+    pair shrinks to the same counterexample on every run. *)
+
+val candidates : Fsa_csr.Instance.t -> Fsa_csr.Instance.t list
+(** All one-step reductions, in the fixed order the shrinker tries them:
+    drop one fragment (sides must keep at least one fragment —
+    {!Fsa_csr.Instance.make} rejects an empty side), drop one σ entry,
+    then trim one symbol off a fragment end (length-1 fragments cannot be
+    trimmed further; {!Fsa_seq.Fragment.make} rejects the empty word). *)
+
+val shrink_on :
+  (Fsa_csr.Instance.t -> bool) -> Fsa_csr.Instance.t -> Fsa_csr.Instance.t * int
+(** [shrink_on fails inst] is the locally minimal reduction of [inst] on
+    which [fails] still holds, plus the number of accepted reduction
+    steps.  If [inst] itself does not satisfy [fails], it is returned
+    unchanged with step count 0 (no reduction of a passing instance fails,
+    for any monotone-ish predicate; non-monotone predicates still
+    terminate, they just shrink nothing).  Each accepted step also bumps
+    the [check.shrink_steps] counter. *)
+
+val shrink : property:string -> Fsa_csr.Instance.t -> Fsa_csr.Instance.t * int
+(** {!shrink_on} with [Oracle.fails property] as the predicate — the form
+    the fuzzing loop uses.
+    @raise Invalid_argument on unknown property names. *)

@@ -58,7 +58,13 @@ let partner_orientation host_side host_rev (m : Cmatch.t) =
   | Species.H -> host_rev <> m.Cmatch.m_reversed
   | Species.M -> host_rev <> m.Cmatch.m_reversed
 
-let of_solution sol =
+type error = Invalid_solution of string
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let build sol =
   let inst = Solution.instance sol in
   let sigma = inst.Instance.sigma in
   let b = new_builder () in
@@ -74,9 +80,16 @@ let of_solution sol =
     | Species.H -> (Species.M, m.Cmatch.m_frag)
     | Species.M -> (Species.H, m.Cmatch.h_frag)
   in
-  (* Walk the border path from an endpoint, returning fragments and edges. *)
+  (* Walk the border path from an endpoint, returning fragments and edges.
+     Revisiting a fragment means the border matches do not form a simple
+     path — impossible on a validated solution, caught for injected ones. *)
   let walk_chain start_side start_frag =
+    let on_path = Hashtbl.create 8 in
     let rec go side frag prev_edge frags edges =
+      if Hashtbl.mem on_path (side, frag) then
+        invalid "border matches revisit fragment %a/%d (not a simple path)"
+          Species.pp side frag;
+      Hashtbl.replace on_path (side, frag) ();
       let frags = (side, frag) :: frags in
       let nexts =
         List.filter
@@ -114,45 +127,39 @@ let of_solution sol =
     let handle (m : Cmatch.t) =
       let osite = orient_site ~len rev (Cmatch.site_of m side) in
       let is_prev = match prev_edge with Some p -> Cmatch.equal p m | None -> false in
-      let is_next =
-        match next with Some (e, _, _, _) -> Cmatch.equal e m | None -> false
-      in
       emit_gap b side word !pos (osite.Site.lo - 1);
-      if is_prev then ()
-        (* Block already emitted while processing the previous host. *)
-      else if is_next then begin
-        let _e, nside, nfrag, nrev =
-          match next with Some x -> x | None -> assert false
-        in
-        record b nside nfrag nrev;
-        let nword = oriented_word inst nside nfrag nrev in
-        let nlen = Array.length nword in
-        let nosite = orient_site ~len:nlen nrev (Cmatch.site_of m nside) in
-        let host_slice = Array.sub word osite.Site.lo (Site.length osite) in
-        let next_slice = Array.sub nword nosite.Site.lo (Site.length nosite) in
-        let h_word, m_word =
-          match side with
-          | Species.H -> (host_slice, next_slice)
-          | Species.M -> (next_slice, host_slice)
-        in
-        ignore (emit_block b sigma h_word m_word)
-      end
-      else begin
-        (* Full match: the partner is plugged here as a unit. *)
-        let pside = Species.other side in
-        let pfrag = Cmatch.frag_of m pside in
-        let prev_ = partner_orientation side rev m in
-        visit pside pfrag;
-        record b pside pfrag prev_;
-        let pword = oriented_word inst pside pfrag prev_ in
-        let host_slice = Array.sub word osite.Site.lo (Site.length osite) in
-        let h_word, m_word =
-          match side with
-          | Species.H -> (host_slice, pword)
-          | Species.M -> (pword, host_slice)
-        in
-        ignore (emit_block b sigma h_word m_word)
-      end;
+      (match next with
+      | _ when is_prev ->
+          (* Block already emitted while processing the previous host. *)
+          ()
+      | Some (e, nside, nfrag, nrev) when Cmatch.equal e m ->
+          record b nside nfrag nrev;
+          let nword = oriented_word inst nside nfrag nrev in
+          let nlen = Array.length nword in
+          let nosite = orient_site ~len:nlen nrev (Cmatch.site_of m nside) in
+          let host_slice = Array.sub word osite.Site.lo (Site.length osite) in
+          let next_slice = Array.sub nword nosite.Site.lo (Site.length nosite) in
+          let h_word, m_word =
+            match side with
+            | Species.H -> (host_slice, next_slice)
+            | Species.M -> (next_slice, host_slice)
+          in
+          ignore (emit_block b sigma h_word m_word)
+      | _ ->
+          (* Full match: the partner is plugged here as a unit. *)
+          let pside = Species.other side in
+          let pfrag = Cmatch.frag_of m pside in
+          let prev_ = partner_orientation side rev m in
+          visit pside pfrag;
+          record b pside pfrag prev_;
+          let pword = oriented_word inst pside pfrag prev_ in
+          let host_slice = Array.sub word osite.Site.lo (Site.length osite) in
+          let h_word, m_word =
+            match side with
+            | Species.H -> (host_slice, pword)
+            | Species.M -> (pword, host_slice)
+          in
+          ignore (emit_block b sigma h_word m_word));
       pos := osite.Site.hi + 1
     in
     List.iter handle mts;
@@ -169,6 +176,14 @@ let of_solution sol =
     let shape side frag (e : Cmatch.t) =
       Fragment.site_kind (Instance.fragment inst side frag) (Cmatch.site_of e side)
     in
+    let bad_shape side frag kind =
+      invalid "border match uses a %s site on fragment %a/%d"
+        (match kind with
+        | Site.Full -> "full"
+        | Site.Inner -> "inner"
+        | Site.Prefix | Site.Suffix -> "border")
+        Species.pp side frag
+    in
     let orients =
       Array.init n (fun i ->
           let side, frag = arr.(i) in
@@ -178,12 +193,12 @@ let of_solution sol =
               match shape side frag earr.(0) with
               | Site.Suffix -> false
               | Site.Prefix -> true
-              | Site.Full | Site.Inner -> assert false
+              | (Site.Full | Site.Inner) as k -> bad_shape side frag k
           else
             match shape side frag earr.(i - 1) with
             | Site.Prefix -> false
             | Site.Suffix -> true
-            | Site.Full | Site.Inner -> assert false)
+            | (Site.Full | Site.Inner) as k -> bad_shape side frag k)
     in
     for i = 0 to n - 1 do
       let side, frag = arr.(i) in
@@ -223,6 +238,17 @@ let of_solution sol =
         in
         process_chain [ center ] []
     | _ ->
+        (* Up-front structural checks: every fragment carries at most one
+           border match per end, and a path has an endpoint with exactly
+           one.  A cyclic or over-connected chain cannot be laid out as a
+           conjecture row, so it is a typed error, not a crash. *)
+        List.iter
+          (fun (s, f) ->
+            let d = List.length (border_edges s f) in
+            if d > 2 then
+              invalid "fragment %a/%d carries %d border matches (max 2)"
+                Species.pp s f d)
+          with_border;
         let endpoint =
           match
             List.find_opt
@@ -230,7 +256,11 @@ let of_solution sol =
               with_border
           with
           | Some e -> e
-          | None -> assert false (* paths have endpoints; cycles are invalid *)
+          | None ->
+              invalid "border matches form a cycle through fragment %a/%d"
+                Species.pp
+                (fst (List.hd with_border))
+                (snd (List.hd with_border))
         in
         let s, f = endpoint in
         let frags, edges = walk_chain s f in
@@ -257,6 +287,16 @@ let of_solution sol =
     h_order = List.rev b.h_ord;
     m_order = List.rev b.m_ord;
   }
+
+let of_solution sol =
+  match build sol with
+  | t -> Ok t
+  | exception Invalid msg -> Error (Invalid_solution msg)
+
+let of_solution_exn sol =
+  match build sol with
+  | t -> t
+  | exception Invalid msg -> invalid_arg ("Conjecture.of_solution: " ^ msg)
 
 let score inst t = Padded.score inst.Instance.sigma t.h_row t.m_row
 

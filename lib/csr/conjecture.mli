@@ -16,7 +16,20 @@ type t = {
   m_order : (int * bool) list;
 }
 
-val of_solution : Solution.t -> t
+type error = Invalid_solution of string
+(** The solution's border matches cannot be laid out as conjecture rows:
+    a fragment carries more than two border matches, a chain is cyclic or
+    revisits a fragment, or a supposed border match sits on a full/inner
+    site.  None of these arise from {!Solution.validate}-clean solutions;
+    they are reachable only through deliberately injected match sets (the
+    [Fsa_check] harness) or internal invariant bugs — which is exactly why
+    layout emission reports them as data instead of crashing. *)
+
+val of_solution : Solution.t -> (t, error) result
+
+val of_solution_exn : Solution.t -> t
+(** {!of_solution}, raising [Invalid_argument] on an invalid solution — for
+    callers holding a validated solution. *)
 
 val score : Instance.t -> t -> float
 (** Column score of the two rows (Def of [Score], §2.1). *)

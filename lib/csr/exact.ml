@@ -35,9 +35,9 @@ let iter_orientations k f =
     f flags
   done
 
-let solve ?(budget = 2_000_000) inst =
-  if layout_count inst > budget then
-    failwith "Exact.solve: layout budget exceeded (instance too large)";
+let default_budget = 2_000_000
+
+let solve_unbudgeted inst =
   Fsa_obs.Span.with_ ~name:"exact.solve" @@ fun () ->
   Fsa_obs.Metric.Gauge.set
     (Fsa_obs.Metric.Gauge.make "exact.layouts")
@@ -79,6 +79,28 @@ let solve ?(budget = 2_000_000) inst =
     ;
   (!best, !best_h, !best_m)
 
+let solve ?(budget = default_budget) inst =
+  let n = layout_count inst in
+  if n > budget then Error (`Budget_exceeded n) else Ok (solve_unbudgeted inst)
+
+let solve_exn ?budget inst =
+  match solve ?budget inst with
+  | Ok r -> r
+  | Error (`Budget_exceeded n) ->
+      invalid_arg
+        (Printf.sprintf
+           "Exact.solve: layout budget exceeded (%d layout pairs; raise ?budget or shrink the instance)"
+           n)
+
 let solve_score ?budget inst =
-  let s, _, _ = solve ?budget inst in
+  let s, _, _ = solve_exn ?budget inst in
   s
+
+let fallback_counter = Fsa_obs.Metric.Counter.make "exact.budget_fallbacks"
+
+let solve_score_or ?budget ~fallback inst =
+  match solve ?budget inst with
+  | Ok (s, _, _) -> s
+  | Error (`Budget_exceeded _) ->
+      Fsa_obs.Metric.Counter.incr fallback_counter;
+      fallback inst

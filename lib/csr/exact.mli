@@ -7,11 +7,31 @@
     approximation ratio. *)
 
 val solve :
+  ?budget:int ->
+  Instance.t ->
+  ( float * Conjecture.layout * Conjecture.layout,
+    [ `Budget_exceeded of int ] )
+  result
+(** Optimal score with witnessing layouts.  [Error (`Budget_exceeded n)]
+    when the layout count [n] exceeds [budget] (default 2_000_000) — the
+    typed analogue of {!Fsa_intervals.Isp.exact}'s [`Node_limit]; the
+    search never raises and the overflow is detected before any work is
+    done. *)
+
+val solve_exn :
   ?budget:int -> Instance.t -> float * Conjecture.layout * Conjecture.layout
-(** Optimal score with witnessing layouts.
-    @raise Failure if the layout count exceeds [budget] (default 2_000_000). *)
+(** {!solve} for callers that know the instance is small.
+    @raise Invalid_argument when the budget is exceeded. *)
 
 val solve_score : ?budget:int -> Instance.t -> float
+(** Score of {!solve_exn}. *)
+
+val solve_score_or :
+  ?budget:int -> fallback:(Instance.t -> float) -> Instance.t -> float
+(** {!solve_score}, degrading to [fallback] when the budget is exceeded —
+    the counted fallback hook mirroring {!Fsa_intervals.Isp.exact_or_tpa}.
+    Fallbacks are counted under [exact.budget_fallbacks], so oversized
+    instances surface in [--stats] instead of crashing the run. *)
 
 val layout_count : Instance.t -> int
 (** Number of layout pairs [solve] enumerates. *)

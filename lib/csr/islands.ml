@@ -16,7 +16,7 @@ type report = {
 
 let infer sol =
   let inst = Solution.instance sol in
-  let conj = Conjecture.of_solution sol in
+  let conj = Conjecture.of_solution_exn sol in
   (* Global layout position and orientation per fragment, from the
      conjecture's occurrence orders. *)
   let pos = Hashtbl.create 32 in

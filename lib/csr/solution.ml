@@ -243,6 +243,8 @@ let of_matches inst ms =
   let t = rebuild inst ms in
   match validate t with Ok () -> Ok t | Error e -> Error e
 
+let unchecked_of_matches = rebuild
+
 (* Incremental add: the base solution already satisfies the invariant, so
    only conditions involving the new match need checking — its site must be
    disjoint from the occupied sites of its two fragments, it must classify,

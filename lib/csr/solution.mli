@@ -32,6 +32,13 @@ val validate : t -> (unit, string) result
 (** Re-checks every invariant from scratch (tests call this after every
     algorithm step). *)
 
+val unchecked_of_matches : Instance.t -> Cmatch.t list -> t
+(** {!of_matches} without the consistency check: builds the indexed
+    structure around whatever match list is given.  For the checking
+    harness ([Fsa_check]) and tests that must inject deliberately
+    inconsistent solutions to exercise downstream error paths; algorithms
+    must use {!of_matches}/{!add}. *)
+
 val matches_on : t -> Species.t -> int -> Cmatch.t list
 (** Matches touching the fragment, sorted by their site on it. *)
 

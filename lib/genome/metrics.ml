@@ -18,7 +18,7 @@ let coverage r =
   else float_of_int r.matched_fragments /. float_of_int r.total_fragments
 
 let evaluate (built : Pipeline_types.built) sol =
-  let conj = Fsa_csr.Conjecture.of_solution sol in
+  let conj = Fsa_csr.Conjecture.of_solution_exn sol in
   let position_tables order =
     let pos = Hashtbl.create 16 and rev = Hashtbl.create 16 in
     List.iteri

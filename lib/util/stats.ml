@@ -18,11 +18,17 @@ let stddev xs = sqrt (variance xs)
 
 let sorted_copy xs =
   let ys = Array.copy xs in
-  Array.sort compare ys;
+  Array.sort Float.compare ys;
   ys
+
+let check_no_nan name xs =
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg (name ^ ": NaN in input"))
+    xs
 
 let percentile xs p =
   check_nonempty "Stats.percentile" xs;
+  check_no_nan "Stats.percentile" xs;
   if Float.is_nan p || p < 0.0 || p > 100.0 then
     invalid_arg "Stats.percentile: p out of [0,100]";
   let ys = sorted_copy xs in

@@ -9,12 +9,15 @@ val variance : float array -> float
 val stddev : float array -> float
 
 val median : float array -> float
-(** Does not modify its argument. *)
+(** Does not modify its argument.  Same domain checks as {!percentile}. *)
 
 val percentile : float array -> float -> float
 (** [percentile xs p] for [p] in [\[0, 100\]], linear interpolation between
-    order statistics.  Raises [Invalid_argument] on empty input and on [p]
-    outside the range (including NaN) — it never reads out of bounds. *)
+    order statistics (sorted with [Float.compare], so [-0.0] orders before
+    [+0.0] and ties are total).  Raises [Invalid_argument] on empty input,
+    on any NaN in the data (a NaN would silently poison the order
+    statistics), and on [p] outside the range (including NaN) — it never
+    reads out of bounds. *)
 
 val min_max : float array -> float * float
 

@@ -311,16 +311,54 @@ let test_add_remove_roundtrip () =
 let test_conjecture_of_fig5 () =
   let inst = paper () in
   let s = fig5_solution inst in
-  let c = Conjecture.of_solution s in
+  let c = Conjecture.of_solution_exn s in
   check_bool "structurally valid" true (Result.is_ok (Conjecture.check inst c));
   check_float "score equals match total" (Solution.score s) (Conjecture.score inst c)
 
 let test_conjecture_empty_solution () =
   let inst = paper () in
-  let c = Conjecture.of_solution (Solution.empty inst) in
+  let c = Conjecture.of_solution_exn (Solution.empty inst) in
   check_bool "valid" true (Result.is_ok (Conjecture.check inst c));
   check_float "score 0" 0.0 (Conjecture.score inst c);
   check_int "all h fragments placed" 2 (List.length c.Conjecture.h_order)
+
+let test_conjecture_cyclic_solution () =
+  (* Regression: a cyclic border-match chain used to crash layout emission
+     with [assert false]; it must now surface as a typed error.  The cycle
+     h1 –e1– m1 –e2– h2 –e3– m2 –e4– h1 cannot be produced through
+     [Solution.of_matches] (validation rejects it), so it is injected with
+     the unchecked constructor. *)
+  let inst =
+    Instance.of_text
+      "H h1: a b\nH h2: c d\nM m1: s t\nM m2: u v\nS a v 1\nS b s 1\nS t c 1\nS d u 1\n"
+  in
+  let border h_frag h_site m_frag m_site =
+    match Cmatch.border inst ~h_frag ~h_site ~m_frag ~m_site with
+    | Some b -> b
+    | None -> Alcotest.fail "border construction failed"
+  in
+  let e1 = border 0 (Site.make 1 1) 0 (Site.make 0 0) in
+  let e2 = border 1 (Site.make 0 0) 0 (Site.make 1 1) in
+  let e3 = border 1 (Site.make 1 1) 1 (Site.make 0 0) in
+  let e4 = border 0 (Site.make 0 0) 1 (Site.make 1 1) in
+  let cyclic = Solution.unchecked_of_matches inst [ e1; e2; e3; e4 ] in
+  (* The validator already refuses the cycle... *)
+  check_bool "validate rejects the cycle" true
+    (Result.is_error (Solution.validate cyclic));
+  (* ...and layout emission reports it as data instead of crashing. *)
+  (match Conjecture.of_solution cyclic with
+  | Ok _ -> Alcotest.fail "cyclic solution produced a conjecture"
+  | Error (Conjecture.Invalid_solution msg) ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+        at 0
+      in
+      check_bool "mentions the cycle" true (contains msg "cycle"));
+  Alcotest.check_raises "exn variant raises Invalid_argument"
+    (Invalid_argument
+       "Conjecture.of_solution: border matches form a cycle through fragment H/0")
+    (fun () -> ignore (Conjecture.of_solution_exn cyclic))
 
 let random_algorithm_solution seed =
   (* Random instances solved by greedy and by CSR_Improve give a varied
@@ -344,7 +382,7 @@ let test_conjecture_score_equality_qcheck =
     QCheck.(int_bound 1_000_000)
     (fun seed ->
       let inst, sol = random_algorithm_solution seed in
-      let c = Conjecture.of_solution sol in
+      let c = Conjecture.of_solution_exn sol in
       Result.is_ok (Conjecture.check inst c)
       && Float.abs (Conjecture.score inst c -. Solution.score sol) < 1e-6)
 
@@ -353,7 +391,7 @@ let test_conjecture_rows_equal_length_qcheck =
     QCheck.(int_bound 1_000_000)
     (fun seed ->
       let _, sol = random_algorithm_solution seed in
-      let c = Conjecture.of_solution sol in
+      let c = Conjecture.of_solution_exn sol in
       Array.length c.Conjecture.h_row = Array.length c.Conjecture.m_row)
 
 let test_layout_scoring () =
@@ -417,6 +455,8 @@ let () =
         [
           Alcotest.test_case "Fig 5 conjecture" `Quick test_conjecture_of_fig5;
           Alcotest.test_case "empty solution" `Quick test_conjecture_empty_solution;
+          Alcotest.test_case "cyclic solution is a typed error" `Quick
+            test_conjecture_cyclic_solution;
           qtest test_conjecture_score_equality_qcheck;
           qtest test_conjecture_rows_equal_length_qcheck;
           Alcotest.test_case "layout scoring" `Quick test_layout_scoring;

@@ -34,7 +34,7 @@ let test_exact_paper () =
 
 let test_exact_layout_witness () =
   let inst = paper () in
-  let opt, hl, ml = Exact.solve inst in
+  let opt, hl, ml = Exact.solve_exn inst in
   check_float "witness scores the optimum" opt (Conjecture.score_of_layouts inst hl ml)
 
 let test_exact_scaling_covariance_qcheck =
@@ -55,11 +55,22 @@ let test_exact_budget () =
     Instance.random_planted rng ~regions:16 ~h_fragments:8 ~m_fragments:8
       ~inversion_rate:0.1 ~noise_pairs:0
   in
-  check_bool "budget exceeded" true
-    (try
-       ignore (Exact.solve ~budget:1000 inst);
-       false
-     with Failure _ -> true)
+  (match Exact.solve ~budget:1000 inst with
+  | Ok _ -> Alcotest.fail "oversized instance solved within budget"
+  | Error (`Budget_exceeded n) ->
+      check_int "reports the layout count" (Exact.layout_count inst) n);
+  Alcotest.check_raises "solve_exn raises Invalid_argument"
+    (Invalid_argument
+       (Printf.sprintf
+          "Exact.solve: layout budget exceeded (%d layout pairs; raise ?budget or shrink the instance)"
+          (Exact.layout_count inst)))
+    (fun () -> ignore (Exact.solve_exn ~budget:1000 inst));
+  (* The counted fallback hook degrades instead of failing. *)
+  check_float "fallback value" 42.0
+    (Exact.solve_score_or ~budget:1000 ~fallback:(fun _ -> 42.0) inst);
+  check_float "within budget: exact wins"
+    (Exact.solve_score (Instance.paper_example ()))
+    (Exact.solve_score_or ~fallback:(fun _ -> Float.nan) (Instance.paper_example ()))
 
 (* ------------------------------------------------------------------ *)
 (* Greedy                                                               *)

@@ -35,7 +35,7 @@ let test_paper_pipeline () =
     (fun (name, sol) ->
       check_bool (name ^ " valid") true (Result.is_ok (Solution.validate sol));
       check_bool (name ^ " within optimum") true (Solution.score sol <= opt +. 1e-6);
-      let conj = Conjecture.of_solution sol in
+      let conj = Conjecture.of_solution_exn sol in
       check_bool (name ^ " conjecture valid") true (Result.is_ok (Conjecture.check inst conj));
       check_float (name ^ " conjecture score") (Solution.score sol) (Conjecture.score inst conj))
     solvers;

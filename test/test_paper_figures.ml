@@ -251,7 +251,7 @@ let test_chain4_conjecture () =
       check_float "chain score" 9.0 (Solution.score sol);
       check_int "one island of four" 1 (List.length (Solution.islands sol));
       check_int "four members" 4 (List.length (List.hd (Solution.islands sol)));
-      let conj = Conjecture.of_solution sol in
+      let conj = Conjecture.of_solution_exn sol in
       check_bool "conjecture valid" true (Result.is_ok (Conjecture.check inst conj));
       check_float "conjecture realizes the chain" 9.0 (Conjecture.score inst conj);
       (* The exact optimum of this instance is the full chain. *)
@@ -282,7 +282,7 @@ let test_chain4_reversed_links () =
       check_bool "reversed orientation" true b.Cmatch.m_reversed;
       check_float "score uses the opposite class" 5.0 b.Cmatch.score;
       let sol = Solution.add_exn (Solution.empty inst) b in
-      let conj = Conjecture.of_solution sol in
+      let conj = Conjecture.of_solution_exn sol in
       check_bool "valid" true (Result.is_ok (Conjecture.check inst conj));
       check_float "realized" 5.0 (Conjecture.score inst conj);
       (* one of the two occurrences must be reversed in the layout *)

@@ -15,7 +15,7 @@ let small_instance seed =
     ~inversion_rate:0.4 ~noise_pairs:2
 
 let exact_pairs inst =
-  let _, hl, ml = Exact.solve inst in
+  let _, hl, ml = Exact.solve_exn inst in
   Reduction.pairs_of_layouts inst hl ml
 
 (* ------------------------------------------------------------------ *)
@@ -224,7 +224,7 @@ let test_theorem1_pipeline () =
      blown-up fragments) and read the matched letters off its conjecture. *)
   let sol = One_csr.four_approx ucsr in
   check_bool "ucsr solution valid" true (Result.is_ok (Solution.validate sol));
-  let conj = Conjecture.of_solution sol in
+  let conj = Conjecture.of_solution_exn sol in
   let letters = Reduction.letters_of_conjecture red conj in
   check_bool "letters recovered" true (letters <> []);
   let back = Reduction.backward red letters in

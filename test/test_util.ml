@@ -210,6 +210,29 @@ let test_stats_percentile_edges () =
   check_float "p100 is max" 7.0 (Stats.percentile xs 100.0);
   check_float "singleton any p" 3.0 (Stats.percentile [| 3.0 |] 73.2)
 
+let test_stats_nan_input_rejected () =
+  let bad = Invalid_argument "Stats.percentile: NaN in input" in
+  Alcotest.check_raises "percentile nan data" bad (fun () ->
+      ignore (Stats.percentile [| 1.0; Float.nan; 3.0 |] 50.0));
+  Alcotest.check_raises "median nan data" bad (fun () ->
+      ignore (Stats.median [| Float.nan |]));
+  Alcotest.check_raises "nan last" bad (fun () ->
+      ignore (Stats.percentile [| 1.0; 2.0; Float.nan |] 100.0))
+
+let test_stats_signed_zero () =
+  (* Float.compare orders -0.0 before +0.0, so order statistics on mixed
+     zeros are well defined; the interpolated values are still zero. *)
+  check_float "median of mixed zeros" 0.0 (Stats.median [| 0.0; -0.0; 0.0 |]);
+  check_float "p0 picks -0.0" 0.0 (Stats.percentile [| 0.0; -0.0 |] 0.0);
+  check_bool "p0 sign is negative" true
+    (1.0 /. Stats.percentile [| 0.0; -0.0 |] 0.0 = Float.neg_infinity);
+  check_bool "p100 sign is positive" true
+    (1.0 /. Stats.percentile [| 0.0; -0.0 |] 100.0 = Float.infinity);
+  (* Infinities are ordered correctly too (polymorphic compare also gets
+     this right, but Float.compare makes it explicit). *)
+  check_float "p100 inf" Float.infinity
+    (Stats.percentile [| 1.0; Float.infinity; 2.0 |] 100.0)
+
 let test_stats_min_max () =
   let lo, hi = Stats.min_max [| 3.0; -1.0; 7.0 |] in
   check_float "min" (-1.0) lo;
@@ -429,6 +452,8 @@ let () =
           Alcotest.test_case "median" `Quick test_stats_median;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "percentile edges" `Quick test_stats_percentile_edges;
+          Alcotest.test_case "NaN input rejected" `Quick test_stats_nan_input_rejected;
+          Alcotest.test_case "signed zeros" `Quick test_stats_signed_zero;
           Alcotest.test_case "min_max" `Quick test_stats_min_max;
           Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;

@@ -114,8 +114,33 @@ let tests () =
       exact_bench ();
     ]
 
-(* Machine-readable bench results, diffable across PRs. *)
-let bench_json_path = "BENCH_solvers.json"
+(* Machine-readable bench results, diffable across PRs.  FSA_BENCH_OUT
+   redirects the output so tools/benchgate can record a fresh candidate
+   without clobbering the committed baseline. *)
+let bench_json_path () =
+  match Sys.getenv_opt "FSA_BENCH_OUT" with
+  | Some p when String.trim p <> "" -> p
+  | _ -> "BENCH_solvers.json"
+
+(* Provenance: prefer GIT_REV (set by CI) over asking git, fall back to
+   "unknown" outside any checkout. *)
+let git_rev () =
+  match Sys.getenv_opt "GIT_REV" with
+  | Some r when String.trim r <> "" -> String.trim r
+  | _ -> (
+      try
+        let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+        let line = try String.trim (input_line ic) with End_of_file -> "" in
+        match Unix.close_process_in ic with
+        | Unix.WEXITED 0 when line <> "" -> line
+        | _ -> "unknown"
+      with Unix.Unix_error _ | Sys_error _ -> "unknown")
+
+let iso_timestamp () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
 
 let write_bench_json ~quick ~quota rows =
   let module J = Fsa_obs.Json in
@@ -135,14 +160,16 @@ let write_bench_json ~quick ~quota rows =
         ( "config",
           J.Obj
             [ ("quota_s", J.Float quota); ("limit", J.Int 2000);
-              ("quick", J.Bool quick) ] );
+              ("quick", J.Bool quick); ("git_rev", J.String (git_rev ()));
+              ("timestamp", J.String (iso_timestamp ())) ] );
         ("benches", J.List benches) ]
   in
-  let oc = open_out bench_json_path in
+  let path = bench_json_path () in
+  let oc = open_out path in
   output_string oc (J.to_string doc);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nbench results written to %s\n" bench_json_path
+  Printf.printf "\nbench results written to %s\n" path
 
 let run ~quick () =
   Printf.printf "\n== timing benches (Bechamel, monotonic clock) ==\n\n";

@@ -14,7 +14,18 @@ module Fuzz = Fsa_check.Fuzz
 let die fmt =
   Printf.ksprintf (fun msg -> prerr_endline ("fsa_fuzz: error: " ^ msg); exit 2) fmt
 
-let setup_stats stats =
+(* Same observation plumbing as csr_solve: a --trace sink makes fuzz runs
+   profilable with fsa_trace (summarize / export-chrome / flame). *)
+let setup_observation trace stats =
+  (match trace with
+  | Some file ->
+      let sink =
+        try Fsa_obs.Sink.jsonl file
+        with Sys_error msg -> die "cannot open trace file: %s" msg
+      in
+      Fsa_obs.Runtime.set_sink (Some sink);
+      at_exit (fun () -> sink.Fsa_obs.Sink.close ())
+  | None -> ());
   if stats then begin
     let reg = Fsa_obs.Registry.create () in
     Fsa_obs.Runtime.set_registry (Some reg);
@@ -33,8 +44,8 @@ let print_counterexample c =
   String.split_on_char '\n' (String.trim c.Fuzz.shrunk)
   |> List.iter (fun line -> Printf.printf "    %s\n" line)
 
-let fuzz seed count time corpus out stats =
-  setup_stats stats;
+let fuzz seed count time corpus out trace stats =
+  setup_observation trace stats;
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) time in
   let stop () =
     match deadline with None -> false | Some d -> Unix.gettimeofday () >= d
@@ -105,6 +116,15 @@ let out_arg =
     & info [ "o"; "out" ] ~docv:"FILE"
         ~doc:"Write a JSON report (schema fsa-fuzz-report/1) with every counterexample.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL trace of the solver spans exercised by the fuzz run \
+           to $(docv) (analyze with fsa_trace).")
+
 let stats_arg =
   Arg.(
     value & flag
@@ -115,6 +135,8 @@ let cmd =
   let doc = "differential fuzzing for the CSR solvers" in
   Cmd.v
     (Cmd.info "fsa_fuzz" ~doc)
-    Term.(const fuzz $ seed_arg $ count_arg $ time_arg $ corpus_arg $ out_arg $ stats_arg)
+    Term.(
+      const fuzz $ seed_arg $ count_arg $ time_arg $ corpus_arg $ out_arg
+      $ trace_arg $ stats_arg)
 
 let () = exit (Cmd.eval cmd)

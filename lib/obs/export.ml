@@ -1,0 +1,247 @@
+module Tablefmt = Fsa_util.Tablefmt
+
+let pretty_ns = Report.pretty_ns
+
+(* ------------------------------------------------------------------ *)
+(* Text summary *)
+
+(* Long traces (a fuzz run has one root span per solver call) would make
+   a full tree dump unreadable; past the cap the aggregated profile below
+   is the useful view anyway. *)
+let max_tree_lines = 200
+
+let tree_section buf roots =
+  Buffer.add_string buf "-- span tree --\n";
+  let printed = ref 0 and suppressed = ref 0 in
+  let rec walk depth (n : Trace.node) =
+    if !printed >= max_tree_lines then incr suppressed
+    else begin
+      incr printed;
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s%s  %s (self %s, %.3g minor words)\n"
+           (String.make (2 * depth) ' ')
+           n.Trace.name
+           (if n.Trace.closed then "" else " [unclosed]")
+           (pretty_ns n.Trace.total_ns)
+           (pretty_ns (Trace.self_ns n))
+           (Trace.self_minor_words n))
+    end;
+    List.iter (walk (depth + 1)) n.Trace.children
+  in
+  List.iter (walk 0) roots;
+  if !suppressed > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "... %d more node(s); see the aggregated profile below\n"
+         !suppressed)
+
+let profile_section buf trace =
+  let t =
+    Tablefmt.create
+      [ ("span", Tablefmt.Left); ("calls", Tablefmt.Right);
+        ("total", Tablefmt.Right); ("self", Tablefmt.Right);
+        ("self/call", Tablefmt.Right); ("minor words", Tablefmt.Right) ]
+  in
+  List.iter
+    (fun (r : Trace.row) ->
+      Tablefmt.add_row t
+        [ r.Trace.row_name; string_of_int r.Trace.calls;
+          pretty_ns r.Trace.row_total_ns; pretty_ns r.Trace.row_self_ns;
+          pretty_ns (r.Trace.row_self_ns /. float_of_int r.Trace.calls);
+          Printf.sprintf "%.3g" r.Trace.row_minor_words ])
+    (Trace.profile trace);
+  Buffer.add_string buf "-- hot spans (by self time) --\n";
+  Buffer.add_string buf (Tablefmt.render t)
+
+let solver_section buf (s : Trace.solver) =
+  Buffer.add_string buf
+    (Printf.sprintf "-- solver %s: %d move(s), %d accepted, net score %+.4g --\n"
+       s.Trace.solver s.Trace.moves s.Trace.accepted s.Trace.net_delta);
+  let t =
+    Tablefmt.create
+      [ ("round", Tablefmt.Right); ("moves", Tablefmt.Right);
+        ("accepted", Tablefmt.Right); ("net dscore", Tablefmt.Right);
+        ("evaluated", Tablefmt.Right); ("score", Tablefmt.Right) ]
+  in
+  List.iter
+    (fun (r : Trace.round) ->
+      Tablefmt.add_row t
+        [ string_of_int r.Trace.round; string_of_int r.Trace.moves;
+          string_of_int r.Trace.accepted;
+          Printf.sprintf "%+.4g" r.Trace.net_delta;
+          string_of_int r.Trace.evaluated;
+          (match r.Trace.end_score with
+          | Some s -> Printf.sprintf "%.4g" s
+          | None -> "-") ])
+    s.Trace.rounds;
+  Buffer.add_string buf (Tablefmt.render t)
+
+let summary trace =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "trace: %d event(s)%s, wall %s%s\n\n" trace.Trace.events
+       (if trace.Trace.skipped > 0 then
+          Printf.sprintf " (%d unparseable line(s) skipped)" trace.Trace.skipped
+        else "")
+       (pretty_ns (Trace.wall_ns trace))
+       (if trace.Trace.unclosed > 0 then
+          Printf.sprintf ", %d unclosed span(s)" trace.Trace.unclosed
+        else ""));
+  if trace.Trace.roots <> [] then begin
+    tree_section buf trace.Trace.roots;
+    Buffer.add_char buf '\n';
+    profile_section buf trace;
+    Buffer.add_char buf '\n'
+  end;
+  List.iter
+    (fun s ->
+      solver_section buf s;
+      Buffer.add_char buf '\n')
+    trace.Trace.solvers;
+  if trace.Trace.phases <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "phases: %s\n" (String.concat " -> " trace.Trace.phases));
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "note %s = %.6g\n" name v))
+    trace.Trace.notes;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Chrome Trace Event format.
+
+   The JSON object format: {"traceEvents": [...]} with microsecond
+   timestamps.  Every closed node becomes one complete event ("ph":"X");
+   begin times prefer the recorded "ts" and otherwise are laid out
+   left-to-right inside the parent so the viewer still shows correct
+   durations and nesting. *)
+
+let chrome trace =
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let common = [ ("pid", Json.Int 1); ("tid", Json.Int 1) ] in
+  let rec walk ~cursor_us (n : Trace.node) =
+    let dur_us = n.Trace.total_ns /. 1e3 in
+    let begin_us =
+      match n.Trace.begin_ts with Some s -> s *. 1e6 | None -> cursor_us
+    in
+    if n.Trace.closed then
+      push
+        (Json.Obj
+           ([ ("name", Json.String n.Trace.name); ("cat", Json.String "span");
+              ("ph", Json.String "X"); ("ts", Json.Float begin_us);
+              ("dur", Json.Float dur_us) ]
+           @ common
+           @ [ ( "args",
+                 Json.Obj
+                   [ ("minor_words", Json.Float n.Trace.minor_words);
+                     ("major_words", Json.Float n.Trace.major_words) ] ) ]));
+    let _ =
+      List.fold_left
+        (fun cursor child ->
+          walk ~cursor_us:cursor child;
+          let c_begin =
+            match child.Trace.begin_ts with Some s -> s *. 1e6 | None -> cursor
+          in
+          c_begin +. (child.Trace.total_ns /. 1e3))
+        begin_us n.Trace.children
+    in
+    ()
+  in
+  let _ =
+    List.fold_left
+      (fun cursor root ->
+        walk ~cursor_us:cursor root;
+        let begin_us =
+          match root.Trace.begin_ts with Some s -> s *. 1e6 | None -> cursor
+        in
+        begin_us +. (root.Trace.total_ns /. 1e3))
+      0.0 trace.Trace.roots
+  in
+  List.iteri
+    (fun i name ->
+      push
+        (Json.Obj
+           ([ ("name", Json.String ("phase: " ^ name));
+              ("cat", Json.String "phase"); ("ph", Json.String "i");
+              ("ts", Json.Float (float_of_int i)); ("s", Json.String "g") ]
+           @ common)))
+    trace.Trace.phases;
+  List.iter
+    (fun (s : Trace.solver) ->
+      List.iter
+        (fun (r : Trace.round) ->
+          match r.Trace.end_score with
+          | Some score ->
+              push
+                (Json.Obj
+                   ([ ("name", Json.String ("score " ^ s.Trace.solver));
+                      ("ph", Json.String "C");
+                      ("ts", Json.Float (float_of_int r.Trace.round)) ]
+                   @ common
+                   @ [ ("args", Json.Obj [ ("score", Json.Float score) ]) ]))
+          | None -> ())
+        s.Trace.rounds)
+    trace.Trace.solvers;
+  Json.Obj
+    [ ("traceEvents", Json.List (List.rev !events));
+      ("displayTimeUnit", Json.String "ms") ]
+
+(* ------------------------------------------------------------------ *)
+(* Folded stacks *)
+
+let folded trace =
+  let weights : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  let rec walk path (n : Trace.node) =
+    let path = match path with "" -> n.Trace.name | p -> p ^ ";" ^ n.Trace.name in
+    let w = Trace.self_ns n in
+    (match Hashtbl.find_opt weights path with
+    | Some w0 -> Hashtbl.replace weights path (w0 +. w)
+    | None ->
+        Hashtbl.add weights path w;
+        order := path :: !order);
+    List.iter (walk path) n.Trace.children
+  in
+  List.iter (walk "") trace.Trace.roots;
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun path ->
+      let w = Hashtbl.find weights path in
+      let n = int_of_float (Float.round w) in
+      if n > 0 then Buffer.add_string buf (Printf.sprintf "%s %d\n" path n))
+    (List.rev !order);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Diff rendering *)
+
+let diff_table ?(threshold = 0.25) ?(min_ns = 1e6) base cand =
+  let deltas = Trace.diff base cand in
+  let flagged = ref 0 in
+  let t =
+    Tablefmt.create
+      [ ("span", Tablefmt.Left); ("base", Tablefmt.Right);
+        ("cand", Tablefmt.Right); ("delta", Tablefmt.Right);
+        ("rel", Tablefmt.Right); ("", Tablefmt.Left) ]
+  in
+  List.iter
+    (fun (d : Trace.delta) ->
+      let total = function
+        | Some (r : Trace.row) -> r.Trace.row_total_ns
+        | None -> 0.0
+      in
+      let dt = Trace.delta_total_ns d in
+      let rel = Trace.delta_rel d in
+      let over = Float.abs rel > threshold && Float.abs dt > min_ns in
+      if over then incr flagged;
+      Tablefmt.add_row t
+        [ d.Trace.d_name; pretty_ns (total d.Trace.base);
+          pretty_ns (total d.Trace.cand);
+          (let s = pretty_ns (Float.abs dt) in
+           if dt < 0.0 then "-" ^ s else "+" ^ s);
+          (if Float.is_finite rel then Printf.sprintf "%+.1f%%" (100.0 *. rel)
+           else "new");
+          (if over then "<-- over threshold" else "") ])
+    deltas;
+  ( (if deltas = [] then "(no spans in either trace)\n"
+     else Tablefmt.render t ^ "\n"),
+    !flagged )

@@ -1,0 +1,28 @@
+(** Renderers for a parsed {!Trace.t}: human-readable profile, Chrome
+    Trace Event JSON (loadable in [chrome://tracing] and Perfetto), and
+    folded stacks for [flamegraph.pl]. *)
+
+val summary : Trace.t -> string
+(** Multi-section text profile: the span tree with total/self times and
+    allocation, the hottest spans sorted by self time, per-solver round
+    tables (moves, acceptance, score deltas), phases, and notes. *)
+
+val chrome : Trace.t -> Json.t
+(** Chrome Trace Event JSON object format: one complete (["ph":"X"])
+    event per closed span (i.e. per recorded [span_end]), an instant
+    event per phase, and a counter track per solver score.  Timestamps
+    come from the recorded ["ts"] fields when present and are otherwise
+    reconstructed from the tree (parent begin + preceding siblings). *)
+
+val folded : Trace.t -> string
+(** Folded stacks, one line per distinct span path: ["root;child;leaf N"]
+    where [N] is the path's cumulative self time in integer nanoseconds.
+    Pipe into [flamegraph.pl --countname ns] to render an SVG. *)
+
+val diff_table :
+  ?threshold:float -> ?min_ns:float -> Trace.t -> Trace.t -> string * int
+(** [diff_table base cand] renders the per-span-name comparison and
+    returns [(text, flagged)] where [flagged] counts spans whose total
+    time moved by more than [threshold] (relative, default [0.25])
+    {e and} more than [min_ns] (absolute, default [1e6] — 1 ms), so
+    micro-spans dominated by scheduler noise do not trip the gate. *)

@@ -103,8 +103,11 @@ type hist_summary = {
   max : float;
   p50 : float;
   p90 : float;
+  p99 : float;
 }
 
+(* All percentiles go through Fsa_util.Stats.percentile — the single
+   interpolation rule shared with the bench/experiment harness. *)
 let summarize_hist h =
   let xs = Array.of_list h.values in
   let pct p =
@@ -117,6 +120,7 @@ let summarize_hist h =
     max = h.h_max;
     p50 = pct 50.0;
     p90 = pct 90.0;
+    p99 = pct 99.0;
   }
 
 let histograms t = sorted_bindings t.histograms summarize_hist

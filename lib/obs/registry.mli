@@ -33,7 +33,12 @@ type hist_summary = {
   max : float;
   p50 : float;
   p90 : float;
+  p99 : float;
 }
+(** Percentiles are computed with [Fsa_util.Stats.percentile] (linear
+    interpolation) over the retained values; once a histogram has
+    degraded past its value cap they describe a prefix sample, while
+    [count]/[mean]/[min]/[max] stay exact. *)
 
 val histograms : t -> (string * hist_summary) list
 val histogram_summary : t -> string -> hist_summary option

@@ -39,14 +39,16 @@ let histogram_table reg =
     Tablefmt.create
       [ ("histogram", Tablefmt.Left); ("n", Tablefmt.Right);
         ("mean", Tablefmt.Right); ("p50", Tablefmt.Right);
-        ("p90", Tablefmt.Right); ("min", Tablefmt.Right); ("max", Tablefmt.Right) ]
+        ("p90", Tablefmt.Right); ("p99", Tablefmt.Right);
+        ("min", Tablefmt.Right); ("max", Tablefmt.Right) ]
   in
   List.iter
     (fun (name, (h : Registry.hist_summary)) ->
       let f v = Printf.sprintf "%.4g" v in
       Tablefmt.add_row t
         [ name; string_of_int h.Registry.count; f h.Registry.mean;
-          f h.Registry.p50; f h.Registry.p90; f h.Registry.min; f h.Registry.max ])
+          f h.Registry.p50; f h.Registry.p90; f h.Registry.p99;
+          f h.Registry.min; f h.Registry.max ])
     (Registry.histograms reg);
   t
 
@@ -94,8 +96,8 @@ let to_json reg =
         Json.Obj
           [ ("name", Json.String name); ("count", Json.Int h.Registry.count);
             ("mean", Json.Float h.Registry.mean); ("p50", Json.Float h.Registry.p50);
-            ("p90", Json.Float h.Registry.p90); ("min", Json.Float h.Registry.min);
-            ("max", Json.Float h.Registry.max) ])
+            ("p90", Json.Float h.Registry.p90); ("p99", Json.Float h.Registry.p99);
+            ("min", Json.Float h.Registry.min); ("max", Json.Float h.Registry.max) ])
       (Registry.histograms reg)
   in
   Json.Obj

@@ -1,0 +1,337 @@
+type node = {
+  name : string;
+  begin_ts : float option;
+  total_ns : float;
+  minor_words : float;
+  major_words : float;
+  children : node list;
+  closed : bool;
+}
+
+let sum_children f n = List.fold_left (fun acc c -> acc +. f c) 0.0 n.children
+let self_ns n = Float.max 0.0 (n.total_ns -. sum_children (fun c -> c.total_ns) n)
+
+let self_minor_words n =
+  Float.max 0.0 (n.minor_words -. sum_children (fun c -> c.minor_words) n)
+
+let self_major_words n =
+  Float.max 0.0 (n.major_words -. sum_children (fun c -> c.major_words) n)
+
+type round = {
+  round : int;
+  moves : int;
+  accepted : int;
+  net_delta : float;
+  evaluated : int;
+  end_score : float option;
+}
+
+type solver = {
+  solver : string;
+  rounds : round list;
+  moves : int;
+  accepted : int;
+  net_delta : float;
+}
+
+type t = {
+  roots : node list;
+  solvers : solver list;
+  phases : string list;
+  notes : (string * float) list;
+  events : int;
+  skipped : int;
+  unclosed : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Span-tree reconstruction.
+
+   Spans arrive as matched begin/end brackets; a stack of open frames
+   mirrors the writer's nesting.  The recorded [depth] is advisory (the
+   stack is authoritative), but a [span_end] whose name is not the top
+   of the stack still closes the right frame when one exists below —
+   any frames above it were abandoned mid-flight (the writer raised
+   through them without the exception handler running, or the trace was
+   truncated) and are kept as unclosed nodes. *)
+
+type frame = {
+  f_name : string;
+  f_ts : float option;
+  mutable f_children : node list;  (* reversed *)
+}
+
+let node_of_end frame ~elapsed_ns ~minor_words ~major_words =
+  {
+    name = frame.f_name;
+    begin_ts = frame.f_ts;
+    total_ns = elapsed_ns;
+    minor_words;
+    major_words;
+    children = List.rev frame.f_children;
+    closed = true;
+  }
+
+let node_of_abandoned frame =
+  let children = List.rev frame.f_children in
+  let sum f = List.fold_left (fun acc c -> acc +. f c) 0.0 children in
+  {
+    name = frame.f_name;
+    begin_ts = frame.f_ts;
+    total_ns = sum (fun c -> c.total_ns);
+    minor_words = sum (fun c -> c.minor_words);
+    major_words = sum (fun c -> c.major_words);
+    children;
+    closed = false;
+  }
+
+(* Mutable accumulation for solver round stats, keyed by (solver, round). *)
+type round_acc = {
+  mutable a_moves : int;
+  mutable a_accepted : int;
+  mutable a_delta : float;
+  mutable a_evaluated : int;
+  mutable a_score : float option;
+}
+
+let of_events events =
+  let stack = ref [] in
+  let roots = ref [] in
+  let unclosed = ref 0 in
+  let attach node =
+    match !stack with
+    | frame :: _ -> frame.f_children <- node :: frame.f_children
+    | [] -> roots := node :: !roots
+  in
+  let pop_abandoned frame =
+    incr unclosed;
+    stack := List.tl !stack;
+    attach (node_of_abandoned frame)
+  in
+  let rounds : (string * int, round_acc) Hashtbl.t = Hashtbl.create 16 in
+  let round_acc solver round =
+    match Hashtbl.find_opt rounds (solver, round) with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            a_moves = 0;
+            a_accepted = 0;
+            a_delta = 0.0;
+            a_evaluated = 0;
+            a_score = None;
+          }
+        in
+        Hashtbl.add rounds (solver, round) a;
+        a
+  in
+  let phases = ref [] and notes = ref [] and count = ref 0 in
+  List.iter
+    (fun (ts, ev) ->
+      incr count;
+      match (ev : Event.t) with
+      | Span_begin { name; depth = _ } ->
+          stack := { f_name = name; f_ts = ts; f_children = [] } :: !stack
+      | Span_end { name; depth = _; elapsed_ns; minor_words; major_words } -> (
+          let rec has_open = function
+            | [] -> false
+            | f :: rest -> f.f_name = name || has_open rest
+          in
+          if not (has_open !stack) then
+            (* End without a begin: the trace started mid-span. *)
+            attach
+              {
+                name;
+                begin_ts = None;
+                total_ns = elapsed_ns;
+                minor_words;
+                major_words;
+                children = [];
+                closed = true;
+              }
+          else begin
+            while (List.hd !stack).f_name <> name do
+              pop_abandoned (List.hd !stack)
+            done;
+            match !stack with
+            | frame :: rest ->
+                stack := rest;
+                attach (node_of_end frame ~elapsed_ns ~minor_words ~major_words)
+            | [] -> assert false
+          end)
+      | Phase { name } -> phases := name :: !phases
+      | Move { solver; round; accepted; score_before; score_after; _ } ->
+          let a = round_acc solver round in
+          a.a_moves <- a.a_moves + 1;
+          if accepted then begin
+            a.a_accepted <- a.a_accepted + 1;
+            a.a_delta <- a.a_delta +. (score_after -. score_before)
+          end
+      | Step { solver; round; evaluated; score } ->
+          let a = round_acc solver round in
+          a.a_evaluated <- a.a_evaluated + evaluated;
+          a.a_score <- Some score
+      | Note { name; value } -> notes := (name, value) :: !notes)
+    events;
+  while !stack <> [] do
+    pop_abandoned (List.hd !stack)
+  done;
+  let solvers =
+    let by_solver : (string, round list ref) Hashtbl.t = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun (solver, round) a ->
+        let r =
+          {
+            round;
+            moves = a.a_moves;
+            accepted = a.a_accepted;
+            net_delta = a.a_delta;
+            evaluated = a.a_evaluated;
+            end_score = a.a_score;
+          }
+        in
+        match Hashtbl.find_opt by_solver solver with
+        | Some cell -> cell := r :: !cell
+        | None -> Hashtbl.add by_solver solver (ref [ r ]))
+      rounds;
+    Hashtbl.fold
+      (fun name cell acc ->
+        let rounds =
+          List.sort (fun a b -> compare a.round b.round) !cell
+        in
+        let moves = List.fold_left (fun n (r : round) -> n + r.moves) 0 rounds in
+        let accepted =
+          List.fold_left (fun n (r : round) -> n + r.accepted) 0 rounds
+        in
+        let net_delta =
+          List.fold_left (fun s (r : round) -> s +. r.net_delta) 0.0 rounds
+        in
+        { solver = name; rounds; moves; accepted; net_delta } :: acc)
+      by_solver []
+    |> List.sort (fun a b -> compare a.solver b.solver)
+  in
+  {
+    roots = List.rev !roots;
+    solvers;
+    phases = List.rev !phases;
+    notes = List.rev !notes;
+    events = !count;
+    skipped = 0;
+    unclosed = !unclosed;
+  }
+
+let of_string text =
+  let skipped = ref 0 in
+  let events =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" then None
+           else
+             match Json.of_string_opt line with
+             | None ->
+                 incr skipped;
+                 None
+             | Some j -> (
+                 match Event.of_json j with
+                 | None ->
+                     incr skipped;
+                     None
+                 | Some ev ->
+                     let ts =
+                       Option.bind (Json.member "ts" j) Json.to_float_opt
+                     in
+                     Some (ts, ev)))
+  in
+  let t = of_events events in
+  { t with skipped = !skipped }
+
+let of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text
+
+let wall_ns t = List.fold_left (fun acc n -> acc +. n.total_ns) 0.0 t.roots
+
+let span_ends t =
+  let rec count n =
+    List.fold_left (fun acc c -> acc + count c) (if n.closed then 1 else 0)
+      n.children
+  in
+  List.fold_left (fun acc n -> acc + count n) 0 t.roots
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation *)
+
+type row = {
+  row_name : string;
+  calls : int;
+  row_total_ns : float;
+  row_self_ns : float;
+  row_minor_words : float;
+  row_major_words : float;
+}
+
+let profile t =
+  let rows : (string, row ref) Hashtbl.t = Hashtbl.create 16 in
+  (* [ancestors] carries the span names on the path to the root so that a
+     recursive span contributes its total only at the outermost level. *)
+  let rec walk ancestors n =
+    let outermost = not (List.mem n.name ancestors) in
+    let add r =
+      {
+        r with
+        calls = r.calls + 1;
+        row_total_ns = (r.row_total_ns +. if outermost then n.total_ns else 0.0);
+        row_self_ns = r.row_self_ns +. self_ns n;
+        row_minor_words = r.row_minor_words +. self_minor_words n;
+        row_major_words = r.row_major_words +. self_major_words n;
+      }
+    in
+    (match Hashtbl.find_opt rows n.name with
+    | Some cell -> cell := add !cell
+    | None ->
+        Hashtbl.add rows n.name
+          (ref
+             {
+               row_name = n.name;
+               calls = 1;
+               row_total_ns = n.total_ns;
+               row_self_ns = self_ns n;
+               row_minor_words = self_minor_words n;
+               row_major_words = self_major_words n;
+             }));
+    List.iter (walk (n.name :: ancestors)) n.children
+  in
+  List.iter (walk []) t.roots;
+  Hashtbl.fold (fun _ cell acc -> !cell :: acc) rows []
+  |> List.sort (fun a b -> Float.compare b.row_self_ns a.row_self_ns)
+
+(* ------------------------------------------------------------------ *)
+(* Diff *)
+
+type delta = { d_name : string; base : row option; cand : row option }
+
+let delta_total_ns d =
+  let total = function Some r -> r.row_total_ns | None -> 0.0 in
+  total d.cand -. total d.base
+
+let delta_rel d =
+  match d.base with
+  | Some b when b.row_total_ns > 0.0 -> delta_total_ns d /. b.row_total_ns
+  | _ -> if delta_total_ns d = 0.0 then 0.0 else Float.infinity
+
+let diff base cand =
+  let tbl : (string, row option * row option) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace tbl r.row_name (Some r, None)) (profile base);
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt tbl r.row_name with
+      | Some (b, _) -> Hashtbl.replace tbl r.row_name (b, Some r)
+      | None -> Hashtbl.add tbl r.row_name (None, Some r))
+    (profile cand);
+  Hashtbl.fold (fun name (b, c) acc -> { d_name = name; base = b; cand = c } :: acc) tbl []
+  |> List.sort (fun a b ->
+         Float.compare (Float.abs (delta_total_ns b)) (Float.abs (delta_total_ns a)))

@@ -1,0 +1,112 @@
+(** Read side of the JSONL trace stream: parse a recorded trace back into
+    a typed span tree plus per-solver improvement statistics.
+
+    The writer is {!Sink.jsonl}; the schema is one {!Event.to_json} object
+    per line, optionally carrying a relative ["ts"] timestamp (seconds
+    since the sink opened).  Parsing is forgiving: unparseable lines are
+    counted in {!field-skipped} rather than aborting, spans left open at
+    end-of-trace become unclosed nodes, and a [span_end] with no matching
+    [span_begin] (a trace attached mid-run) becomes a leaf of its own. *)
+
+(** {1 Span tree} *)
+
+type node = {
+  name : string;
+  begin_ts : float option;  (** ["ts"] of the [span_begin] line, seconds. *)
+  total_ns : float;
+      (** Wall time of the [span_end]; for unclosed nodes, the sum of the
+          children's totals (the best available lower bound). *)
+  minor_words : float;
+  major_words : float;
+  children : node list;  (** In emission order. *)
+  closed : bool;  (** False iff the [span_end] never arrived. *)
+}
+
+val self_ns : node -> float
+(** [total_ns] minus the children's [total_ns], clamped at 0. *)
+
+val self_minor_words : node -> float
+val self_major_words : node -> float
+
+(** {1 Solver statistics} (from [move] / [step] events) *)
+
+type round = {
+  round : int;
+  moves : int;  (** Improvement attempts reported this round. *)
+  accepted : int;
+  net_delta : float;  (** Sum of [score_after - score_before] over accepted. *)
+  evaluated : int;  (** [step.evaluated], 0 if the round emitted no [step]. *)
+  end_score : float option;  (** [step.score], if a [step] closed the round. *)
+}
+
+type solver = {
+  solver : string;
+  rounds : round list;  (** Ascending by round number. *)
+  moves : int;
+  accepted : int;
+  net_delta : float;
+}
+
+(** {1 Whole trace} *)
+
+type t = {
+  roots : node list;
+  solvers : solver list;  (** Sorted by solver name. *)
+  phases : string list;  (** In emission order. *)
+  notes : (string * float) list;  (** In emission order. *)
+  events : int;  (** Parsed event lines. *)
+  skipped : int;  (** Lines that were not valid events. *)
+  unclosed : int;  (** Spans still open at end of trace. *)
+}
+
+val of_events : (float option * Event.t) list -> t
+(** Build a trace from already-decoded events ([ts], event) in emission
+    order, e.g. from {!Sink.memory} (with [None] timestamps). *)
+
+val of_string : string -> t
+(** Parse JSONL text (one event object per line; blank lines ignored). *)
+
+val of_file : string -> t
+(** Raises [Sys_error] if the file cannot be read. *)
+
+val wall_ns : t -> float
+(** Sum of the root spans' totals: the recorded wall time of the run. *)
+
+val span_ends : t -> int
+(** Number of closed nodes, i.e. [span_end] events represented in the
+    tree (exported as one complete event each by {!Export.chrome}). *)
+
+(** {1 Aggregated profile} *)
+
+type row = {
+  row_name : string;
+  calls : int;
+  row_total_ns : float;
+      (** Summed over outermost occurrences only, so a recursive span is
+          not double-counted. *)
+  row_self_ns : float;
+  row_minor_words : float;
+  row_major_words : float;
+}
+
+val profile : t -> row list
+(** One row per span name, sorted by self time, descending. *)
+
+(** {1 Diffing two traces} *)
+
+type delta = {
+  d_name : string;
+  base : row option;  (** [None]: span only in the candidate. *)
+  cand : row option;  (** [None]: span only in the baseline. *)
+}
+
+val diff : t -> t -> delta list
+(** Union of the two profiles by span name, sorted by the absolute change
+    in total time, descending. *)
+
+val delta_total_ns : delta -> float
+(** [cand - base] total time (absent side counts as 0). *)
+
+val delta_rel : delta -> float
+(** Relative change of total time against the baseline; [infinity] for a
+    span with no baseline time. *)

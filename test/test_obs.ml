@@ -35,6 +35,111 @@ let test_json_malformed () =
   check_bool "trailing" true (Json.of_string_opt "1 2" = None)
 
 (* ------------------------------------------------------------------ *)
+(* Event codec: every variant must round-trip through to_json/of_json. *)
+
+(* Compile-time exhaustiveness guard: adding an Event.t variant breaks
+   this match, which is the reminder to extend [roundtrip_events]. *)
+let _all_event_variants_covered : Event.t -> unit = function
+  | Event.Span_begin _ | Event.Span_end _ | Event.Phase _ | Event.Move _
+  | Event.Step _ | Event.Note _ ->
+      ()
+
+let roundtrip_events =
+  [
+    Event.Span_begin { name = "plain"; depth = 0 };
+    Event.Span_begin { name = ""; depth = 17 };
+    Event.Span_begin { name = "quote\"backslash\\newline\n"; depth = 3 };
+    Event.Span_end
+      {
+        name = "s";
+        depth = 2;
+        elapsed_ns = 0.0;
+        minor_words = 0.0;
+        major_words = 0.0;
+      };
+    Event.Span_end
+      {
+        name = "big";
+        depth = 0;
+        elapsed_ns = 9.75e12;
+        minor_words = 1.5e9;
+        major_words = 0.25;
+      };
+    Event.Phase { name = "solve" };
+    Event.Phase { name = "" };
+    Event.Move
+      {
+        solver = "csr_improve";
+        round = 0;
+        label = "accepted move";
+        accepted = true;
+        score_before = -3.5;
+        score_after = 12.25;
+      };
+    Event.Move
+      {
+        solver = "full_improve";
+        round = 100000;
+        label = "rejected";
+        accepted = false;
+        score_before = 7.0;
+        score_after = 7.0;
+      };
+    Event.Step { solver = "s"; round = 1; evaluated = 0; score = 0.0 };
+    Event.Step
+      { solver = "s"; round = 4096; evaluated = 123456; score = -0.125 };
+    Event.Note { name = "epsilon"; value = 0.05 };
+    Event.Note { name = "negative"; value = -1e6 };
+  ]
+
+let test_event_roundtrip_exhaustive () =
+  List.iter
+    (fun ev ->
+      (* Through the Json tree... *)
+      (match Event.of_json (Event.to_json ev) with
+      | Some ev' -> check_bool "tree roundtrip" true (ev = ev')
+      | None -> Alcotest.failf "of_json rejected %s" (Format.asprintf "%a" Event.pp ev));
+      (* ...and through the serialized text, as a sink would write it. *)
+      match Event.of_json (Json.of_string (Json.to_string (Event.to_json ev))) with
+      | Some ev' -> check_bool "text roundtrip" true (ev = ev')
+      | None -> Alcotest.fail "of_json rejected serialized event")
+    roundtrip_events
+
+let test_event_of_json_rejects_malformed () =
+  let rejected j = check_bool "rejected" true (Event.of_json j = None) in
+  rejected (Json.Obj [ ("type", Json.String "wibble") ]);
+  rejected (Json.Obj [ ("name", Json.String "no type") ]);
+  rejected Json.Null;
+  rejected (Json.String "span_begin");
+  (* Each variant with one required field missing. *)
+  rejected (Json.Obj [ ("type", Json.String "span_begin"); ("depth", Json.Int 0) ]);
+  rejected
+    (Json.Obj
+       [ ("type", Json.String "span_end"); ("name", Json.String "s");
+         ("depth", Json.Int 0); ("minor_words", Json.Float 0.0);
+         ("major_words", Json.Float 0.0) ]);
+  rejected (Json.Obj [ ("type", Json.String "phase") ]);
+  rejected
+    (Json.Obj
+       [ ("type", Json.String "move"); ("solver", Json.String "s");
+         ("round", Json.Int 1); ("label", Json.String "l");
+         ("score_before", Json.Float 0.0); ("score_after", Json.Float 1.0) ]);
+  rejected
+    (Json.Obj
+       [ ("type", Json.String "step"); ("solver", Json.String "s");
+         ("round", Json.Int 1); ("score", Json.Float 1.0) ]);
+  rejected (Json.Obj [ ("type", Json.String "note"); ("value", Json.Float 1.0) ])
+
+let test_event_of_json_ignores_unknown_fields () =
+  let j =
+    Json.Obj
+      [ ("ts", Json.Float 0.25); ("type", Json.String "phase");
+        ("name", Json.String "p"); ("extra", Json.List []) ]
+  in
+  check_bool "transport fields ignored" true
+    (Event.of_json j = Some (Event.Phase { name = "p" }))
+
+(* ------------------------------------------------------------------ *)
 (* Spans *)
 
 let test_span_nesting () =
@@ -226,6 +331,15 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "special floats" `Quick test_json_special_floats;
           Alcotest.test_case "malformed" `Quick test_json_malformed;
+        ] );
+      ( "event",
+        [
+          Alcotest.test_case "roundtrip exhaustive" `Quick
+            test_event_roundtrip_exhaustive;
+          Alcotest.test_case "rejects malformed" `Quick
+            test_event_of_json_rejects_malformed;
+          Alcotest.test_case "ignores unknown fields" `Quick
+            test_event_of_json_ignores_unknown_fields;
         ] );
       ( "span",
         [

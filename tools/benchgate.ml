@@ -1,0 +1,240 @@
+(* benchgate: noise-aware perf-regression gate over fsa-bench/1 documents.
+
+   Compares a candidate bench run (a file, or a fresh `bench/main.exe --
+   [--quick] timing` run it spawns itself) against the committed
+   BENCH_solvers.json baseline and exits 1 if any bench slowed down by
+   more than its allowed delta.
+
+   Noise policy: the base tolerance (--threshold, default 0.25 = 25%)
+   is widened per bench by how trustworthy the two measurements are —
+   a low OLS r² or a small sample count means the ns/run estimate is
+   noisy, so the gate demands a bigger slowdown before failing.  The
+   widened allowance is capped at 75% so a genuine 2x regression can
+   never hide behind noise.
+
+   Usage:
+     benchgate [--baseline FILE] [--candidate FILE] [--quick]
+               [--threshold REL] [--bench-exe PATH]
+
+   Exit codes: 0 ok, 1 regression, 2 usage/IO error. *)
+
+module J = Fsa_obs.Json
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("benchgate: error: " ^ msg);
+      exit 2)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* fsa-bench/1 parsing *)
+
+type bench = { b_name : string; ns : float; r2 : float option; runs : int }
+
+type doc = {
+  benches : bench list;
+  git_rev : string option;
+  timestamp : string option;
+  quick : bool;
+}
+
+let load_doc path =
+  let text =
+    try
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg -> die "cannot read %s: %s" path msg
+  in
+  let j =
+    try J.of_string text with J.Parse_error msg -> die "%s: bad JSON: %s" path msg
+  in
+  (match J.member "schema" j with
+  | Some (J.String "fsa-bench/1") -> ()
+  | _ -> die "%s: not an fsa-bench/1 document" path);
+  let config = Option.value (J.member "config" j) ~default:(J.Obj []) in
+  let str key = Option.bind (J.member key config) J.to_string_opt in
+  let benches =
+    match J.member "benches" j with
+    | Some (J.List bs) ->
+        List.filter_map
+          (fun b ->
+            match (J.member "name" b, J.member "ns_per_run" b) with
+            | Some (J.String name), Some ns_j ->
+                Option.map
+                  (fun ns ->
+                    {
+                      b_name = name;
+                      ns;
+                      r2 = Option.bind (J.member "r_square" b) J.to_float_opt;
+                      runs =
+                        Option.value ~default:0
+                          (Option.bind (J.member "runs" b) J.to_int_opt);
+                    })
+                  (J.to_float_opt ns_j)
+            | _ -> None)
+          bs
+    | _ -> die "%s: missing benches list" path
+  in
+  {
+    benches;
+    git_rev = str "git_rev";
+    timestamp = str "timestamp";
+    quick =
+      (match J.member "quick" config with Some (J.Bool b) -> b | _ -> false);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Noise policy *)
+
+(* How much to distrust one measurement: 1.0 for a clean fit with many
+   samples, up to 4.0 for a fit with no r² and single-digit runs. *)
+let noise_factor b =
+  let r2_pen =
+    match b.r2 with
+    | Some r -> 2.0 *. (1.0 -. Float.max 0.0 (Float.min 1.0 r))
+    | None -> 2.0
+  in
+  let runs_pen = if b.runs < 10 then 1.0 else if b.runs < 30 then 0.5 else 0.0 in
+  1.0 +. r2_pen +. runs_pen
+
+let allowed_cap = 0.75
+
+let allowed_delta ~threshold base cand =
+  Float.min allowed_cap
+    (threshold *. ((noise_factor base +. noise_factor cand) /. 2.0))
+
+type verdict = Ok_v | Improved | Regressed
+
+let judge ~threshold base cand =
+  let rel = (cand.ns -. base.ns) /. base.ns in
+  let allowed = allowed_delta ~threshold base cand in
+  let v =
+    if rel > allowed then Regressed
+    else if rel < -.allowed then Improved
+    else Ok_v
+  in
+  (rel, allowed, v)
+
+(* ------------------------------------------------------------------ *)
+(* Running the bench harness for a fresh candidate *)
+
+let default_bench_exe () =
+  (* Resolve bench/main.exe relative to this executable inside _build. *)
+  let dir = Filename.dirname Sys.executable_name in
+  let dir =
+    if Filename.is_relative dir then Filename.concat (Sys.getcwd ()) dir else dir
+  in
+  Filename.concat dir
+    (Filename.concat Filename.parent_dir_name (Filename.concat "bench" "main.exe"))
+
+let run_bench ~quick ~bench_exe =
+  if not (Sys.file_exists bench_exe) then
+    die "bench executable not found at %s (build it, or pass --candidate FILE)"
+      bench_exe;
+  let out = Filename.temp_file "benchgate" ".json" in
+  let cmd =
+    Printf.sprintf "FSA_BENCH_OUT=%s %s %s timing" (Filename.quote out)
+      (Filename.quote bench_exe)
+      (if quick then "--quick" else "")
+  in
+  prerr_endline ("benchgate: running " ^ cmd);
+  (match Sys.command cmd with
+  | 0 -> ()
+  | code -> die "bench run failed with exit code %d" code);
+  out
+
+(* ------------------------------------------------------------------ *)
+
+let provenance label doc =
+  Printf.printf "%s: git_rev=%s recorded=%s%s\n" label
+    (Option.value doc.git_rev ~default:"unknown")
+    (Option.value doc.timestamp ~default:"unknown")
+    (if doc.quick then " (quick)" else "")
+
+let () =
+  let baseline = ref "BENCH_solvers.json" in
+  let candidate = ref None in
+  let quick = ref false in
+  let threshold = ref 0.25 in
+  let bench_exe = ref None in
+  let spec =
+    [
+      ("--baseline", Arg.Set_string baseline, "FILE baseline fsa-bench/1 document (default BENCH_solvers.json)");
+      ("--candidate", Arg.String (fun f -> candidate := Some f), "FILE candidate document (default: run the bench harness)");
+      ("--quick", Arg.Set quick, " pass --quick to the spawned bench run");
+      ("--threshold", Arg.Set_float threshold, "REL base tolerance before noise widening (default 0.25)");
+      ("--bench-exe", Arg.String (fun f -> bench_exe := Some f), "PATH bench executable (default: sibling bench/main.exe)");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> die "unexpected argument %s" a)
+    "benchgate [--baseline FILE] [--candidate FILE] [--quick] [--threshold REL]";
+  if !threshold <= 0.0 then die "--threshold must be positive";
+  let cand_path =
+    match !candidate with
+    | Some f -> f
+    | None ->
+        run_bench ~quick:!quick
+          ~bench_exe:(match !bench_exe with Some e -> e | None -> default_bench_exe ())
+  in
+  let base_doc = load_doc !baseline in
+  let cand_doc = load_doc cand_path in
+  provenance ("baseline  " ^ !baseline) base_doc;
+  provenance ("candidate " ^ cand_path) cand_doc;
+  if base_doc.quick <> cand_doc.quick then
+    print_endline
+      "warning: comparing a quick run against a full run; estimates are noisier";
+  print_newline ();
+  let t =
+    Fsa_util.Tablefmt.create
+      [ ("bench", Fsa_util.Tablefmt.Left); ("base", Fsa_util.Tablefmt.Right);
+        ("cand", Fsa_util.Tablefmt.Right); ("delta", Fsa_util.Tablefmt.Right);
+        ("allowed", Fsa_util.Tablefmt.Right); ("verdict", Fsa_util.Tablefmt.Left) ]
+  in
+  let regressions = ref 0 and missing = ref 0 in
+  List.iter
+    (fun base ->
+      match
+        List.find_opt (fun c -> c.b_name = base.b_name) cand_doc.benches
+      with
+      | None ->
+          incr missing;
+          Fsa_util.Tablefmt.add_row t
+            [ base.b_name; Fsa_obs.Report.pretty_ns base.ns; "-"; "-"; "-";
+              "missing in candidate" ]
+      | Some cand ->
+          let rel, allowed, v = judge ~threshold:!threshold base cand in
+          if v = Regressed then incr regressions;
+          Fsa_util.Tablefmt.add_row t
+            [ base.b_name; Fsa_obs.Report.pretty_ns base.ns;
+              Fsa_obs.Report.pretty_ns cand.ns;
+              Printf.sprintf "%+.1f%%" (100.0 *. rel);
+              Printf.sprintf "%.0f%%" (100.0 *. allowed);
+              (match v with
+              | Regressed -> "REGRESSED"
+              | Improved -> "improved"
+              | Ok_v -> "ok") ])
+    base_doc.benches;
+  List.iter
+    (fun cand ->
+      if not (List.exists (fun b -> b.b_name = cand.b_name) base_doc.benches)
+      then
+        Fsa_util.Tablefmt.add_row t
+          [ cand.b_name; "-"; Fsa_obs.Report.pretty_ns cand.ns; "-"; "-";
+            "new bench" ])
+    cand_doc.benches;
+  Fsa_util.Tablefmt.print t;
+  print_newline ();
+  if !missing > 0 then
+    Printf.printf "warning: %d baseline bench(es) missing from the candidate\n"
+      !missing;
+  if !regressions > 0 then begin
+    Printf.printf "FAIL: %d bench(es) regressed beyond their allowed delta\n"
+      !regressions;
+    exit 1
+  end
+  else print_endline "OK: no bench regressed beyond its allowed delta"

@@ -1,4 +1,28 @@
 (* Wall-clock micro-comparison of the improvement-loop hot paths. *)
+
+(* Header: where the committed baseline numbers come from, so a perfcmp
+   transcript pasted into a PR is self-describing. *)
+let print_baseline_provenance () =
+  let module J = Fsa_obs.Json in
+  match
+    try
+      let ic = open_in "BENCH_solvers.json" in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      J.of_string_opt s
+    with Sys_error _ -> None
+  with
+  | None -> print_endline "baseline BENCH_solvers.json: not found"
+  | Some j ->
+      let config = Option.value (J.member "config" j) ~default:(J.Obj []) in
+      let str key =
+        Option.value ~default:"unknown"
+          (Option.bind (J.member key config) J.to_string_opt)
+      in
+      Printf.printf "baseline BENCH_solvers.json: git_rev=%s recorded=%s\n\n"
+        (str "git_rev") (str "timestamp")
+
 let time name n f =
   ignore (f ());
   let t0 = Sys.time () in
@@ -11,6 +35,7 @@ let time name n f =
     n
 
 let () =
+  print_baseline_provenance ();
   let paper = Fsa_csr.Instance.paper_example () in
   time "csr_improve paper" 400 (fun () -> Fsa_csr.Csr_improve.solve paper);
   let rng = Fsa_util.Rng.create 14 in

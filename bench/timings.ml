@@ -63,20 +63,48 @@ let full_improve_bench () =
     (Staged.stage (fun () -> ignore (Fsa_csr.Full_improve.solve inst)))
 
 let tpa_fill_bench () =
+  (* 96 regions / 8 fragments: per-run time far above timer jitter and GC
+     pause noise (the old 20-region workload sat near both and kept
+     r² ~ 0.85), and the site tables are warmed once up front so every
+     measured run does the same zone-scan work. *)
   let rng = Rng.create 15 in
   let inst =
-    Fsa_csr.Instance.random_planted rng ~regions:20 ~h_fragments:4 ~m_fragments:4
-      ~inversion_rate:0.2 ~noise_pairs:10
+    Fsa_csr.Instance.random_planted rng ~regions:96 ~h_fragments:8 ~m_fragments:8
+      ~inversion_rate:0.2 ~noise_pairs:48
   in
   let empty = Fsa_csr.Solution.empty inst in
   let zones =
     [ Fsa_seq.Fragment.full_site (Fsa_csr.Instance.fragment inst Fsa_csr.Species.H 0) ]
   in
-  Test.make ~name:"tpa_fill (20 regions)"
+  ignore
+    (Fsa_csr.Improve.tpa_fill empty ~host:(Fsa_csr.Species.H, 0) ~zones
+       ~exclude:[]);
+  Test.make ~name:"tpa_fill (96 regions)"
     (Staged.stage (fun () ->
          ignore
            (Fsa_csr.Improve.tpa_fill empty ~host:(Fsa_csr.Species.H, 0) ~zones
               ~exclude:[])))
+
+(* Large sparse tier: band-diagonal σ over planted genomes, the regime the
+   admissible-bound pruning and the LRU table cache target.  Compare with
+   FSA_NO_PRUNE=1 FSA_TABLE_BUDGET=0 to measure both layers' effect. *)
+let sparse_inst ~regions ~frags =
+  let rng = Rng.create 16 in
+  Fsa_csr.Instance.random_sparse rng ~regions ~h_fragments:frags
+    ~m_fragments:frags ~inversion_rate:0.2 ~noise_pairs:(regions / 2)
+    ~noise_span:3
+
+let sparse_four_approx_bench ~regions ~frags =
+  let inst = sparse_inst ~regions ~frags in
+  Test.make
+    ~name:(Printf.sprintf "sparse 4-approx (%dr %df)" regions frags)
+    (Staged.stage (fun () -> ignore (Fsa_csr.One_csr.four_approx inst)))
+
+let sparse_greedy_bench ~regions ~frags =
+  let inst = sparse_inst ~regions ~frags in
+  Test.make
+    ~name:(Printf.sprintf "sparse greedy (%dr %df)" regions frags)
+    (Staged.stage (fun () -> ignore (Fsa_csr.Greedy.solve inst)))
 
 let four_approx_bench () =
   let rng = Rng.create 11 in
@@ -111,6 +139,9 @@ let tests () =
       full_improve_bench ();
       tpa_fill_bench ();
       four_approx_bench ();
+      sparse_four_approx_bench ~regions:64 ~frags:16;
+      sparse_four_approx_bench ~regions:128 ~frags:32;
+      sparse_greedy_bench ~regions:64 ~frags:16;
       exact_bench ();
     ]
 
@@ -178,7 +209,13 @@ let run ~quick () =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
   in
   let instances = Instance.[ monotonic_clock ] in
-  let raw = Benchmark.all cfg instances (tests ()) in
+  (* Observe the whole run so the cmatch.* cache/prune counters below
+     reflect the measured workloads. *)
+  let registry = Fsa_obs.Registry.create () in
+  let raw =
+    Fsa_obs.Runtime.with_observation ~registry (fun () ->
+        Benchmark.all cfg instances (tests ()))
+  in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -210,4 +247,22 @@ let run ~quick () =
       Fsa_util.Tablefmt.add_row table [ name; Fsa_obs.Report.pretty_ns ns; r2 ])
     rows;
   Fsa_util.Tablefmt.print table;
+  let c name =
+    match Fsa_obs.Registry.counter_value registry name with
+    | Some v -> v
+    | None -> 0.0
+  in
+  let builds = c "cmatch.table_builds"
+  and hits = c "cmatch.cache_hits"
+  and evs = c "cmatch.evictions"
+  and checks = c "cmatch.bound_checks"
+  and pruned = c "cmatch.pruned" in
+  let rate num den = if den > 0.0 then 100.0 *. num /. den else 0.0 in
+  Printf.printf
+    "\ncmatch: %.0f table builds, %.0f cache hits (%.1f%% hit rate), %.0f \
+     evictions\n\
+     prune: %.0f/%.0f pairs pruned (%.1f%%)\n"
+    builds hits
+    (rate hits (builds +. hits))
+    evs pruned checks (rate pruned checks);
   write_bench_json ~quick ~quota rows

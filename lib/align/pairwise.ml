@@ -37,20 +37,26 @@ let max_weight_alignment ~score ~la ~lb =
 
 let max_weight_score ~score ~la ~lb =
   (* Two-row rolling variant for hot paths (MS evaluations inside the local
-     search recompute scores constantly and never need the traceback). *)
-  let prev = Array.make (lb + 1) 0.0 in
-  let cur = Array.make (lb + 1) 0.0 in
-  let prev = ref prev and cur = ref cur in
+     search recompute scores constantly and never need the traceback).  The
+     score closure is resolved into a flat row before each DP row so the
+     inner loop is pure float-array traffic; [score] is pure, so the values
+     are bit-identical. *)
+  let prev = ref (Array.make (lb + 1) 0.0) in
+  let cur = ref (Array.make (lb + 1) 0.0) in
+  let srow = Array.make (max 1 lb) 0.0 in
   for i = 1 to la do
-    !cur.(0) <- 0.0;
-    for j = 1 to lb do
-      let best = Float.max !prev.(j) !cur.(j - 1) in
-      let diag = !prev.(j - 1) +. score (i - 1) (j - 1) in
-      !cur.(j) <- Float.max best diag
+    for j = 0 to lb - 1 do
+      srow.(j) <- score (i - 1) j
     done;
-    let tmp = !prev in
-    prev := !cur;
-    cur := tmp
+    let p = !prev and c = !cur in
+    c.(0) <- 0.0;
+    for j = 1 to lb do
+      let best = Float.max p.(j) c.(j - 1) in
+      let diag = p.(j - 1) +. srow.(j - 1) in
+      c.(j) <- Float.max best diag
+    done;
+    prev := c;
+    cur := p
   done;
   !prev.(lb)
 

@@ -42,45 +42,59 @@ let ms_full sigma a b =
    are never NaN and never -0.0 (each is a Float.max against a +0.0-rooted
    cell), so evaluation order is the only float-identity concern. *)
 
-(* Extend the column state by one symbol [y]: col.(i) goes from
+(* Extend the column state by one window symbol whose σ row against [a] has
+   been pre-resolved into [srow] (srow.(i) = σ(a.(i), y)): col.(i) goes from
    P(a[0..i-1], w') to P(a[0..i-1], w'y), reading the pre-update cells as
-   the dp(·, j-1) column. *)
-let extend_column ~get a la col y =
+   the dp(·, j-1) column.  σ is pure, so pre-resolution changes nothing
+   about the float values — it only lifts the closure call (and its hash or
+   dense lookup) out of the O(|w|) windows that reuse the same symbol. *)
+let extend_column srow la col =
   let diag = ref col.(0) in
   for i = 1 to la do
     let old_ci = col.(i) in
     let best = Float.max col.(i - 1) old_ci in
-    let v = Float.max best (!diag +. get a.(i - 1) y) in
+    let v = Float.max best (!diag +. srow.(i - 1)) in
     diag := old_ci;
     col.(i) <- v
   done
 
-let ms_windows_fwd ~get a w =
-  let la = Array.length a and lw = Array.length w in
+(* rows.(j).(i) = get a.(i) (orient w.(j)): one σ resolution per (row
+   symbol, window symbol) pair, shared by every window containing j. *)
+let resolve_rows ~get orient a w =
+  Array.map
+    (fun y ->
+      let y = orient y in
+      Array.map (fun x -> get x y) a)
+    w
+
+(* Shared fwd/rev driver.  Forward anchors [lo] and appends columns upward;
+   the reversed orientation aligns (w[lo..hi])ᴿ = wᴿ(hi), …, wᴿ(lo), so it
+   anchors [hi] and appends [lo] *downward* — the exact column order a
+   per-window [p_score a (reverse_word …)] sees. *)
+let all_windows rows la lw ~down =
   let out = Array.make (max 1 (lw * lw)) 0.0 in
   let col = Array.make (la + 1) 0.0 in
-  for lo = 0 to lw - 1 do
+  for anchor = 0 to lw - 1 do
     Array.fill col 0 (la + 1) 0.0;
-    for hi = lo to lw - 1 do
-      extend_column ~get a la col w.(hi);
-      out.((lo * lw) + hi) <- col.(la)
-    done
+    if down then
+      for lo = anchor downto 0 do
+        extend_column rows.(lo) la col;
+        out.((lo * lw) + anchor) <- col.(la)
+      done
+    else
+      for hi = anchor to lw - 1 do
+        extend_column rows.(hi) la col;
+        out.((anchor * lw) + hi) <- col.(la)
+      done
   done;
   out
 
-(* Reversed orientation: the aligned word for window [lo, hi] is
-   (w[lo..hi])ᴿ = wᴿ(hi), …, wᴿ(lo), so columns must be appended in
-   *decreasing* index order — fix [hi] and extend [lo] downward to follow
-   the exact column order a per-window [p_score a (reverse_word …)] sees. *)
+let ms_windows_fwd ~get a w =
+  all_windows
+    (resolve_rows ~get Fun.id a w)
+    (Array.length a) (Array.length w) ~down:false
+
 let ms_windows_rev ~get a w =
-  let la = Array.length a and lw = Array.length w in
-  let out = Array.make (max 1 (lw * lw)) 0.0 in
-  let col = Array.make (la + 1) 0.0 in
-  for hi = 0 to lw - 1 do
-    Array.fill col 0 (la + 1) 0.0;
-    for lo = hi downto 0 do
-      extend_column ~get a la col (Symbol.reverse w.(lo));
-      out.((lo * lw) + hi) <- col.(la)
-    done
-  done;
-  out
+  all_windows
+    (resolve_rows ~get Symbol.reverse a w)
+    (Array.length a) (Array.length w) ~down:true

@@ -123,6 +123,37 @@ let p_le_opt sname =
             else None);
   }
 
+(* Pruning (Bound.pair_viable) must be invisible: rerunning a solver with
+   the admissible-bound pruning toggled the other way has to reproduce the
+   solution bit for bit — same serialized matches, same score down to the
+   float bits ([%h]).  This is the differential guard for an inadmissible
+   bound (a too-small bound silently drops candidates). *)
+let p_prune_identical sname =
+  {
+    name = sname ^ ".prune_identical";
+    check =
+      (fun ctx ->
+        match sol ctx sname with
+        | Error e -> Some (exn_detail sname e)
+        | Ok s ->
+            let was = Bound.enabled () in
+            let s' =
+              Fun.protect
+                ~finally:(fun () -> Bound.set_enabled was)
+                (fun () ->
+                  Bound.set_enabled (not was);
+                  (List.assoc sname solvers) ctx.inst)
+            in
+            let bits v = Int64.bits_of_float (Solution.score v) in
+            if bits s' <> bits s then
+              Some
+                (fmt "score %h with pruning %b <> %h with pruning %b"
+                   (Solution.score s) was (Solution.score s') (not was))
+            else if Solution.to_text s' <> Solution.to_text s then
+              Some "solution differs with pruning toggled"
+            else None);
+  }
+
 (* --- differential / ratio properties ----------------------------------- *)
 
 let p_exact_witness =
@@ -210,6 +241,12 @@ let properties =
       p_full_improve_bound;
       p_isp_tpa Species.H;
       p_isp_tpa Species.M;
+      p_prune_identical "greedy";
+      p_prune_identical "four_approx_tpa";
+      p_prune_identical "matching_2approx";
+      p_prune_identical "full_improve";
+      p_prune_identical "border_improve";
+      p_prune_identical "csr_improve";
     ]
 
 let property_names = List.map (fun p -> p.name) properties

@@ -11,6 +11,10 @@ let border_candidates inst =
   for hf = 0 to Instance.fragment_count inst Species.H - 1 do
     let hlen = Fragment.length (Instance.fragment inst Species.H hf) in
     for mf = 0 to Instance.fragment_count inst Species.M - 1 do
+      (* Candidates need score > 0; skip pairs whose bound is <= 0 (each
+         border probe is a fresh O(|h|·|m|) alignment, so this is the whole
+         cost of a dead pair). *)
+      if Bound.border_viable inst ~h_frag:hf ~m_frag:mf ~threshold:0.0 then begin
       let mlen = Fragment.length (Instance.fragment inst Species.M mf) in
       List.iter
         (fun hs ->
@@ -21,6 +25,7 @@ let border_candidates inst =
               | Some _ | None -> ())
             (border_sites mlen))
         (border_sites hlen)
+      end
     done
   done;
   !acc
@@ -124,11 +129,19 @@ let matching_2approx inst =
   let w =
     Array.init nh (fun i ->
         Array.init nm (fun j ->
-            let m =
-              Cmatch.full inst ~full_side:Species.H i ~other_frag:j
-                ~other_site:(Fragment.full_site (Instance.fragment inst Species.M j))
-            in
-            m.Cmatch.score))
+            (* MS is always >= 0, so bound <= 0 pins the pair's weight to
+               exactly 0.0 — no table needed. *)
+            if
+              not
+                (Bound.pair_viable inst ~full_side:Species.H i ~other_frag:j
+                   ~threshold:0.0)
+            then 0.0
+            else
+              let m =
+                Cmatch.full inst ~full_side:Species.H i ~other_frag:j
+                  ~other_site:(Fragment.full_site (Instance.fragment inst Species.M j))
+              in
+              m.Cmatch.score))
   in
   let pairs, _ = Fsa_matching.Hungarian.solve w in
   let matches =

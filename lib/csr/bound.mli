@@ -1,0 +1,52 @@
+(** Admissible upper bounds on match scores, for pruning table work.
+
+    [ms_bound] returns, in O(|full fragment|) after per-instance
+    precomputation, a value that is {e guaranteed} to dominate the MS of
+    the given (full fragment, host fragment) pair at every host site and in
+    both orientations (and every border match of the pair, which aligns
+    sub-words of the same two fragments).  Solvers use it through
+    {!pair_viable} to skip {!Cmatch.full_table} construction and candidate
+    generation for pairs that provably cannot contribute: a pair is pruned
+    only when its bound is [<= threshold], while every consumer requires a
+    {e strictly} greater score to keep a candidate, so pruning is
+    output-preserving bit for bit (see DESIGN.md §12 for the soundness and
+    tie argument).
+
+    Summaries are memoized per instance uid in a weight-bounded LRU (σ must
+    not be mutated after construction, as for {!Cmatch.full_table}). *)
+
+val ms_bound :
+  Instance.t -> full_side:Species.t -> int -> other_frag:int -> float
+(** Upper bound on [fst (Cmatch.table_ms tbl ~lo ~hi)] over every site
+    [lo, hi] of the host fragment, i.e. on the best full-match MS of the
+    pair.  Always [>= 0].  Memoized per (instance uid, side, pair). *)
+
+val pair_viable :
+  Instance.t ->
+  full_side:Species.t ->
+  int ->
+  other_frag:int ->
+  threshold:float ->
+  bool
+(** [false] only when no site of the pair can score strictly above
+    [threshold] — the caller may then skip the pair entirely.  Always
+    [true] when pruning is disabled.  Increments [cmatch.bound_checks] and,
+    on a prune, [cmatch.pruned]. *)
+
+val border_viable :
+  Instance.t -> h_frag:int -> m_frag:int -> threshold:float -> bool
+(** Same contract for border matches of the fragment pair (any shapes, the
+    orientation forced by them). *)
+
+val enabled : unit -> bool
+(** Pruning defaults to on; the [FSA_NO_PRUNE] environment variable (any
+    non-empty value) disables it at startup. *)
+
+val set_enabled : bool -> unit
+(** Toggle pruning at runtime (used by the differential fuzz oracle to
+    verify bit-identical outputs with pruning on vs off). *)
+
+val invalidate : Instance.t -> unit
+(** Drop the instance's cached summary. *)
+
+val clear_cache : unit -> unit

@@ -1,4 +1,6 @@
 open Fsa_seq
+module Lru = Fsa_util.Lru
+module Counter = Fsa_obs.Metric.Counter
 
 type t = {
   h_frag : int;
@@ -48,32 +50,56 @@ let recompute_score inst t =
 
 type site_table = { host_len : int; fwd : float array; rev : float array }
 
-let table_cache : (int * bool * int * int, site_table) Hashtbl.t =
-  Hashtbl.create 256
+let builds_counter = Counter.make "cmatch.table_builds"
+let hits_counter = Counter.make "cmatch.cache_hits"
+let evictions_counter = Counter.make "cmatch.evictions"
 
 (* Bound the memo by total float cells, not table count: one long host
-   fragment costs host²·2 cells. *)
-let table_cells = ref 0
-let max_table_cells = 16_000_000
+   fragment costs host²·2 cells.  Eviction is LRU by cell weight (the old
+   whole-cache reset dropped the live instance's tables mid-solve and caused
+   rebuild thrash); the budget is configurable via FSA_TABLE_BUDGET or
+   {!set_table_budget}. *)
+let default_table_budget =
+  match Sys.getenv_opt "FSA_TABLE_BUDGET" with
+  | Some v -> ( match int_of_string_opt (String.trim v) with
+    | Some n when n >= 0 -> n
+    | Some _ | None -> 16_000_000)
+  | None -> 16_000_000
+
+let table_cache : (int * bool * int * int, site_table) Lru.t =
+  Lru.create ~budget:default_table_budget
+    ~on_evict:(fun _ _ -> Counter.incr evictions_counter)
+    ~weight:(fun t -> 2 * t.host_len * t.host_len)
+    ()
+
+let set_table_budget cells = Lru.set_budget table_cache cells
+let table_budget () = Lru.budget table_cache
 
 (* σ probes dominate the kernel inner loop; use the dense snapshot unless
    the region-id range is too large for it (then fall back to the hashed
-   table).  Snapshots are memoized per instance uid like the site tables. *)
-let dense_cache : (int, Scoring.dense option) Hashtbl.t = Hashtbl.create 16
+   table).  Snapshots are memoized per instance uid like the site tables,
+   LRU-bounded by snapshot count. *)
+let dense_cache : (int, Scoring.dense option) Lru.t =
+  Lru.create ~budget:64 ~weight:(fun _ -> 1) ()
 
 let clear_cache () =
-  Hashtbl.reset table_cache;
-  table_cells := 0;
-  Hashtbl.reset dense_cache
+  Lru.clear table_cache;
+  Lru.clear dense_cache;
+  Bound.clear_cache ()
+
+let invalidate inst =
+  let uid = inst.Instance.uid in
+  Lru.filter_out table_cache (fun (u, _, _, _) -> u = uid);
+  Lru.remove dense_cache uid;
+  Bound.invalidate inst
 
 let sigma_get inst =
   let d =
-    match Hashtbl.find_opt dense_cache inst.Instance.uid with
+    match Lru.find dense_cache inst.Instance.uid with
     | Some d -> d
     | None ->
         let d = Scoring.dense inst.Instance.sigma in
-        if Hashtbl.length dense_cache > 64 then Hashtbl.reset dense_cache;
-        Hashtbl.add dense_cache inst.Instance.uid d;
+        Lru.add dense_cache inst.Instance.uid d;
         d
   in
   match d with
@@ -82,8 +108,10 @@ let sigma_get inst =
 
 let full_table inst ~full_side idx ~other_frag =
   let key = (inst.Instance.uid, full_side = Species.H, idx, other_frag) in
-  match Hashtbl.find_opt table_cache key with
-  | Some t -> t
+  match Lru.find table_cache key with
+  | Some t ->
+      Counter.incr hits_counter;
+      t
   | None ->
       let other_side = Species.other full_side in
       let full_word = Fragment.symbols (Instance.fragment inst full_side idx) in
@@ -112,13 +140,8 @@ let full_table inst ~full_side idx ~other_frag =
                 host_word )
       in
       let t = { host_len = Array.length host_word; fwd; rev } in
-      let cells = 2 * t.host_len * t.host_len in
-      if !table_cells + cells > max_table_cells then begin
-        Hashtbl.reset table_cache;
-        table_cells := 0
-      end;
-      table_cells := !table_cells + cells;
-      Hashtbl.add table_cache key t;
+      Counter.incr builds_counter;
+      Lru.add table_cache key t;
       t
 
 let table_ms t ~lo ~hi =

@@ -60,15 +60,28 @@ type site_table
     and bit-identical to per-site {!Fsa_align.Region_align.ms_full} calls. *)
 
 val full_table : Instance.t -> full_side:Species.t -> int -> other_frag:int -> site_table
-(** Memoized per instance uid; the cache is bounded by total cells and
-    self-resetting. *)
+(** Memoized per instance uid; the cache is bounded by total cells with LRU
+    eviction ([FSA_TABLE_BUDGET] cells, default 16M), so a solve whose
+    working set fits the budget never rebuilds a table.  Builds, hits, and
+    evictions are counted in the [cmatch.table_builds] /
+    [cmatch.cache_hits] / [cmatch.evictions] metrics. *)
 
 val table_ms : site_table -> lo:int -> hi:int -> float * bool
 (** MS of the host site [lo, hi] and whether the reversed orientation
     attains it (ties prefer forward, as in {!Fsa_align.Region_align.ms_full}). *)
 
 val clear_cache : unit -> unit
-(** Drops the MS memo tables (they are also bounded and self-resetting). *)
+(** Drops the MS memo tables, σ snapshots, and {!Bound} summaries. *)
+
+val invalidate : Instance.t -> unit
+(** Drops only this instance's memoized tables, σ snapshot, and bound
+    summary — for callers that construct short-lived derived instances
+    ({!Instance.with_sigma}) and want to release their cache share early. *)
+
+val set_table_budget : int -> unit
+(** Override the table-cache cell budget (also trims immediately). *)
+
+val table_budget : unit -> int
 
 val border :
   Instance.t -> h_frag:int -> h_site:Site.t -> m_frag:int -> m_site:Site.t -> t option

@@ -22,6 +22,11 @@ let containing_sites mode inst g_side g (target : Site.t) =
 let apply_i1 ~f_side ~f ~g ~target ~container sol =
   let inst = Solution.instance sol in
   let g_side = Species.other f_side in
+  (* The plug is rejected below unless its score is > 0; when even the
+     admissible bound is <= 0 the table build can be skipped outright. *)
+  if not (Bound.pair_viable inst ~full_side:f_side f ~other_frag:g ~threshold:0.0)
+  then None
+  else
   let plug = Cmatch.full inst ~full_side:f_side f ~other_frag:g ~other_site:target in
   if plug.Cmatch.score <= 0.0 then None
   else
@@ -124,7 +129,11 @@ let lemma3_2approx inst ~multiple =
     for job = 0 to jobs - 1 do
       if not (multiple simple_side job) then
         for g = 0 to host_count - 1 do
-          if multiple host_side g then begin
+          if
+            multiple host_side g
+            && Bound.pair_viable inst ~full_side:simple_side job ~other_frag:g
+                 ~threshold:0.0
+          then begin
             let len = Fragment.length (Instance.fragment inst host_side g) in
             let tbl =
               Cmatch.full_table inst ~full_side:simple_side job ~other_frag:g

@@ -34,6 +34,10 @@ let candidate_matches inst sol =
     for f = 0 to Instance.fragment_count inst side - 1 do
       if Solution.role sol side f = Solution.Unmatched then
         for g = 0 to Instance.fragment_count inst other - 1 do
+          (* Candidates need score > 0; skip pairs whose bound is <= 0. *)
+          if Bound.pair_viable inst ~full_side:side f ~other_frag:g
+               ~threshold:0.0
+          then
           List.iter
             (fun free ->
               List.iter
@@ -52,6 +56,8 @@ let candidate_matches inst sol =
       let h_sites = free_border_sites inst sol Species.H hf in
       if h_sites <> [] then
         for mf = 0 to Instance.fragment_count inst Species.M - 1 do
+          if Bound.border_viable inst ~h_frag:hf ~m_frag:mf ~threshold:0.0
+          then begin
           let m_sites = free_border_sites inst sol Species.M mf in
           List.iter
             (fun hs ->
@@ -62,6 +68,7 @@ let candidate_matches inst sol =
                   | Some _ | None -> ())
                 m_sites)
             h_sites
+          end
         done
     done;
     !acc

@@ -83,6 +83,12 @@ let tpa_fill sol ~host:(side, frag) ~zones ~exclude =
   for job = 0 to jobs - 1 do
     if not (List.mem job exclude) then begin
       let opportunity_cost = Solution.contribution sol other job in
+      (* A candidate needs ms > opportunity_cost; if even the admissible
+         bound cannot beat it, the whole (job, host) table is dead work. *)
+      if
+        Bound.pair_viable inst ~full_side:other job ~other_frag:frag
+          ~threshold:opportunity_cost
+      then begin
       (* One site-table probe per candidate: the (job, host) pair's MS
          values for every (lo, hi) come from a single shared precompute. *)
       let tbl = Cmatch.full_table inst ~full_side:other job ~other_frag:frag in
@@ -103,6 +109,7 @@ let tpa_fill sol ~host:(side, frag) ~zones ~exclude =
             done
           done)
         zones
+      end
     end
   done;
   if !cands = [] then sol
@@ -158,5 +165,9 @@ let with_scaling ?(epsilon = 0.05) inst algorithm =
       Instance.with_sigma inst (Fsa_seq.Scoring.truncate_to_multiples inst.Instance.sigma unit_)
     in
     let sol = algorithm truncated in
-    rescore inst sol
+    let sol = rescore inst sol in
+    (* The truncated instance is throwaway: release its memoized tables and
+       summaries instead of letting them age out of the LRU. *)
+    Cmatch.invalidate truncated;
+    sol
   end

@@ -129,7 +129,16 @@ let fragment_of_slice alphabet prefix idx symbols (lo, hi) =
   ignore alphabet;
   Fragment.make name (Array.sub symbols lo (hi - lo))
 
-let random_planted rng ~regions ~h_fragments ~m_fragments ~inversion_rate ~noise_pairs =
+(* Shared planted-genome core.  [noise_span = None] draws noise pairs
+   uniformly (the classic [random_planted]); [Some span] keeps each noise
+   pair within [span] ancestral positions of its H region, so fragment
+   pairs far apart in the ancestral order share no σ entries at all — the
+   sparse structure real comparative-genomics inputs have, and the one the
+   {!Bound} pruning layer exploits.  The [None] path performs exactly the
+   same RNG draws as the historical [random_planted], so seeded instances
+   (benches, snapshots, pinned fuzz corpus) are unchanged. *)
+let planted_core rng ~regions ~h_fragments ~m_fragments ~inversion_rate
+    ~noise_pairs ~noise_span =
   if regions < 2 then invalid_arg "Instance.random_planted: regions < 2";
   let alphabet =
     Alphabet.of_names (List.init regions (fun i -> Printf.sprintf "r%d" i))
@@ -160,7 +169,14 @@ let random_planted rng ~regions ~h_fragments ~m_fragments ~inversion_rate ~noise
       Scoring.set sigma (Symbol.make r) m_sym v)
     m_seq;
   for _ = 1 to noise_pairs do
-    let hr = Fsa_util.Rng.int rng regions and mr = Fsa_util.Rng.int rng regions in
+    let hr = Fsa_util.Rng.int rng regions in
+    let mr =
+      match noise_span with
+      | None -> Fsa_util.Rng.int rng regions
+      | Some span ->
+          let lo = max 0 (hr - span) and hi = min (regions - 1) (hr + span) in
+          lo + Fsa_util.Rng.int rng (hi - lo + 1)
+    in
     let msym = if Fsa_util.Rng.bool rng then Symbol.make mr else Symbol.reversed mr in
     Scoring.set sigma (Symbol.make hr) msym (0.5 +. Fsa_util.Rng.float rng 2.5)
   done;
@@ -177,6 +193,17 @@ let random_planted rng ~regions ~h_fragments ~m_fragments ~inversion_rate ~noise
   (* Randomly flip whole contigs: assembly does not know strands. *)
   let maybe_flip f = if Fsa_util.Rng.bool rng then Fragment.reverse f else f in
   make ~alphabet ~h:(List.map maybe_flip h) ~m:(List.map maybe_flip m) ~sigma
+
+let random_planted rng ~regions ~h_fragments ~m_fragments ~inversion_rate
+    ~noise_pairs =
+  planted_core rng ~regions ~h_fragments ~m_fragments ~inversion_rate
+    ~noise_pairs ~noise_span:None
+
+let random_sparse rng ~regions ~h_fragments ~m_fragments ~inversion_rate
+    ~noise_pairs ~noise_span =
+  if noise_span < 0 then invalid_arg "Instance.random_sparse: negative span";
+  planted_core rng ~regions ~h_fragments ~m_fragments ~inversion_rate
+    ~noise_pairs ~noise_span:(Some noise_span)
 
 let random_uniform rng ~regions ~h_fragments ~m_fragments ~density =
   if regions < 2 then invalid_arg "Instance.random_uniform: regions < 2";

@@ -65,6 +65,22 @@ val random_planted :
     itself (uniform in [1, 10], orientation reflecting the inversions) plus
     [noise_pairs] random spurious entries (uniform in [0.5, 3]). *)
 
+val random_sparse :
+  Fsa_util.Rng.t ->
+  regions:int ->
+  h_fragments:int ->
+  m_fragments:int ->
+  inversion_rate:float ->
+  noise_pairs:int ->
+  noise_span:int ->
+  t
+(** Like {!random_planted}, but each noise pair links regions at most
+    [noise_span] ancestral positions apart.  Since conserved self-matches
+    are diagonal already, all of σ is then band-diagonal: fragment pairs
+    covering disjoint stretches of the ancestral order share no σ entries,
+    which is the sparse overlap structure of real comparative-genomics
+    inputs and the regime where {!Bound} pruning pays off. *)
+
 val random_uniform :
   Fsa_util.Rng.t ->
   regions:int ->

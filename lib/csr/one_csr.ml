@@ -22,6 +22,11 @@ let isp_of inst ~jobs_side =
   let cands = ref [] in
   for job = 0 to jobs - 1 do
     for target = 0 to Instance.fragment_count inst sites_side - 1 do
+      (* Candidates need ms > 0, so a pair whose admissible bound is <= 0
+         contributes nothing — skip its whole table. *)
+      if Bound.pair_viable inst ~full_side:jobs_side job ~other_frag:target
+           ~threshold:0.0
+      then begin
       let len = Fragment.length (Instance.fragment inst sites_side target) in
       (* All sites of this (job, target) pair share one MS precompute. *)
       let tbl = Cmatch.full_table inst ~full_side:jobs_side job ~other_frag:target in
@@ -40,6 +45,7 @@ let isp_of inst ~jobs_side =
               }
               :: !cands)
         (Site.all_subsites len)
+      end
     done
   done;
   Fsa_obs.Metric.Counter.incr ~by:(List.length !cands) isp_candidate_counter;

@@ -1,0 +1,123 @@
+(* Weight-bounded LRU cache: a Hashtbl for O(1) lookup plus an intrusive
+   doubly-linked recency list.  Eviction walks from the LRU end until the
+   total weight fits the budget again, but never evicts the entry being
+   inserted — an entry heavier than the whole budget is still cached (and
+   replaced by the next insertion), matching the "always memoize the
+   current table" behavior callers rely on. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  value : 'v;
+  weight : int;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  weight_of : 'v -> int;
+  on_evict : 'k -> 'v -> unit;
+  mutable budget : int;
+  mutable total : int;
+  mutable head : ('k, 'v) node option; (* most recently used *)
+  mutable tail : ('k, 'v) node option; (* least recently used *)
+  mutable evictions : int;
+}
+
+let create ?(budget = max_int) ?(on_evict = fun _ _ -> ()) ~weight () =
+  if budget < 0 then invalid_arg "Lru.create: negative budget";
+  {
+    table = Hashtbl.create 64;
+    weight_of = weight;
+    on_evict;
+    budget;
+    total = 0;
+    head = None;
+    tail = None;
+    evictions = 0;
+  }
+
+let length t = Hashtbl.length t.table
+let total_weight t = t.total
+let budget t = t.budget
+let evictions t = t.evictions
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some n ->
+      unlink t n;
+      push_front t n;
+      Some n.value
+
+let mem t key = Hashtbl.mem t.table key
+
+let drop_node ?(evicted = false) t n =
+  Hashtbl.remove t.table n.key;
+  unlink t n;
+  t.total <- t.total - n.weight;
+  if evicted then begin
+    t.evictions <- t.evictions + 1;
+    t.on_evict n.key n.value
+  end
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some n -> drop_node t n
+
+(* Evict LRU-first until the budget holds, sparing [keep] (the entry being
+   inserted) so an oversized insertion still lands in the cache. *)
+let trim ?keep t =
+  let spared n = match keep with Some k -> k == n | None -> false in
+  let continue_ = ref true in
+  while !continue_ && t.total > t.budget do
+    match t.tail with
+    | None -> continue_ := false
+    | Some n when spared n -> continue_ := false
+    | Some n -> drop_node ~evicted:true t n
+  done
+
+let add t key value =
+  remove t key;
+  let n = { key; value; weight = t.weight_of value; prev = None; next = None } in
+  Hashtbl.add t.table key n;
+  push_front t n;
+  t.total <- t.total + n.weight;
+  trim ~keep:n t
+
+let set_budget t budget =
+  if budget < 0 then invalid_arg "Lru.set_budget: negative budget";
+  t.budget <- budget;
+  trim t
+
+let filter_out t pred =
+  let doomed =
+    Hashtbl.fold (fun k n acc -> if pred k then n :: acc else acc) t.table []
+  in
+  List.iter (fun n -> drop_node t n) doomed
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.total <- 0;
+  t.head <- None;
+  t.tail <- None
+
+let fold f t init =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (f n.key n.value acc) n.next
+  in
+  go init t.head

@@ -138,7 +138,8 @@ let e4 ~quick () =
                 ~span:30 ~max_len:8 ~max_profit:10.0
             in
             match Fsa_intervals.Isp.exact isp with
-            | Error (`Node_limit _) -> 1.0 (* cannot happen at this size *)
+            | Error (`Node_limit _) | Error (`Budget_exceeded _) ->
+                1.0 (* cannot happen at this size, and no bench budget *)
             | Ok (opt, _) ->
                 if opt <= 0.0 then 1.0 else fst (Fsa_intervals.Isp.tpa isp) /. opt)
       in

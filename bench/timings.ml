@@ -124,26 +124,25 @@ let exact_bench () =
   Test.make ~name:"exact solver (3x3 fragments)"
     (Staged.stage (fun () -> ignore (Fsa_csr.Exact.solve_exn inst)))
 
-let tests () =
-  Test.make_grouped ~name:"fsa" ~fmt:"%s %s"
-    [
-      p_score_bench 32;
-      p_score_bench 128;
-      tpa_bench 20 50;
-      tpa_bench 80 50;
-      hungarian_bench 32;
-      hungarian_bench 64;
-      seed_extend_bench 4096;
-      seed_extend_bench 16384;
-      csr_improve_bench ();
-      full_improve_bench ();
-      tpa_fill_bench ();
-      four_approx_bench ();
-      sparse_four_approx_bench ~regions:64 ~frags:16;
-      sparse_four_approx_bench ~regions:128 ~frags:32;
-      sparse_greedy_bench ~regions:64 ~frags:16;
-      exact_bench ();
-    ]
+let test_list () =
+  [
+    p_score_bench 32;
+    p_score_bench 128;
+    tpa_bench 20 50;
+    tpa_bench 80 50;
+    hungarian_bench 32;
+    hungarian_bench 64;
+    seed_extend_bench 4096;
+    seed_extend_bench 16384;
+    csr_improve_bench ();
+    full_improve_bench ();
+    tpa_fill_bench ();
+    four_approx_bench ();
+    sparse_four_approx_bench ~regions:64 ~frags:16;
+    sparse_four_approx_bench ~regions:128 ~frags:32;
+    sparse_greedy_bench ~regions:64 ~frags:16;
+    exact_bench ();
+  ]
 
 (* Machine-readable bench results, diffable across PRs.  FSA_BENCH_OUT
    redirects the output so tools/benchgate can record a fresh candidate
@@ -152,6 +151,16 @@ let bench_json_path () =
   match Sys.getenv_opt "FSA_BENCH_OUT" with
   | Some p when String.trim p <> "" -> p
   | _ -> "BENCH_solvers.json"
+
+let series_path () =
+  match Sys.getenv_opt "FSA_SERIES_OUT" with
+  | Some p when String.trim p <> "" -> p
+  | _ -> "bench_series.jsonl"
+
+let sampler_path () =
+  match Sys.getenv_opt "FSA_SAMPLER_OUT" with
+  | Some p when String.trim p <> "" -> p
+  | _ -> "bench_profile.folded"
 
 (* Provenance: prefer GIT_REV (set by CI) over asking git, fall back to
    "unknown" outside any checkout. *)
@@ -173,16 +182,23 @@ let iso_timestamp () =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
-let write_bench_json ~quick ~quota rows =
+let write_bench_json ~quick ~quota ~counters_of rows =
   let module J = Fsa_obs.Json in
   let benches =
     List.map
       (fun (name, ns, r2, runs) ->
         J.Obj
-          [ ("name", J.String name); ("ns_per_run", J.Float ns);
-            ( "r_square",
-              match r2 with Some r -> J.Float r | None -> J.Null );
-            ("runs", J.Int runs) ])
+          ([ ("name", J.String name); ("ns_per_run", J.Float ns);
+             ( "r_square",
+               match r2 with Some r -> J.Float r | None -> J.Null );
+             ("runs", J.Int runs) ]
+          @
+          (* Per-bench registry counters (the registry is reset between
+             benches); readers of fsa-bench/1 ignore unknown fields. *)
+          match counters_of name with
+          | [] -> []
+          | cs ->
+              [ ("counters", J.Obj (List.map (fun (k, v) -> (k, J.Float v)) cs)) ]))
       rows
   in
   let doc =
@@ -202,7 +218,7 @@ let write_bench_json ~quick ~quota rows =
   close_out oc;
   Printf.printf "\nbench results written to %s\n" path
 
-let run ~quick () =
+let run ~quick ~sampler () =
   Printf.printf "\n== timing benches (Bechamel, monotonic clock) ==\n\n";
   let quota = if quick then 0.25 else 1.0 in
   let cfg =
@@ -210,12 +226,53 @@ let run ~quick () =
   in
   let instances = Instance.[ monotonic_clock ] in
   (* Observe the whole run so the cmatch.* cache/prune counters below
-     reflect the measured workloads. *)
+     reflect the measured workloads.  Each bench runs separately: its
+     counters are recorded per bench (and folded into grand totals for the
+     summary), one metrics-series point is appended, and the registry is
+     reset so the next bench starts from zero. *)
   let registry = Fsa_obs.Registry.create () in
-  let raw =
-    Fsa_obs.Runtime.with_observation ~registry (fun () ->
-        Benchmark.all cfg instances (tests ()))
+  let series = Fsa_obs.Series.to_file registry (series_path ()) in
+  let smp = Fsa_obs.Sampler.create ~every:997 () in
+  if sampler then begin
+    Fsa_obs.Sampler.attach smp;
+    Fsa_obs.Series.attach ~period_s:0.25 series
+  end;
+  let totals : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let bench_counters : (string, (string * float) list) Hashtbl.t =
+    Hashtbl.create 32
   in
+  let raw : (string, Benchmark.t) Hashtbl.t = Hashtbl.create 64 in
+  Fsa_obs.Runtime.with_observation ~registry (fun () ->
+      List.iter
+        (fun test ->
+          let grouped = Test.make_grouped ~name:"fsa" ~fmt:"%s %s" [ test ] in
+          let r = Benchmark.all cfg instances grouped in
+          let counters = Fsa_obs.Registry.counters registry in
+          Hashtbl.iter
+            (fun name b ->
+              Hashtbl.replace raw name b;
+              Hashtbl.replace bench_counters name counters)
+            r;
+          List.iter
+            (fun (name, v) ->
+              let prev = Option.value ~default:0.0 (Hashtbl.find_opt totals name) in
+              Hashtbl.replace totals name (prev +. v))
+            counters;
+          Fsa_obs.Series.sample series;
+          Fsa_obs.Registry.reset ())
+        (test_list ()));
+  if sampler then begin
+    Fsa_obs.Series.detach series;
+    Fsa_obs.Sampler.detach smp;
+    Fsa_obs.Sampler.write_folded (sampler_path ()) smp;
+    Printf.printf "sampler: %d sample(s) over %d tick(s) written to %s\n"
+      (Fsa_obs.Sampler.samples smp)
+      (Fsa_obs.Sampler.ticks smp)
+      (sampler_path ())
+  end;
+  Fsa_obs.Series.close series;
+  Printf.printf "metrics series (%d point(s)) written to %s\n"
+    (Fsa_obs.Series.samples series) (series_path ());
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -247,11 +304,8 @@ let run ~quick () =
       Fsa_util.Tablefmt.add_row table [ name; Fsa_obs.Report.pretty_ns ns; r2 ])
     rows;
   Fsa_util.Tablefmt.print table;
-  let c name =
-    match Fsa_obs.Registry.counter_value registry name with
-    | Some v -> v
-    | None -> 0.0
-  in
+  (* Grand totals across benches (the live registry was reset per bench). *)
+  let c name = Option.value ~default:0.0 (Hashtbl.find_opt totals name) in
   let builds = c "cmatch.table_builds"
   and hits = c "cmatch.cache_hits"
   and evs = c "cmatch.evictions"
@@ -265,4 +319,7 @@ let run ~quick () =
     builds hits
     (rate hits (builds +. hits))
     evs pruned checks (rate pruned checks);
-  write_bench_json ~quick ~quota rows
+  let counters_of name =
+    Option.value ~default:[] (Hashtbl.find_opt bench_counters name)
+  in
+  write_bench_json ~quick ~quota ~counters_of rows

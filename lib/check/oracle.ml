@@ -219,6 +219,7 @@ let p_isp_tpa side =
         else
           match Fsa_intervals.Isp.exact ~node_limit:2_000_000 isp with
           | Error (`Node_limit _) -> None (* too big to certify; skip *)
+          | Error (`Budget_exceeded _) -> None (* ambient budget tripped; skip *)
           | Ok (ov, _) ->
               if (2.0 *. v) +. tol < ov then
                 Some (fmt "2·%g < ISP optimum %g" v ov)

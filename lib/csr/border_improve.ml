@@ -20,6 +20,7 @@ let border_candidates inst =
         (fun hs ->
           List.iter
             (fun ms ->
+              Fsa_obs.Budget.check ();
               match Cmatch.border inst ~h_frag:hf ~h_site:hs ~m_frag:mf ~m_site:ms with
               | Some m when m.Cmatch.score > 0.0 -> acc := m :: !acc
               | Some _ | None -> ())

@@ -157,6 +157,28 @@ let solve ?(config = default_config) inst =
     ~attempts:(attempts config inst candidates)
     ~init:(Solution.empty inst) ()
 
+let solve_budgeted ?(config = default_config) budget inst =
+  Fsa_obs.Span.with_ ~name:"csr_improve.solve" @@ fun () ->
+  (* Same two-stage structure as Full_improve.solve_budgeted: border
+     candidate enumeration and the local search share one budget. *)
+  match
+    Fsa_obs.Budget.run budget
+      ~partial:(fun () -> [])
+      (fun () -> Border_improve.border_candidates inst)
+  with
+  | Error (`Budget_exceeded (_, reason)) ->
+      Error
+        (`Budget_exceeded
+           ( ( Solution.empty inst,
+               { Improve.rounds = 0; improvements = 0; evaluated = 0 } ),
+             reason ))
+  | Ok candidates ->
+      Fsa_obs.Metric.Counter.incr ~by:(List.length candidates) candidate_counter;
+      Improve.run_budgeted ~min_gain:config.min_gain
+        ~max_improvements:config.max_improvements ~name:"csr_improve"
+        ~attempts:(attempts config inst candidates)
+        ~init:(Solution.empty inst) budget ()
+
 let solve_scaled ?config ?epsilon inst =
   Improve.with_scaling ?epsilon inst (fun scaled -> fst (solve ?config scaled))
 

@@ -22,6 +22,16 @@ val default_config : config
 val attempts : config -> Instance.t -> Cmatch.t list -> Solution.t -> Improve.attempt list
 
 val solve : ?config:config -> Instance.t -> Solution.t * Improve.stats
+
+val solve_budgeted :
+  ?config:config ->
+  Fsa_obs.Budget.t ->
+  Instance.t ->
+  (Solution.t * Improve.stats) Fsa_obs.Budget.outcome
+(** {!solve} under a resource budget (candidate enumeration and local
+    search share it).  On [`Budget_exceeded] the partial is the solution as
+    of the last committed improvement — valid but not converged. *)
+
 val solve_scaled : ?config:config -> ?epsilon:float -> Instance.t -> Solution.t
 
 val solve_best : Instance.t -> Solution.t

@@ -37,21 +37,21 @@ let iter_orientations k f =
 
 let default_budget = 2_000_000
 
-let solve_unbudgeted inst =
+(* The exhaustive search with the best-so-far state hoisted to the caller,
+   so a budgeted run can surface it as a partial result. *)
+let search inst ~best ~best_h ~best_m =
   Fsa_obs.Span.with_ ~name:"exact.solve" @@ fun () ->
   Fsa_obs.Metric.Gauge.set
     (Fsa_obs.Metric.Gauge.make "exact.layouts")
     (float_of_int (layout_count inst));
   let kh = Instance.fragment_count inst Species.H in
   let km = Instance.fragment_count inst Species.M in
-  let best = ref neg_infinity in
-  let best_h = ref (Conjecture.identity_layout kh) in
-  let best_m = ref (Conjecture.identity_layout km) in
   (* Precompute all M-side words once per (order, orientation); the H loop
      is the outer one. *)
   let m_layouts = ref [] in
   iter_permutations km (fun order ->
       iter_orientations km (fun reversed ->
+          Fsa_obs.Budget.check ();
           let l =
             { Conjecture.order = Array.copy order; reversed = Array.copy reversed }
           in
@@ -66,6 +66,7 @@ let solve_unbudgeted inst =
             let h_word = Conjecture.concat_word inst Species.H hl in
             List.iter
               (fun (ml, m_word) ->
+                Fsa_obs.Budget.check ();
                 let s =
                   Fsa_align.Region_align.p_score inst.Instance.sigma h_word m_word
                 in
@@ -76,8 +77,27 @@ let solve_unbudgeted inst =
                 end)
               m_layouts
           end))
-    ;
+
+let solve_unbudgeted inst =
+  let kh = Instance.fragment_count inst Species.H in
+  let km = Instance.fragment_count inst Species.M in
+  let best = ref neg_infinity in
+  let best_h = ref (Conjecture.identity_layout kh) in
+  let best_m = ref (Conjecture.identity_layout km) in
+  search inst ~best ~best_h ~best_m;
   (!best, !best_h, !best_m)
+
+let solve_budgeted budget inst =
+  let kh = Instance.fragment_count inst Species.H in
+  let km = Instance.fragment_count inst Species.M in
+  let best = ref neg_infinity in
+  let best_h = ref (Conjecture.identity_layout kh) in
+  let best_m = ref (Conjecture.identity_layout km) in
+  Fsa_obs.Budget.run budget
+    ~partial:(fun () -> (!best, !best_h, !best_m))
+    (fun () ->
+      search inst ~best ~best_h ~best_m;
+      (!best, !best_h, !best_m))
 
 let solve ?(budget = default_budget) inst =
   let n = layout_count inst in

@@ -33,5 +33,15 @@ val solve_score_or :
     Fallbacks are counted under [exact.budget_fallbacks], so oversized
     instances surface in [--stats] instead of crashing the run. *)
 
+val solve_budgeted :
+  Fsa_obs.Budget.t ->
+  Instance.t ->
+  (float * Conjecture.layout * Conjecture.layout) Fsa_obs.Budget.outcome
+(** The exhaustive search under a {e resource} budget (wall clock, probes,
+    allocation) — orthogonal to [solve]'s up-front layout-{e count} budget.
+    On [`Budget_exceeded] the partial is the best layout pair evaluated so
+    far; when the budget tripped before any evaluation the score is
+    [neg_infinity] with identity layouts. *)
+
 val layout_count : Instance.t -> int
 (** Number of layout pairs [solve] enumerates. *)

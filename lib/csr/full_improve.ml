@@ -67,6 +67,7 @@ let attempts ?(site_mode = `Extremes) inst =
         let glen = Fragment.length (Instance.fragment inst g_side g) in
         List.iter
           (fun target ->
+            Fsa_obs.Budget.check ();
             List.iter
               (fun container ->
                 let label =
@@ -98,6 +99,28 @@ let solve ?site_mode ?min_gain ?max_improvements inst =
   Improve.run ?min_gain ?max_improvements ~name:"full_improve"
     ~attempts:(fun _ -> atts)
     ~init:(Solution.empty inst) ()
+
+let solve_budgeted ?site_mode ?min_gain ?max_improvements budget inst =
+  Fsa_obs.Span.with_ ~name:"full_improve.solve" @@ fun () ->
+  (* Two stages under the same (cumulative, sticky) budget: enumerate the
+     attempt space, then run the local search.  Tripping during enumeration
+     leaves only the empty solution to report. *)
+  match
+    Fsa_obs.Budget.run budget
+      ~partial:(fun () -> [])
+      (fun () -> attempts ?site_mode inst)
+  with
+  | Error (`Budget_exceeded (_, reason)) ->
+      Error
+        (`Budget_exceeded
+           ( ( Solution.empty inst,
+               { Improve.rounds = 0; improvements = 0; evaluated = 0 } ),
+             reason ))
+  | Ok atts ->
+      Fsa_obs.Metric.Counter.incr ~by:(List.length atts) attempt_counter;
+      Improve.run_budgeted ?min_gain ?max_improvements ~name:"full_improve"
+        ~attempts:(fun _ -> atts)
+        ~init:(Solution.empty inst) budget ()
 
 let solve_scaled ?site_mode ?epsilon inst =
   Improve.with_scaling ?epsilon inst (fun scaled -> fst (solve ?site_mode scaled))

@@ -29,6 +29,18 @@ val solve :
 (** Runs the local search from the empty solution.  The output contains
     full matches only. *)
 
+val solve_budgeted :
+  ?site_mode:site_mode ->
+  ?min_gain:float ->
+  ?max_improvements:int ->
+  Fsa_obs.Budget.t ->
+  Instance.t ->
+  (Solution.t * Improve.stats) Fsa_obs.Budget.outcome
+(** {!solve} under a resource budget (attempt enumeration and local search
+    share it).  On [`Budget_exceeded] the partial is the solution as of the
+    last committed improvement — valid but not converged; empty when the
+    budget tripped during enumeration. *)
+
 val solve_scaled : ?site_mode:site_mode -> ?epsilon:float -> Instance.t -> Solution.t
 (** [solve] under the §4.1 scaling wrapper (polynomial iteration bound). *)
 

@@ -42,6 +42,7 @@ let candidate_matches inst sol =
             (fun free ->
               List.iter
                 (fun site ->
+                  Fsa_obs.Budget.check ();
                   let m = Cmatch.full inst ~full_side:side f ~other_frag:g ~other_site:site in
                   if m.Cmatch.score > 0.0 then acc := m :: !acc)
                 (subsites_of free))
@@ -63,6 +64,7 @@ let candidate_matches inst sol =
             (fun hs ->
               List.iter
                 (fun ms ->
+                  Fsa_obs.Budget.check ();
                   match Cmatch.border inst ~h_frag:hf ~h_site:hs ~m_frag:mf ~m_site:ms with
                   | Some m when m.Cmatch.score > 0.0 -> acc := m :: !acc
                   | Some _ | None -> ())
@@ -77,7 +79,9 @@ let candidate_matches inst sol =
 
 let candidate_counter = Fsa_obs.Metric.Counter.make "greedy.candidates"
 
-let solve ?(max_steps = 10_000) inst =
+(* [track] publishes every committed solution, so a budgeted run can hand
+   back the latest one as its partial result. *)
+let solve_tracked ~track ~max_steps inst =
   Fsa_obs.Span.with_ ~name:"greedy.solve" @@ fun () ->
   let rec step sol steps =
     if steps = 0 then sol
@@ -97,6 +101,7 @@ let solve ?(max_steps = 10_000) inst =
       in
       match try_add cands with
       | Some sol' ->
+          track sol';
           if Fsa_obs.Runtime.tracing () then
             Fsa_obs.Runtime.emit
               (Fsa_obs.Event.Move
@@ -113,3 +118,13 @@ let solve ?(max_steps = 10_000) inst =
     end
   in
   step (Solution.empty inst) max_steps
+
+let solve ?(max_steps = 10_000) inst =
+  solve_tracked ~track:(fun _ -> ()) ~max_steps inst
+
+let solve_budgeted ?(max_steps = 10_000) budget inst =
+  let latest = ref None in
+  Fsa_obs.Budget.run budget
+    ~partial:(fun () ->
+      match !latest with Some s -> s | None -> Solution.empty inst)
+    (fun () -> solve_tracked ~track:(fun s -> latest := Some s) ~max_steps inst)

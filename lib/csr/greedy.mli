@@ -11,6 +11,12 @@
 val solve : ?max_steps:int -> Instance.t -> Solution.t
 (** [max_steps] (default 10_000) caps the number of added matches. *)
 
+val solve_budgeted :
+  ?max_steps:int -> Fsa_obs.Budget.t -> Instance.t -> Solution.t Fsa_obs.Budget.outcome
+(** {!solve} under a resource budget.  On [`Budget_exceeded] the partial is
+    the solution as of the last committed greedy step (valid, possibly
+    empty). *)
+
 val candidate_matches : Instance.t -> Solution.t -> Cmatch.t list
 (** Every match addable to the solution right now with positive score:
     full matches of unmatched fragments into free sites, and border matches

@@ -7,8 +7,10 @@ let evaluated_counter = Fsa_obs.Metric.Counter.make "improve.evaluated"
 let accepted_counter = Fsa_obs.Metric.Counter.make "improve.accepted"
 let rejected_counter = Fsa_obs.Metric.Counter.make "improve.rejected"
 
-let run ?(min_gain = 1e-9) ?(max_improvements = 100_000) ?(name = "improve")
-    ~attempts ~init () =
+(* [track] publishes (solution, stats so far) after every committed
+   improvement, so a budgeted run can surface the latest state as its
+   partial result. *)
+let run_tracked ~track ~min_gain ~max_improvements ~name ~attempts ~init () =
   Fsa_obs.Span.with_ ~name:(name ^ ".run") @@ fun () ->
   let evaluated = ref 0 in
   (* Round convention: rounds = scans performed, counted when the scan
@@ -26,6 +28,7 @@ let run ?(min_gain = 1e-9) ?(max_improvements = 100_000) ?(name = "improve")
       let rec scan scanned = function
         | [] -> (None, scanned)
         | a :: rest -> (
+            Fsa_obs.Budget.check ();
             incr evaluated;
             match a.apply sol with
             | Some sol' when Solution.score sol' -. base > min_gain ->
@@ -34,6 +37,8 @@ let run ?(min_gain = 1e-9) ?(max_improvements = 100_000) ?(name = "improve")
       in
       match scan 0 (attempts sol) with
       | Some (a, sol'), scanned ->
+          track
+            (sol', { rounds; improvements = improvements + 1; evaluated = !evaluated });
           if Fsa_obs.Runtime.observing () then begin
             Fsa_obs.Metric.Counter.incr ~by:scanned evaluated_counter;
             Fsa_obs.Metric.Counter.incr accepted_counter;
@@ -64,6 +69,22 @@ let run ?(min_gain = 1e-9) ?(max_improvements = 100_000) ?(name = "improve")
     end
   in
   loop init 0 0
+
+let run ?(min_gain = 1e-9) ?(max_improvements = 100_000) ?(name = "improve")
+    ~attempts ~init () =
+  run_tracked
+    ~track:(fun _ -> ())
+    ~min_gain ~max_improvements ~name ~attempts ~init ()
+
+let run_budgeted ?(min_gain = 1e-9) ?(max_improvements = 100_000) ?(name = "improve")
+    ~attempts ~init budget () =
+  let latest = ref (init, { rounds = 0; improvements = 0; evaluated = 0 }) in
+  Fsa_obs.Budget.run budget
+    ~partial:(fun () -> !latest)
+    (fun () ->
+      run_tracked
+        ~track:(fun state -> latest := state)
+        ~min_gain ~max_improvements ~name ~attempts ~init ())
 
 let tpa_fill_counter = Fsa_obs.Metric.Counter.make "improve.tpa_fill_calls"
 
@@ -96,6 +117,7 @@ let tpa_fill sol ~host:(side, frag) ~zones ~exclude =
         (fun (zone : Site.t) ->
           for lo = zone.Site.lo to zone.Site.hi do
             for hi = lo to zone.Site.hi do
+              Fsa_obs.Budget.check ();
               let ms, _rev = Cmatch.table_ms tbl ~lo ~hi in
               let profit = ms -. opportunity_cost in
               if profit > 0.0 then

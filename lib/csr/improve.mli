@@ -45,7 +45,22 @@ val run :
     committed attempt emits a [Move] event with its label and score delta;
     every exhausted scan emits a [Step] event; counters
     [improve.evaluated]/[improve.accepted]/[improve.rejected] aggregate
-    across rounds. *)
+    across rounds.  Every attempt evaluation passes a {!Fsa_obs.Budget}
+    checkpoint. *)
+
+val run_budgeted :
+  ?min_gain:float ->
+  ?max_improvements:int ->
+  ?name:string ->
+  attempts:(Solution.t -> attempt list) ->
+  init:Solution.t ->
+  Fsa_obs.Budget.t ->
+  unit ->
+  (Solution.t * stats) Fsa_obs.Budget.outcome
+(** {!run} under a resource budget.  On [`Budget_exceeded] the partial is
+    the solution (and stats) as of the last committed improvement — local
+    search always holds a valid solution, so cutting it anywhere is safe;
+    only convergence is lost. *)
 
 val tpa_fill :
   Solution.t ->

@@ -22,6 +22,7 @@ let isp_of inst ~jobs_side =
   let cands = ref [] in
   for job = 0 to jobs - 1 do
     for target = 0 to Instance.fragment_count inst sites_side - 1 do
+      Fsa_obs.Budget.check ();
       (* Candidates need ms > 0, so a pair whose admissible bound is <= 0
          contributes nothing — skip its whole table. *)
       if Bound.pair_viable inst ~full_side:jobs_side job ~other_frag:target
@@ -32,6 +33,7 @@ let isp_of inst ~jobs_side =
       let tbl = Cmatch.full_table inst ~full_side:jobs_side job ~other_frag:target in
       List.iter
         (fun (site : Site.t) ->
+          Fsa_obs.Budget.check ();
           let ms, _rev = Cmatch.table_ms tbl ~lo:site.Site.lo ~hi:site.Site.hi in
           if ms > 0.0 then
             cands :=
@@ -92,3 +94,20 @@ let four_approx ?algorithm inst =
   let a = solve_side ?algorithm inst ~jobs_side:Species.H in
   let b = solve_side ?algorithm inst ~jobs_side:Species.M in
   if Solution.score a >= Solution.score b then a else b
+
+let four_approx_budgeted ?algorithm budget inst =
+  Fsa_obs.Span.with_ ~name:"one_csr.four_approx" @@ fun () ->
+  (* Each solve_side run is all-or-nothing (the ISP mapping at its tail has
+     no checkpoints), so the partial is the best fully-completed side —
+     empty when the first side trips. *)
+  let best = ref None in
+  Fsa_obs.Budget.run budget
+    ~partial:(fun () ->
+      match !best with Some s -> s | None -> Solution.empty inst)
+    (fun () ->
+      let a = solve_side ?algorithm inst ~jobs_side:Species.H in
+      best := Some a;
+      let b = solve_side ?algorithm inst ~jobs_side:Species.M in
+      let w = if Solution.score a >= Solution.score b then a else b in
+      best := Some w;
+      w)

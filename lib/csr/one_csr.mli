@@ -30,3 +30,13 @@ val four_approx : ?algorithm:algorithm -> Instance.t -> Solution.t
 (** The Corollary 1 algorithm: better of the two [solve_side] runs.  With
     [Tpa] (default) the guarantee is ratio 4 (+ the paper's ε); with
     [Exact_isp] ratio 2. *)
+
+val four_approx_budgeted :
+  ?algorithm:algorithm ->
+  Fsa_obs.Budget.t ->
+  Instance.t ->
+  Solution.t Fsa_obs.Budget.outcome
+(** {!four_approx} under a resource budget.  On [`Budget_exceeded] the
+    partial is the best side solved to completion so far — a valid (possibly
+    empty) solution of the instance; the approximation guarantee only holds
+    for [Ok]. *)

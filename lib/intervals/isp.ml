@@ -49,6 +49,7 @@ let tpa t =
   let top = ref 0 in
   let job_value = Array.make (max t.jobs 1) 0.0 in
   for i = 0 to n - 1 do
+    Fsa_obs.Budget.check ();
     let c = t.candidates.(i) in
     if c.profit > 0.0 then begin
       let overlap_value =
@@ -127,6 +128,7 @@ let exact ?(node_limit = 20_000_000) t =
   let rec go i profit last_end sel =
     incr nodes;
     if !nodes > node_limit then raise Node_limit;
+    Fsa_obs.Budget.check ();
     if profit > !best then begin
       best := profit;
       best_sel := sel
@@ -147,6 +149,11 @@ let exact ?(node_limit = 20_000_000) t =
   match go 0 0.0 min_int [] with
   | () -> Ok (!best, List.rev !best_sel)
   | exception Node_limit -> Error (`Node_limit node_limit)
+  | exception Fsa_obs.Budget.Exceeded _ ->
+      (* The installed budget stays tripped (sticky), so callers that keep
+         computing will stop at their next checkpoint; here the best
+         selection found so far is a valid partial answer. *)
+      Error (`Budget_exceeded (!best, List.rev !best_sel))
 
 let exact_or_tpa ?node_limit t =
   match exact ?node_limit t with
@@ -154,6 +161,10 @@ let exact_or_tpa ?node_limit t =
   | Error (`Node_limit _) ->
       Fsa_obs.Metric.Counter.incr exact_fallback_counter;
       tpa t
+  | Error (`Budget_exceeded (p, sel)) ->
+      (* No point falling back to TPA: its first checkpoint would re-raise
+         on the tripped budget.  The partial feasible selection stands. *)
+      (p, sel)
 
 let greedy t =
   Fsa_obs.Span.with_ ~name:"isp.greedy" @@ fun () ->
@@ -177,6 +188,7 @@ let greedy t =
   let selected =
     List.fold_left
       (fun kept c ->
+        Fsa_obs.Budget.check ();
         let lo = c.interval.Interval.lo - min_lo
         and hi = c.interval.Interval.hi - min_lo in
         let ok =

@@ -38,18 +38,27 @@ val tpa : t -> float * candidate list
     the selection phase is linear in the stack size. *)
 
 val exact :
-  ?node_limit:int -> t -> (float * candidate list, [ `Node_limit of int ]) result
+  ?node_limit:int ->
+  t ->
+  ( float * candidate list,
+    [ `Node_limit of int | `Budget_exceeded of float * candidate list ] )
+  result
 (** Optimal selection by branch & bound over candidates in right-endpoint
     order, pruning with a per-job suffix bound.  Exponential worst case —
     intended for instances with up to a few dozen candidates.
     [Error (`Node_limit n)] when [node_limit] (default 20_000_000) nodes are
-    exceeded; the search never raises. *)
+    exceeded.  When an ambient {!Fsa_obs.Budget} trips mid-search,
+    [Error (`Budget_exceeded (profit, selection))] carries the best feasible
+    selection found so far (possibly empty); the budget stays tripped for
+    the caller.  The search never raises. *)
 
 val exact_or_tpa : ?node_limit:int -> t -> float * candidate list
 (** {!exact}, degrading to {!tpa} when the node limit is exceeded — the
     selection is then only guaranteed to be a 2-approximation.  Fallbacks
     are counted under [isp.exact_fallbacks], so oversized instances surface
-    in [--stats] instead of crashing the solve. *)
+    in [--stats] instead of crashing the solve.  On [`Budget_exceeded] the
+    partial selection is returned as-is (a TPA rerun would trip the same
+    budget at its first checkpoint). *)
 
 val greedy : t -> float * candidate list
 (** Baseline: decreasing profit, keep what fits.  Feasibility of each

@@ -1,0 +1,127 @@
+(* Cooperative resource budgets.
+
+   A budget is ambient, like the Runtime sink/registry: solver hot loops
+   call [check ()] at every probe site, which is two branch reads when
+   nothing is installed.  With a budget installed, each check counts one
+   probe and, every [poll_every] probes, polls the wall clock and the minor
+   allocation counter; the first limit crossed raises [Exceeded], which the
+   budgeted solver entry points catch at their own boundary to return a
+   typed partial result.
+
+   [check] is also the dispatch point for checkpoint tick hooks (the
+   sampling profiler and the metrics-series snapshotter register here), so
+   one call site in a hot loop powers budget enforcement, statistical
+   profiling, and live metrics at once. *)
+
+type reason = [ `Wall_clock | `Probes | `Allocations ]
+
+let reason_to_string = function
+  | `Wall_clock -> "wall_clock"
+  | `Probes -> "probes"
+  | `Allocations -> "allocations"
+
+exception Exceeded of reason
+
+type t = {
+  deadline : float option;  (* absolute Clock.now () seconds *)
+  max_probes : int option;
+  max_minor_words : float option;
+  minor_base : float;
+  poll_every : int;
+  mutable probes : int;
+  mutable tripped : reason option;
+}
+
+let create ?wall_s ?probes ?minor_words ?(poll_every = 32) () =
+  if poll_every <= 0 then invalid_arg "Budget.create: poll_every must be positive";
+  (match probes with
+  | Some p when p < 0 -> invalid_arg "Budget.create: negative probe budget"
+  | _ -> ());
+  {
+    deadline = Option.map (fun s -> Clock.now () +. s) wall_s;
+    max_probes = probes;
+    max_minor_words = minor_words;
+    minor_base = Gc.minor_words ();
+    poll_every;
+    probes = 0;
+    tripped = None;
+  }
+
+let probes t = t.probes
+let exceeded t = t.tripped
+
+(* ------------------------------------------------------------------ *)
+(* The ambient budget *)
+
+let current : t option ref = ref None
+let installed () = Option.is_some !current
+
+let exceeded_counter = Metric.Counter.make "budget.exceeded"
+
+let trip b r =
+  b.tripped <- Some r;
+  Metric.Counter.incr exceeded_counter;
+  Metric.Counter.incr (Metric.Counter.make ("budget.exceeded." ^ reason_to_string r));
+  raise (Exceeded r)
+
+let spend b =
+  (* Sticky: once over, every later checkpoint re-raises immediately, so a
+     multi-stage solver that caught a partial in one stage falls through
+     its remaining stages without doing work. *)
+  (match b.tripped with Some r -> raise (Exceeded r) | None -> ());
+  b.probes <- b.probes + 1;
+  (match b.max_probes with
+  | Some m when b.probes > m -> trip b `Probes
+  | Some _ | None -> ());
+  if b.probes = 1 || b.probes mod b.poll_every = 0 then begin
+    (match b.deadline with
+    | Some d when Clock.now () > d -> trip b `Wall_clock
+    | Some _ | None -> ());
+    match b.max_minor_words with
+    | Some m when Gc.minor_words () -. b.minor_base > m -> trip b `Allocations
+    | Some _ | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint tick hooks *)
+
+type hook = int
+
+let hook_id = ref 0
+let hooks : (int * (unit -> unit)) list ref = ref []
+let hooks_active = ref false
+
+let on_tick f =
+  incr hook_id;
+  let id = !hook_id in
+  hooks := !hooks @ [ (id, f) ];
+  hooks_active := true;
+  id
+
+let remove_hook id =
+  hooks := List.filter (fun (i, _) -> i <> id) !hooks;
+  hooks_active := !hooks <> []
+
+let check () =
+  (match !current with Some b -> spend b | None -> ());
+  if !hooks_active then List.iter (fun (_, f) -> f ()) !hooks
+
+(* ------------------------------------------------------------------ *)
+(* Running under a budget *)
+
+let with_budget b f =
+  let old = !current in
+  current := Some b;
+  Fun.protect ~finally:(fun () -> current := old) f
+
+type 'a outcome = ('a, [ `Budget_exceeded of 'a * reason ]) result
+
+let run b ~partial f =
+  (* [with_budget] restores the previous budget before the exception
+     reaches this handler, so building the partial result (scores,
+     validation, ...) cannot itself re-trip the checkpoint. *)
+  match with_budget b f with
+  | v -> Ok v
+  | exception Exceeded r -> Error (`Budget_exceeded (partial (), r))
+
+let value = function Ok v -> v | Error (`Budget_exceeded (v, _)) -> v

@@ -1,0 +1,81 @@
+(** Cooperative per-task resource budgets, and the checkpoint that powers
+    the rest of the live observability layer.
+
+    Solver hot loops call {!check} once per probe (a pair table build, an
+    ISP candidate, a branch-and-bound node, a layout pair...).  When no
+    budget is installed and no tick hook is registered this is two branch
+    reads.  With a budget installed (via {!with_budget} or {!run}), each
+    check counts one probe against the probe limit and, every [poll_every]
+    probes (and on the very first), polls the {!Clock} against the
+    wall-clock deadline and [Gc.minor_words] against the allocation limit;
+    crossing any limit raises {!Exceeded}.
+
+    Budgeted solver entry points ([Greedy.solve_budgeted],
+    [One_csr.four_approx_budgeted], ...) catch the exception at their own
+    boundary with {!run} and return a typed [`Budget_exceeded] partial
+    result — always a valid solution, just not a converged one — mirroring
+    the shape of [Fsa_csr.Exact.solve].
+
+    Budgets do not stack: installing one shadows any outer budget for the
+    extent of the call (innermost wins).  A tripped budget is sticky —
+    every later checkpoint under it re-raises immediately, so multi-stage
+    solvers degrade through their remaining stages without doing work. *)
+
+type reason = [ `Allocations | `Probes | `Wall_clock ]
+
+val reason_to_string : reason -> string
+
+exception Exceeded of reason
+
+type t
+
+val create :
+  ?wall_s:float -> ?probes:int -> ?minor_words:float -> ?poll_every:int -> unit -> t
+(** All limits optional; omitted means unlimited (a fully-unlimited budget
+    still counts probes, useful for overhead measurement).  [wall_s] is a
+    relative deadline from now; [minor_words] bounds minor-heap allocation
+    from now; [probes] bounds checkpoint count ([0] trips on the first
+    check).  [poll_every] (default 32) is the clock/GC polling stride.
+    @raise Invalid_argument on a negative probe budget or nonpositive
+    [poll_every]. *)
+
+val check : unit -> unit
+(** The cooperative checkpoint.  Enforces the installed budget (if any),
+    then runs every registered tick hook.
+    @raise Exceeded when the installed budget is (or already was) over. *)
+
+val with_budget : t -> (unit -> 'a) -> 'a
+(** Run [f] with [t] installed as the ambient budget, restoring the
+    previous one afterwards (also on exceptions).  {!Exceeded} escapes to
+    the caller — use {!run} for the catching variant. *)
+
+type 'a outcome = ('a, [ `Budget_exceeded of 'a * reason ]) result
+
+val run : t -> partial:(unit -> 'a) -> (unit -> 'a) -> 'a outcome
+(** [run t ~partial f] is [Ok (f ())] under budget [t], or
+    [Error (`Budget_exceeded (partial (), reason))] if the budget trips.
+    [partial] runs with the budget already uninstalled, so reading refs,
+    scoring and validating the partial solution cannot re-trip. *)
+
+val value : 'a outcome -> 'a
+(** The payload, whether completed or partial. *)
+
+val probes : t -> int
+(** Checkpoints counted against this budget so far. *)
+
+val exceeded : t -> reason option
+(** [Some r] once the budget has tripped (sticky). *)
+
+val installed : unit -> bool
+
+(** {1 Checkpoint tick hooks}
+
+    The sampling profiler ({!Sampler}) and the metrics-series snapshotter
+    ({!Series}) register here so that one [check ()] call site in a hot
+    loop powers all three subsystems.  Hooks run after budget enforcement
+    (so none fire on an over-budget tick) and must not raise. *)
+
+type hook
+
+val on_tick : (unit -> unit) -> hook
+val remove_hook : hook -> unit

@@ -1,0 +1,19 @@
+(* The container has no monotonic-clock binding (mtime is not vendored and
+   Unix lacks clock_gettime), so the observation clock is a monotonicized
+   wall clock: reads never go backwards.  A backwards NTP step freezes the
+   clock until real time catches up, which keeps every derived duration
+   nonnegative — the property the trace/series consumers rely on. *)
+
+let last = ref 0.0
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let wall = Unix.gettimeofday
+
+let iso_of_wall t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec

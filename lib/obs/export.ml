@@ -8,13 +8,13 @@ let pretty_ns = Report.pretty_ns
 (* Long traces (a fuzz run has one root span per solver call) would make
    a full tree dump unreadable; past the cap the aggregated profile below
    is the useful view anyway. *)
-let max_tree_lines = 200
+let default_max_tree_lines = 200
 
-let tree_section buf roots =
+let tree_section ~max_lines buf roots =
   Buffer.add_string buf "-- span tree --\n";
   let printed = ref 0 and suppressed = ref 0 in
   let rec walk depth (n : Trace.node) =
-    if !printed >= max_tree_lines then incr suppressed
+    if !printed >= max_lines then incr suppressed
     else begin
       incr printed;
       Buffer.add_string buf
@@ -75,7 +75,7 @@ let solver_section buf (s : Trace.solver) =
     s.Trace.rounds;
   Buffer.add_string buf (Tablefmt.render t)
 
-let summary trace =
+let summary ?(max_lines = default_max_tree_lines) trace =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
     (Printf.sprintf "trace: %d event(s)%s, wall %s%s\n\n" trace.Trace.events
@@ -87,7 +87,7 @@ let summary trace =
           Printf.sprintf ", %d unclosed span(s)" trace.Trace.unclosed
         else ""));
   if trace.Trace.roots <> [] then begin
-    tree_section buf trace.Trace.roots;
+    tree_section ~max_lines buf trace.Trace.roots;
     Buffer.add_char buf '\n';
     profile_section buf trace;
     Buffer.add_char buf '\n'

@@ -2,10 +2,12 @@
     Trace Event JSON (loadable in [chrome://tracing] and Perfetto), and
     folded stacks for [flamegraph.pl]. *)
 
-val summary : Trace.t -> string
+val summary : ?max_lines:int -> Trace.t -> string
 (** Multi-section text profile: the span tree with total/self times and
     allocation, the hottest spans sorted by self time, per-solver round
-    tables (moves, acceptance, score deltas), phases, and notes. *)
+    tables (moves, acceptance, score deltas), phases, and notes.
+    [max_lines] (default 200) caps the span-tree section; suppressed
+    nodes are counted and the aggregated profile still covers them. *)
 
 val chrome : Trace.t -> Json.t
 (** Chrome Trace Event JSON object format: one complete (["ph":"X"])

@@ -39,6 +39,14 @@ let clear t =
   Hashtbl.reset t.histograms;
   Hashtbl.reset t.spans
 
+(* The process-wide "current" registry cell lives here (rather than in
+   Runtime, which manages it) so that [reset] can clear whatever registry
+   is installed without a dependency cycle. *)
+let installed : t option ref = ref None
+let install r = installed := r
+let current () = !installed
+let reset () = match !installed with Some t -> clear t | None -> ()
+
 let incr_counter t name by =
   match Hashtbl.find_opt t.counters name with
   | Some cell -> cell := !cell +. by

@@ -10,6 +10,24 @@ type t
 val create : unit -> t
 val clear : t -> unit
 
+(** {1 The current registry}
+
+    The cell itself is managed by {!Runtime.set_registry} /
+    {!Runtime.with_observation}; it is readable (and resettable) here so
+    harnesses can zero counters between workloads. *)
+
+val current : unit -> t option
+
+val reset : unit -> unit
+(** Clear the currently-installed registry, if any: counters, gauges,
+    histograms and span totals all drop to empty.  Metric handles are
+    unaffected (they are just names).  Call between bench iterations so
+    per-config counter readings do not accumulate across configs. *)
+
+val install : t option -> unit
+(** For {!Runtime} only — does not refresh the observation flag; callers
+    want {!Runtime.set_registry}. *)
+
 (** {1 Recording} *)
 
 val incr_counter : t -> string -> float -> unit

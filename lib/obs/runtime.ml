@@ -3,35 +3,49 @@
    no events, so uninstrumented runs pay one branch per site. *)
 
 let current_sink : Sink.t option ref = ref None
-let current_registry : Registry.t option ref = ref None
+
+(* Nonzero while a sampler is attached: keeps span bookkeeping (the live
+   name stack in Span) running even with no sink or registry installed. *)
+let span_users = ref 0
 let active = ref false
 
 let refresh () =
-  active := Option.is_some !current_sink || Option.is_some !current_registry
+  active :=
+    Option.is_some !current_sink
+    || Option.is_some (Registry.current ())
+    || !span_users > 0
 
 let set_sink s =
   current_sink := s;
   refresh ()
 
 let set_registry r =
-  current_registry := r;
+  Registry.install r;
+  refresh ()
+
+let retain_spans () =
+  incr span_users;
+  refresh ()
+
+let release_spans () =
+  span_users := max 0 (!span_users - 1);
   refresh ()
 
 let sink () = !current_sink
-let registry () = !current_registry
+let registry () = Registry.current ()
 let observing () = !active
 let tracing () = Option.is_some !current_sink
 
 let emit ev = match !current_sink with Some s -> s.Sink.emit ev | None -> ()
 
 let with_observation ?sink:s ?registry:r f =
-  let old_sink = !current_sink and old_registry = !current_registry in
+  let old_sink = !current_sink and old_registry = Registry.current () in
   current_sink := s;
-  current_registry := r;
+  Registry.install r;
   refresh ();
   let restore () =
     current_sink := old_sink;
-    current_registry := old_registry;
+    Registry.install old_registry;
     refresh ()
   in
   match f () with

@@ -1,0 +1,119 @@
+(* Statistical profiler over the live span stack.
+
+   No signals, no threads: the sampler is driven by the same cooperative
+   checkpoint ticks as Budget ([Budget.check] in solver hot loops), so
+   sample placement is a pure function of the executed probe sequence and
+   the [every] stride — deterministic under test with a fixed workload.
+   Every [every]-th tick snapshots [Span.stack ()] and bumps the folded
+   path's sample count; the output format matches [Export.folded]
+   (one "root;child;leaf N" line per distinct path) so the same
+   flamegraph tooling consumes both. *)
+
+type t = {
+  every : int;
+  mutable ticks : int;
+  mutable sampled : int;
+  mutable idle : int;  (* samples taken with no span open *)
+  counts : (string, int ref) Hashtbl.t;
+  mutable order : string list;  (* first-seen order, reversed *)
+  mutable hook : Budget.hook option;
+  mutable retained : bool;
+}
+
+let create ?(every = 997) () =
+  if every <= 0 then invalid_arg "Sampler.create: every must be positive";
+  {
+    every;
+    ticks = 0;
+    sampled = 0;
+    idle = 0;
+    counts = Hashtbl.create 64;
+    order = [];
+    hook = None;
+    retained = false;
+  }
+
+let reset t =
+  t.ticks <- 0;
+  t.sampled <- 0;
+  t.idle <- 0;
+  Hashtbl.reset t.counts;
+  t.order <- []
+
+let tick t =
+  t.ticks <- t.ticks + 1;
+  if t.ticks mod t.every = 0 then begin
+    t.sampled <- t.sampled + 1;
+    match Span.stack () with
+    | [] -> t.idle <- t.idle + 1
+    | stack -> (
+        let path = String.concat ";" (List.rev stack) in
+        match Hashtbl.find_opt t.counts path with
+        | Some c -> incr c
+        | None ->
+            Hashtbl.add t.counts path (ref 1);
+            t.order <- path :: t.order)
+  end
+
+let attach t =
+  if t.hook = None then begin
+    Runtime.retain_spans ();
+    t.retained <- true;
+    t.hook <- Some (Budget.on_tick (fun () -> tick t))
+  end
+
+let detach t =
+  (match t.hook with
+  | Some h ->
+      Budget.remove_hook h;
+      t.hook <- None
+  | None -> ());
+  if t.retained then begin
+    Runtime.release_spans ();
+    t.retained <- false
+  end
+
+let with_ t f =
+  attach t;
+  Fun.protect ~finally:(fun () -> detach t) f
+
+let ticks t = t.ticks
+let samples t = t.sampled
+let idle t = t.idle
+
+let counts t =
+  Hashtbl.fold (fun path c acc -> (path, !c) :: acc) t.counts []
+  |> List.sort (fun (pa, ca) (pb, cb) ->
+         if ca <> cb then compare cb ca else compare pa pb)
+
+let leaf path =
+  match String.rindex_opt path ';' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+let top_frames t =
+  let per_frame = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun path c ->
+      let f = leaf path in
+      match Hashtbl.find_opt per_frame f with
+      | Some cell -> cell := !cell + !c
+      | None -> Hashtbl.add per_frame f (ref !c))
+    t.counts;
+  Hashtbl.fold (fun f c acc -> (f, !c) :: acc) per_frame []
+  |> List.sort (fun (fa, ca) (fb, cb) ->
+         if ca <> cb then compare cb ca else compare fa fb)
+
+let folded t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun path ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d\n" path !(Hashtbl.find t.counts path)))
+    (List.rev t.order);
+  Buffer.contents buf
+
+let write_folded path t =
+  let oc = open_out path in
+  output_string oc (folded t);
+  close_out oc

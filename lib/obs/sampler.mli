@@ -1,0 +1,56 @@
+(** Low-overhead statistical profiler over the live span stack.
+
+    Where full JSONL tracing emits two events per span (too heavy for
+    bench and serving paths), the sampler snapshots {!Span.stack} on every
+    [every]-th cooperative checkpoint tick ({!Budget.check}) and aggregates
+    sample counts per folded path.  No signals and no threads are involved,
+    so sampling is deterministic for a fixed workload and stride, and the
+    overhead is bounded by (checkpoint rate / [every]) · snapshot cost —
+    on the solver workloads, well under the benchgate noise allowance.
+
+    Weights in {!folded} are {e sample counts}, not nanoseconds (pipe into
+    [flamegraph.pl --countname samples]); relative frame widths agree with
+    the trace-derived flamegraph to sampling error. *)
+
+type t
+
+val create : ?every:int -> unit -> t
+(** Sample every [every]-th tick (default 997 — coprime with the power-of-2
+    strides typical of the probe loops, which avoids lockstep aliasing).
+    @raise Invalid_argument when [every <= 0]. *)
+
+val attach : t -> unit
+(** Register on the checkpoint tick stream and retain span bookkeeping
+    ({!Runtime.retain_spans}), so sampling works with no sink or registry
+    installed.  Idempotent while attached. *)
+
+val detach : t -> unit
+
+val with_ : t -> (unit -> 'a) -> 'a
+(** [attach], run, [detach] (also on exceptions). *)
+
+val tick : t -> unit
+(** Advance the tick counter by hand — the deterministic tick source used
+    in tests; {!attach} arranges for {!Budget.check} to call this. *)
+
+val reset : t -> unit
+
+(** {1 Reading results} *)
+
+val ticks : t -> int
+val samples : t -> int
+
+val idle : t -> int
+(** Samples that found no open span (counted, not attributed). *)
+
+val counts : t -> (string * int) list
+(** Folded path → samples, most-sampled first (ties by name). *)
+
+val top_frames : t -> (string * int) list
+(** Leaf frame (innermost span name) → samples, most-sampled first — the
+    "hot spans" view, comparable to the trace profile's self-time ranking. *)
+
+val folded : t -> string
+(** One ["path;to;span N"] line per distinct path, in first-seen order. *)
+
+val write_folded : string -> t -> unit

@@ -1,0 +1,446 @@
+(* Periodic metrics snapshots: fsa-series/1 JSONL (write + read) and
+   Prometheus text exposition.
+
+   Each [sample] appends one record with counter/histogram *deltas* since
+   the previous sample and absolute gauge values.  Deltas make records
+   meaningful on their own ("what happened in this interval") and survive
+   [Registry.reset] between bench configs: a counter that shrinks is
+   treated as reset, and its current value is taken as the delta. *)
+
+type writer = {
+  registry : Registry.t;
+  oc : out_channel;
+  owned : bool; (* close [oc] on [close] *)
+  started : float; (* monotonic origin for the "t" field *)
+  last_counters : (string, float) Hashtbl.t;
+  last_hists : (string, int * float) Hashtbl.t; (* count, sum *)
+  mutable samples : int;
+  mutable hook : Budget.hook option;
+  mutable ticks : int;
+  mutable next_due : float;
+  mutable period : float;
+  mutable closed : bool;
+}
+
+let header () =
+  Json.Obj
+    [
+      ("schema", Json.String "fsa-series/1");
+      ("clock", Json.String "monotonic");
+      ("started", Json.String (Clock.iso_of_wall (Clock.wall ())));
+    ]
+
+let to_channel ?(owned = false) registry oc =
+  let w =
+    {
+      registry;
+      oc;
+      owned;
+      started = Clock.now ();
+      last_counters = Hashtbl.create 32;
+      last_hists = Hashtbl.create 16;
+      samples = 0;
+      hook = None;
+      ticks = 0;
+      next_due = 0.0;
+      period = 0.0;
+      closed = false;
+    }
+  in
+  output_string oc (Json.to_string (header ()));
+  output_char oc '\n';
+  w
+
+let to_file registry path = to_channel ~owned:true registry (open_out path)
+
+(* Counter delta with reset clamping: a value below the previous reading
+   means the registry was cleared, so the current value is the delta. *)
+let counter_delta last name v =
+  let prev = Option.value ~default:0.0 (Hashtbl.find_opt last name) in
+  let d = if v < prev then v else v -. prev in
+  Hashtbl.replace last name v;
+  d
+
+let hist_delta last name (h : Registry.hist_summary) =
+  let pc, ps = Option.value ~default:(0, 0.0) (Hashtbl.find_opt last name) in
+  let sum = if h.count = 0 then 0.0 else h.mean *. float_of_int h.count in
+  let dc, ds = if h.count < pc then (h.count, sum) else (h.count - pc, sum -. ps) in
+  Hashtbl.replace last name (h.count, sum);
+  (dc, ds)
+
+let sample w =
+  if not w.closed then begin
+    let t = Clock.now () -. w.started in
+    let counters =
+      List.filter_map
+        (fun (name, v) ->
+          let d = counter_delta w.last_counters name v in
+          if d <> 0.0 then Some (name, Json.Float d) else None)
+        (Registry.counters w.registry)
+    in
+    let gauges =
+      List.map (fun (name, v) -> (name, Json.Float v)) (Registry.gauges w.registry)
+    in
+    let hists =
+      List.filter_map
+        (fun (name, (h : Registry.hist_summary)) ->
+          let dc, ds = hist_delta w.last_hists name h in
+          if dc = 0 then None
+          else
+            Some
+              ( name,
+                Json.Obj
+                  [
+                    ("count", Json.Int dc);
+                    ("sum", Json.Float ds);
+                    ("p50", Json.Float h.p50);
+                    ("p90", Json.Float h.p90);
+                    ("p99", Json.Float h.p99);
+                  ] ))
+        (Registry.histograms w.registry)
+    in
+    let fields = [ ("t", Json.Float t) ] in
+    let fields =
+      fields
+      @ (if counters = [] then [] else [ ("counters", Json.Obj counters) ])
+      @ [ ("gauges", Json.Obj gauges) ]
+      @ if hists = [] then [] else [ ("hists", Json.Obj hists) ]
+    in
+    output_string w.oc (Json.to_string (Json.Obj fields));
+    output_char w.oc '\n';
+    w.samples <- w.samples + 1
+  end
+
+let samples w = w.samples
+
+(* The tick hook polls the clock only every [check_every] ticks; at the
+   bench checkpoint rate this keeps the hook's common path to an integer
+   increment and a branch. *)
+let attach ?(period_s = 0.1) ?(check_every = 1024) w =
+  if check_every <= 0 then invalid_arg "Series.attach: check_every must be positive";
+  if w.hook = None then begin
+    w.period <- period_s;
+    w.next_due <- Clock.now () +. period_s;
+    w.hook <-
+      Some
+        (Budget.on_tick (fun () ->
+             w.ticks <- w.ticks + 1;
+             if w.ticks mod check_every = 0 && Clock.now () >= w.next_due then begin
+               sample w;
+               w.next_due <- Clock.now () +. w.period
+             end))
+  end
+
+let detach w =
+  match w.hook with
+  | Some h ->
+      Budget.remove_hook h;
+      w.hook <- None
+  | None -> ()
+
+let close w =
+  if not w.closed then begin
+    detach w;
+    sample w;
+    w.closed <- true;
+    flush w.oc;
+    if w.owned then close_out w.oc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    name
+
+let prom_name name = "fsa_" ^ sanitize name
+
+let prom_num v =
+  if Float.is_nan v then "NaN"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* [hists] carries (count, sum, p50, p90, p99) per name, so the same
+   renderer serves a live registry and an accumulated series document. *)
+let render_prom ~counters ~gauges ~hists ~spans =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      line "# TYPE %s counter" n;
+      line "%s %s" n (prom_num v))
+    counters;
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      line "# TYPE %s gauge" n;
+      line "%s %s" n (prom_num v))
+    gauges;
+  List.iter
+    (fun (name, (count, sum, p50, p90, p99)) ->
+      let n = prom_name name in
+      line "# TYPE %s summary" n;
+      line "%s{quantile=\"0.5\"} %s" n (prom_num p50);
+      line "%s{quantile=\"0.9\"} %s" n (prom_num p90);
+      line "%s{quantile=\"0.99\"} %s" n (prom_num p99);
+      line "%s_sum %s" n (prom_num sum);
+      line "%s_count %d" n count)
+    hists;
+  List.iter
+    (fun (name, (s : Registry.span_summary)) ->
+      let n = prom_name ("span_" ^ name) in
+      line "# TYPE %s_total_ns counter" n;
+      line "%s_total_ns %s" n (prom_num s.span_total_ns);
+      line "# TYPE %s_count counter" n;
+      line "%s_count %d" n s.span_count)
+    spans;
+  Buffer.contents buf
+
+let prometheus registry =
+  let hists =
+    List.map
+      (fun (name, (h : Registry.hist_summary)) ->
+        let sum = if h.count = 0 then 0.0 else h.mean *. float_of_int h.count in
+        (name, (h.count, sum, h.p50, h.p90, h.p99)))
+      (Registry.histograms registry)
+  in
+  render_prom ~counters:(Registry.counters registry)
+    ~gauges:(Registry.gauges registry) ~hists ~spans:(Registry.spans registry)
+
+(* ------------------------------------------------------------------ *)
+(* Reading a series back                                               *)
+
+type hist_point = { dcount : int; dsum : float; p50 : float; p90 : float; p99 : float }
+
+type point = {
+  t : float;
+  counters : (string * float) list;
+  gauges : (string * float) list;
+  hists : (string * hist_point) list;
+}
+
+type doc = { started : string option; points : point list; skipped : int }
+
+let obj_fields = function Some (Json.Obj l) -> l | _ -> []
+
+let float_field ?(default = Float.nan) name obj =
+  match Option.bind (Json.member name obj) Json.to_float_opt with
+  | Some v -> v
+  | None -> default
+
+let point_of_json j =
+  match Option.bind (Json.member "t" j) Json.to_float_opt with
+  | None -> None
+  | Some t ->
+      let floats l =
+        List.filter_map
+          (fun (name, v) -> Option.map (fun f -> (name, f)) (Json.to_float_opt v))
+          l
+      in
+      let hists =
+        List.filter_map
+          (fun (name, v) ->
+            match Option.bind (Json.member "count" v) Json.to_int_opt with
+            | None -> None
+            | Some dcount ->
+                Some
+                  ( name,
+                    {
+                      dcount;
+                      dsum = float_field ~default:0.0 "sum" v;
+                      p50 = float_field "p50" v;
+                      p90 = float_field "p90" v;
+                      p99 = float_field "p99" v;
+                    } ))
+          (obj_fields (Json.member "hists" j))
+      in
+      Some
+        {
+          t;
+          counters = floats (obj_fields (Json.member "counters" j));
+          gauges = floats (obj_fields (Json.member "gauges" j));
+          hists;
+        }
+
+let of_string s =
+  let started = ref None in
+  let skipped = ref 0 in
+  let points = ref [] in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" then
+           match Json.of_string_opt line with
+           | None -> incr skipped
+           | Some j -> (
+               match Json.member "schema" j with
+               | Some _ ->
+                   started :=
+                     Option.bind (Json.member "started" j) Json.to_string_opt
+               | None -> (
+                   match point_of_json j with
+                   | Some p -> points := p :: !points
+                   | None -> incr skipped)));
+  { started = !started; points = List.rev !points; skipped = !skipped }
+
+let of_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s
+
+(* Accumulate a document to final cumulative state: counters sum their
+   deltas, gauges keep their last reading, histograms sum count/sum deltas
+   and keep the last cumulative quantiles. *)
+let accumulate doc =
+  let counters = Hashtbl.create 16
+  and gauges = Hashtbl.create 16
+  and hists = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (name, d) ->
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt counters name) in
+          Hashtbl.replace counters name (prev +. d))
+        p.counters;
+      List.iter (fun (name, v) -> Hashtbl.replace gauges name v) p.gauges;
+      List.iter
+        (fun (name, h) ->
+          let pc, ps =
+            match Hashtbl.find_opt hists name with
+            | Some (c, s, _) -> (c, s)
+            | None -> (0, 0.0)
+          in
+          Hashtbl.replace hists name (pc + h.dcount, ps +. h.dsum, h))
+        p.hists)
+    doc.points;
+  (counters, gauges, hists)
+
+let sorted tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let prometheus_of_doc doc =
+  let counters, gauges, hists = accumulate doc in
+  let hists =
+    List.map
+      (fun (name, (c, s, h)) -> (name, (c, s, h.p50, h.p90, h.p99)))
+      (sorted hists)
+  in
+  render_prom ~counters:(sorted counters) ~gauges:(sorted gauges) ~hists ~spans:[]
+
+let metric_names doc =
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      List.iter (fun (n, _) -> Hashtbl.replace names n ()) p.counters;
+      List.iter (fun (n, _) -> Hashtbl.replace names n ()) p.gauges;
+      List.iter (fun (n, _) -> Hashtbl.replace names n ()) p.hists)
+    doc.points;
+  Hashtbl.fold (fun n () acc -> n :: acc) names [] |> List.sort compare
+
+let doc_summary doc =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let n = List.length doc.points in
+  line "fsa-series/1: %d point%s%s%s" n
+    (if n = 1 then "" else "s")
+    (match doc.started with Some s -> ", started " ^ s | None -> "")
+    (if doc.skipped > 0 then Printf.sprintf ", %d line(s) skipped" doc.skipped
+     else "");
+  (match doc.points with
+  | [] -> ()
+  | first :: _ ->
+      let last = List.nth doc.points (n - 1) in
+      line "time span: %.3f .. %.3f s" first.t last.t);
+  let counters, gauges, hists = accumulate doc in
+  let section title rows =
+    if rows <> [] then begin
+      line "%s:" title;
+      List.iter (fun r -> line "  %s" r) rows
+    end
+  in
+  section "counters (summed deltas)"
+    (List.map (fun (k, v) -> Printf.sprintf "%-32s %s" k (prom_num v))
+       (sorted counters));
+  section "gauges (last)"
+    (List.map (fun (k, v) -> Printf.sprintf "%-32s %s" k (prom_num v))
+       (sorted gauges));
+  section "histograms"
+    (List.map
+       (fun (k, (c, s, h)) ->
+         Printf.sprintf "%-32s count=%d sum=%s p50=%s p99=%s" k c (prom_num s)
+           (prom_num h.p50) (prom_num h.p99))
+       (sorted hists));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* ASCII plotting                                                      *)
+
+(* Per-point value for [metric]: counter and histogram metrics plot their
+   per-interval delta, gauges plot the (carried-forward) absolute value. *)
+let series_values doc metric =
+  let is_counter =
+    List.exists (fun p -> List.mem_assoc metric p.counters) doc.points
+  and is_gauge = List.exists (fun p -> List.mem_assoc metric p.gauges) doc.points in
+  let last_gauge = ref 0.0 in
+  List.map
+    (fun p ->
+      if is_counter then Option.value ~default:0.0 (List.assoc_opt metric p.counters)
+      else if is_gauge then begin
+        (match List.assoc_opt metric p.gauges with
+        | Some v -> last_gauge := v
+        | None -> ());
+        !last_gauge
+      end
+      else
+        match List.assoc_opt metric p.hists with
+        | Some h -> float_of_int h.dcount
+        | None -> 0.0)
+    doc.points
+
+let plot ?(width = 60) ?(height = 8) doc ~metric =
+  if not (List.mem metric (metric_names doc)) then
+    Printf.sprintf "no metric %S in series (known: %s)\n" metric
+      (String.concat ", " (metric_names doc))
+  else
+    let values = Array.of_list (series_values doc metric) in
+    let n = Array.length values in
+    if n = 0 then "empty series\n"
+    else begin
+      let cols = min n (max 1 width) in
+      let col_vals =
+        Array.init cols (fun c ->
+            (* average the points that fall into this column *)
+            let lo = c * n / cols and hi = max (((c + 1) * n / cols) - 1) (c * n / cols) in
+            let sum = ref 0.0 in
+            for i = lo to hi do
+              sum := !sum +. values.(i)
+            done;
+            !sum /. float_of_int (hi - lo + 1))
+      in
+      let vmax = Array.fold_left max 0.0 col_vals in
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf
+        (Printf.sprintf "%s  (max %s, %d point%s)\n" metric (prom_num vmax) n
+           (if n = 1 then "" else "s"));
+      if vmax <= 0.0 then Buffer.add_string buf "(flat at 0)\n"
+      else begin
+        for row = height downto 1 do
+          let threshold = vmax *. (float_of_int row -. 0.5) /. float_of_int height in
+          Buffer.add_string buf
+            (if row = height then Printf.sprintf "%10s |" (prom_num vmax)
+             else if row = 1 then Printf.sprintf "%10s |" "0"
+             else Printf.sprintf "%10s |" "");
+          Array.iter
+            (fun v -> Buffer.add_char buf (if v >= threshold then '#' else ' '))
+            col_vals;
+          Buffer.add_char buf '\n'
+        done;
+        Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make cols '-'))
+      end;
+      Buffer.contents buf
+    end

@@ -1,0 +1,82 @@
+(** Live metrics time series: periodic registry snapshots as fsa-series/1
+    JSONL, plus Prometheus text exposition.
+
+    {b fsa-series/1 schema.}  Line 1 is a header object
+    [{"schema":"fsa-series/1","clock":"monotonic","started":"<ISO-8601>"}];
+    every further line is one sample
+    [{"t":<seconds since writer creation, monotonic>,
+      "counters":{name: delta, ...},   (only non-zero deltas; omitted if empty)
+      "gauges":{name: absolute value, ...},
+      "hists":{name: {"count":<delta>,"sum":<delta>,
+                      "p50":…,"p90":…,"p99":…}, ...}}]
+    Counter and histogram [count]/[sum] fields are {e deltas} since the
+    previous sample; a registry reset between samples clamps the delta to
+    the current reading instead of going negative.  Gauge values and the
+    histogram quantiles are absolute/cumulative.  Readers must ignore
+    unknown fields. *)
+
+type writer
+
+val to_channel : ?owned:bool -> Registry.t -> out_channel -> writer
+(** Writes the header line immediately.  [owned] (default false) closes
+    the channel in {!close}. *)
+
+val to_file : Registry.t -> string -> writer
+
+val sample : writer -> unit
+(** Append one snapshot record (no-op after {!close}). *)
+
+val attach : ?period_s:float -> ?check_every:int -> writer -> unit
+(** Sample automatically from the cooperative checkpoint stream
+    ({!Budget.check}): every [check_every] ticks (default 1024) the clock
+    is polled, and a sample is taken when [period_s] (default 0.1) has
+    elapsed since the last one.  Idempotent while attached. *)
+
+val detach : writer -> unit
+
+val close : writer -> unit
+(** Detach, take a final sample, flush; closes the channel when owned. *)
+
+val samples : writer -> int
+(** Snapshot records written so far. *)
+
+val prometheus : Registry.t -> string
+(** Prometheus text exposition of a registry's current state: counters and
+    gauges as-is, histograms as [summary] metrics (quantile/sum/count),
+    span totals as [fsa_span_<name>_total_ns] / [_count] counters.  Names
+    are prefixed [fsa_] and sanitized to [[a-zA-Z0-9_:]]. *)
+
+(** {1 Reading a series back} *)
+
+type hist_point = { dcount : int; dsum : float; p50 : float; p90 : float; p99 : float }
+
+type point = {
+  t : float;
+  counters : (string * float) list;
+  gauges : (string * float) list;
+  hists : (string * hist_point) list;
+}
+
+type doc = { started : string option; points : point list; skipped : int }
+
+val of_string : string -> doc
+(** Forgiving parse: malformed or unrecognized lines are counted in
+    [skipped], never raised on. *)
+
+val of_file : string -> doc
+
+val doc_summary : doc -> string
+(** Human-readable totals: summed counter deltas, last gauge readings,
+    histogram totals. *)
+
+val metric_names : doc -> string list
+
+val plot : ?width:int -> ?height:int -> doc -> metric:string -> string
+(** ASCII column chart of one metric over time.  Counters and histograms
+    plot per-interval deltas; gauges plot (carried-forward) absolute
+    values.  More points than [width] are averaged into columns. *)
+
+val prometheus_of_doc : doc -> string
+(** Exposition of the series' final cumulative state (summed deltas, last
+    gauges/quantiles) — lets CI turn a series artifact into a pushable
+    Prometheus snapshot without re-running the workload. *)

@@ -11,15 +11,15 @@ let pretty ?(ppf = Format.err_formatter) () =
 let jsonl path =
   let oc = open_out path in
   let buf = Buffer.create 512 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let emit ev =
     Buffer.clear buf;
-    (* Prefix every line with a relative timestamp; Event.of_json ignores
-       fields it does not know. *)
+    (* Prefix every line with a relative monotonic timestamp; Event.of_json
+       ignores fields it does not know. *)
     let json =
       match Event.to_json ev with
       | Json.Obj fields ->
-          Json.Obj (("ts", Json.Float (Unix.gettimeofday () -. t0)) :: fields)
+          Json.Obj (("ts", Json.Float (Clock.now () -. t0)) :: fields)
       | other -> other
     in
     Json.to_buffer buf json;

@@ -1,22 +1,29 @@
 let depth = ref 0
 
+(* Innermost-first names of the open spans; maintained (with [depth])
+   whenever observation is on, so the sampling profiler can snapshot the
+   live stack at checkpoint ticks without signals. *)
+let names : string list ref = ref []
+
 let with_ ~name f =
   if not (Runtime.observing ()) then f ()
   else begin
     let d = !depth in
     if Runtime.tracing () then Runtime.emit (Event.Span_begin { name; depth = d });
     incr depth;
+    names := name :: !names;
     (* On OCaml 5.1 [Gc.quick_stat] reports minor_words only as of the last
        minor collection; [Gc.minor_words ()] reads the live allocation
        pointer. *)
     let m0 = Gc.minor_words () in
     let g0 = Gc.quick_stat () in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     let finish () =
-      let t1 = Unix.gettimeofday () in
+      let t1 = Clock.now () in
       let g1 = Gc.quick_stat () in
       let m1 = Gc.minor_words () in
       decr depth;
+      (match !names with _ :: tl -> names := tl | [] -> ());
       let elapsed_ns = (t1 -. t0) *. 1e9 in
       let minor_words = m1 -. m0 in
       let major_words = g1.Gc.major_words -. g0.Gc.major_words in
@@ -40,3 +47,4 @@ let phase name =
   if Runtime.tracing () then Runtime.emit (Event.Phase { name })
 
 let current_depth () = !depth
+let stack () = !names

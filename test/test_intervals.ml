@@ -183,6 +183,7 @@ let exact_exn ?node_limit isp =
   match Isp.exact ?node_limit isp with
   | Ok r -> r
   | Error (`Node_limit n) -> Alcotest.failf "unexpected node limit (%d)" n
+  | Error (`Budget_exceeded _) -> Alcotest.fail "unexpected budget trip" 
 
 let test_isp_tpa_feasible_qcheck =
   QCheck.Test.make ~name:"TPA output is feasible" ~count:300 isp_gen (fun params ->
@@ -269,6 +270,7 @@ let test_isp_node_limit_typed () =
   (match Isp.exact ~node_limit:3 isp with
   | Error (`Node_limit 3) -> ()
   | Error (`Node_limit n) -> Alcotest.failf "wrong limit reported: %d" n
+  | Error (`Budget_exceeded _) -> Alcotest.fail "no budget installed here"
   | Ok _ -> Alcotest.fail "limit of 3 nodes cannot finish this instance");
   (* ... and the degrading wrapper must still return a feasible selection
      (TPA's, at that point). *)

@@ -15,6 +15,13 @@
    Usage:
      benchgate [--baseline FILE] [--candidate FILE] [--quick]
                [--threshold REL] [--bench-exe PATH]
+     benchgate --obs-overhead [--obs-allowed REL]
+
+   --obs-overhead runs a separate in-process guard instead of the
+   regression gate: it times a fixed solver workload with observability
+   fully off and fully on (null sink + registry + sampling profiler +
+   unlimited budget checkpoints) and fails if the median slowdown exceeds
+   --obs-allowed (default 0.25).
 
    Exit codes: 0 ok, 1 regression, 2 usage/IO error. *)
 
@@ -148,6 +155,64 @@ let run_bench ~quick ~bench_exe =
   out
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead guard *)
+
+(* Median of [pairs] interleaved off/on wall-clock timings of one solver
+   workload.  Interleaving (rather than two blocks) cancels slow drift:
+   thermal throttling or a background task hits both sides equally. *)
+let obs_overhead ~allowed =
+  let rng = Fsa_util.Rng.create 23 in
+  let inst =
+    Fsa_csr.Instance.random_planted rng ~regions:12 ~h_fragments:3 ~m_fragments:3
+      ~inversion_rate:0.2 ~noise_pairs:6
+  in
+  let workload () =
+    ignore (Fsa_csr.One_csr.four_approx inst);
+    ignore (Fsa_csr.Csr_improve.solve inst)
+  in
+  let registry = Fsa_obs.Registry.create () in
+  let smp = Fsa_obs.Sampler.create ~every:997 () in
+  let budget = Fsa_obs.Budget.create () (* no limits: pure checkpoint cost *) in
+  let with_obs f =
+    Fsa_obs.Runtime.with_observation ~sink:Fsa_obs.Sink.null ~registry (fun () ->
+        Fsa_obs.Sampler.with_ smp (fun () -> Fsa_obs.Budget.with_budget budget f))
+  in
+  let time f =
+    let t0 = Fsa_obs.Clock.now () in
+    f ();
+    Fsa_obs.Clock.now () -. t0
+  in
+  (* Warm the memoized cmatch tables and both code paths. *)
+  workload ();
+  with_obs workload;
+  let pairs = 7 in
+  let off = Array.make pairs 0.0 and on_ = Array.make pairs 0.0 in
+  for i = 0 to pairs - 1 do
+    off.(i) <- time workload;
+    on_.(i) <- time (fun () -> with_obs workload)
+  done;
+  let median a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let m_off = median off and m_on = median on_ in
+  let rel = (m_on -. m_off) /. m_off in
+  Printf.printf
+    "obs overhead: off %s, on %s (%+.1f%%, allowed %.0f%%; sampler %d \
+     sample(s), %d budget probe(s))\n"
+    (Fsa_obs.Report.pretty_ns (m_off *. 1e9))
+    (Fsa_obs.Report.pretty_ns (m_on *. 1e9))
+    (100.0 *. rel) (100.0 *. allowed)
+    (Fsa_obs.Sampler.samples smp)
+    (Fsa_obs.Budget.probes budget);
+  if rel > allowed then begin
+    print_endline "FAIL: observability overhead above the allowance";
+    exit 1
+  end
+  else print_endline "OK: observability overhead within the allowance"
+
+(* ------------------------------------------------------------------ *)
 
 let provenance label doc =
   Printf.printf "%s: git_rev=%s recorded=%s%s\n" label
@@ -161,6 +226,8 @@ let () =
   let quick = ref false in
   let threshold = ref 0.25 in
   let bench_exe = ref None in
+  let obs = ref false in
+  let obs_allowed = ref 0.25 in
   let spec =
     [
       ("--baseline", Arg.Set_string baseline, "FILE baseline fsa-bench/1 document (default BENCH_solvers.json)");
@@ -168,11 +235,19 @@ let () =
       ("--quick", Arg.Set quick, " pass --quick to the spawned bench run");
       ("--threshold", Arg.Set_float threshold, "REL base tolerance before noise widening (default 0.25)");
       ("--bench-exe", Arg.String (fun f -> bench_exe := Some f), "PATH bench executable (default: sibling bench/main.exe)");
+      ("--obs-overhead", Arg.Set obs, " run the observability overhead guard instead of the regression gate");
+      ("--obs-allowed", Arg.Set_float obs_allowed, "REL allowed obs-on median slowdown (default 0.25)");
     ]
   in
   Arg.parse spec
     (fun a -> die "unexpected argument %s" a)
-    "benchgate [--baseline FILE] [--candidate FILE] [--quick] [--threshold REL]";
+    "benchgate [--baseline FILE] [--candidate FILE] [--quick] [--threshold REL]\n\
+     benchgate --obs-overhead [--obs-allowed REL]";
+  if !obs then begin
+    if !obs_allowed <= 0.0 then die "--obs-allowed must be positive";
+    obs_overhead ~allowed:!obs_allowed;
+    exit 0
+  end;
   if !threshold <= 0.0 then die "--threshold must be positive";
   let cand_path =
     match !candidate with

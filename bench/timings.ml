@@ -106,6 +106,23 @@ let sparse_greedy_bench ~regions ~frags =
     ~name:(Printf.sprintf "sparse greedy (%dr %df)" regions frags)
     (Staged.stage (fun () -> ignore (Fsa_csr.Greedy.solve inst)))
 
+(* Latency-budget tier: the anytime portfolio under a wall deadline shorter
+   than a converged improvement run.  The "@Nms" suffix is load-bearing:
+   tools/benchgate parses it and enforces an absolute 2×deadline ceiling on
+   the measured time (the anytime contract), on top of the usual relative
+   gate.  Per-bench counters record the answered-tier histogram
+   (portfolio.answered.<tier>) and the deadline-hit rate
+   (portfolio.deadline_hits vs runs). *)
+let portfolio_bench ~regions ~frags ~deadline_ms =
+  let inst = sparse_inst ~regions ~frags in
+  let deadline = float_of_int deadline_ms /. 1000.0 in
+  Test.make
+    ~name:
+      (Printf.sprintf "sparse portfolio (%dr %df) @%dms" regions frags
+         deadline_ms)
+    (Staged.stage (fun () ->
+         ignore (Fsa_portfolio.Portfolio.solve ~deadline inst)))
+
 let four_approx_bench () =
   let rng = Rng.create 11 in
   let inst =
@@ -141,6 +158,8 @@ let test_list () =
     sparse_four_approx_bench ~regions:64 ~frags:16;
     sparse_four_approx_bench ~regions:128 ~frags:32;
     sparse_greedy_bench ~regions:64 ~frags:16;
+    portfolio_bench ~regions:64 ~frags:16 ~deadline_ms:5;
+    portfolio_bench ~regions:128 ~frags:32 ~deadline_ms:10;
     exact_bench ();
   ]
 

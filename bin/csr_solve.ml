@@ -98,10 +98,49 @@ let setup_observation trace stats stats_json =
         end)
   end
 
-let solve algorithm show_conjecture scaled epsilon output trace stats stats_json path =
+let outcome_to_string = function
+  | Fsa_portfolio.Portfolio.Completed -> "completed"
+  | Fsa_portfolio.Portfolio.Tripped `Wall_clock -> "tripped (wall clock)"
+  | Fsa_portfolio.Portfolio.Tripped `Probes -> "tripped (probes)"
+  | Fsa_portfolio.Portfolio.Tripped `Allocations -> "tripped (allocations)"
+  | Fsa_portfolio.Portfolio.Skipped reason -> "skipped: " ^ reason
+
+let run_portfolio ~deadline_ms ~probes ~epsilon inst =
+  let module P = Fsa_portfolio.Portfolio in
+  let report =
+    try P.solve ?deadline:(Option.map (fun ms -> ms /. 1000.0) deadline_ms) ?probes ~epsilon inst
+    with Invalid_argument msg -> die "%s" msg
+  in
+  Format.printf "portfolio: answered by %s in %.1f ms%s%s@."
+    (P.tier_to_string report.P.answered)
+    (report.P.elapsed_s *. 1000.0)
+    (if report.P.deadline_hit then " (deadline hit)" else "")
+    (match report.P.exact_score with
+    | Some s when report.P.optimal -> Printf.sprintf " — certified optimal (%.4g)" s
+    | Some s -> Printf.sprintf " — exact optimum %.4g not reached" s
+    | None -> "");
+  List.iter
+    (fun (a : P.attempt) ->
+      Format.printf "  %-12s %-24s%s%s@."
+        (P.tier_to_string a.P.tier)
+        (outcome_to_string a.P.outcome)
+        (match a.P.score with
+        | Some s -> Printf.sprintf " score %.4g" s
+        | None -> "")
+        (match a.P.epsilon with
+        | Some e -> Printf.sprintf " (scaled, eps=%.3g)" e
+        | None -> ""))
+    report.P.attempts;
+  report.P.solution
+
+let solve algorithm portfolio deadline_ms portfolio_probes show_conjecture scaled
+    epsilon output trace stats stats_json path =
   setup_observation trace stats stats_json;
   let inst = load_instance path in
   let sol =
+    if portfolio then
+      Some (run_portfolio ~deadline_ms ~probes:portfolio_probes ~epsilon inst)
+    else
     match algorithm with
     | Csr_improve_a ->
         if scaled then Some (Csr_improve.solve_scaled ~epsilon inst)
@@ -169,6 +208,29 @@ let algorithm_arg =
   in
   Arg.(value & opt (enum algorithms) Best_a & info [ "a"; "algorithm" ] ~doc)
 
+let portfolio_arg =
+  Arg.(
+    value & flag
+    & info [ "portfolio" ]
+        ~doc:
+          "Run the anytime portfolio scheduler (greedy, four-approx, \
+           full-improve, csr-improve, exact certificate) instead of a single \
+           algorithm; combine with $(b,--deadline-ms).")
+
+let deadline_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Latency budget for $(b,--portfolio), in milliseconds.")
+
+let portfolio_probes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "portfolio-probes" ] ~docv:"N"
+        ~doc:"Checkpoint-probe budget for $(b,--portfolio).")
+
 let conjecture_arg =
   Arg.(value & flag & info [ "c"; "conjecture" ] ~doc:"Print the conjecture pair rows.")
 
@@ -212,7 +274,8 @@ let cmd =
   Cmd.v
     (Cmd.info "csr_solve" ~doc)
     Term.(
-      const solve $ algorithm_arg $ conjecture_arg $ scaled_arg $ epsilon_arg $ output_arg
-      $ trace_arg $ stats_arg $ stats_json_arg $ path_arg)
+      const solve $ algorithm_arg $ portfolio_arg $ deadline_ms_arg
+      $ portfolio_probes_arg $ conjecture_arg $ scaled_arg $ epsilon_arg
+      $ output_arg $ trace_arg $ stats_arg $ stats_json_arg $ path_arg)
 
 let () = exit (Cmd.eval cmd)

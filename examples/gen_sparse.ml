@@ -1,0 +1,25 @@
+(* Print a band-diagonal sparse CSR instance (the bench suite's "sparse"
+   tier) in Instance.of_text format, for feeding to bin/csr_solve:
+
+     dune exec examples/gen_sparse.exe -- 128 32 > /tmp/sparse128.txt
+     dune exec bin/csr_solve.exe -- --portfolio --deadline-ms 10 /tmp/sparse128.txt
+
+   Fixed seed: the same arguments always print the same instance. *)
+
+let () =
+  let regions, frags =
+    match Sys.argv with
+    | [| _ |] -> (128, 32)
+    | [| _; r |] -> (int_of_string r, max 1 (int_of_string r / 4))
+    | [| _; r; f |] -> (int_of_string r, int_of_string f)
+    | _ ->
+        prerr_endline "usage: gen_sparse [regions [fragments]]";
+        exit 2
+  in
+  let rng = Fsa_util.Rng.create 16 in
+  let inst =
+    Fsa_csr.Instance.random_sparse rng ~regions ~h_fragments:frags
+      ~m_fragments:frags ~inversion_rate:0.2 ~noise_pairs:(regions / 2)
+      ~noise_span:3
+  in
+  print_string (Fsa_csr.Instance.to_text inst)

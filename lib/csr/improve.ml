@@ -177,19 +177,25 @@ let rescore inst sol =
   | Ok sol' -> sol'
   | Error e -> invalid_arg ("Improve.rescore: " ^ e)
 
-let with_scaling ?(epsilon = 0.05) inst algorithm =
-  let reference = Solution.score (One_csr.four_approx inst) in
-  if reference <= 0.0 then Solution.empty inst
+let truncated_instance ?(epsilon = 0.05) ~reference inst =
+  if reference <= 0.0 then None
   else begin
     let k = float_of_int (Instance.max_matches inst) in
     let unit_ = epsilon *. reference /. Float.max k 1.0 in
-    let truncated =
-      Instance.with_sigma inst (Fsa_seq.Scoring.truncate_to_multiples inst.Instance.sigma unit_)
-    in
-    let sol = algorithm truncated in
-    let sol = rescore inst sol in
-    (* The truncated instance is throwaway: release its memoized tables and
-       summaries instead of letting them age out of the LRU. *)
-    Cmatch.invalidate truncated;
-    sol
+    Some
+      ( Instance.with_sigma inst
+          (Fsa_seq.Scoring.truncate_to_multiples inst.Instance.sigma unit_),
+        unit_ )
   end
+
+let with_scaling ?epsilon inst algorithm =
+  let reference = Solution.score (One_csr.four_approx inst) in
+  match truncated_instance ?epsilon ~reference inst with
+  | None -> Solution.empty inst
+  | Some (truncated, _unit) ->
+      let sol = algorithm truncated in
+      let sol = rescore inst sol in
+      (* The truncated instance is throwaway: release its memoized tables and
+         summaries instead of letting them age out of the LRU. *)
+      Cmatch.invalidate truncated;
+      sol

@@ -37,6 +37,17 @@ let create ?wall_s ?probes ?minor_words ?(poll_every = 32) () =
   (match probes with
   | Some p when p < 0 -> invalid_arg "Budget.create: negative probe budget"
   | _ -> ());
+  (* A NaN wall budget would make [Clock.now () > deadline] always false —
+     silently unlimited — and a NaN allocation limit likewise; reject both
+     along with negative limits, like the probe knob above. *)
+  (match wall_s with
+  | Some s when Float.is_nan s || s < 0.0 ->
+      invalid_arg "Budget.create: wall_s must be a non-negative number"
+  | _ -> ());
+  (match minor_words with
+  | Some w when Float.is_nan w || w < 0.0 ->
+      invalid_arg "Budget.create: minor_words must be a non-negative number"
+  | _ -> ());
   {
     deadline = Option.map (fun s -> Clock.now () +. s) wall_s;
     max_probes = probes;
@@ -62,25 +73,36 @@ let trip b r =
   b.tripped <- Some r;
   Metric.Counter.incr exceeded_counter;
   Metric.Counter.incr (Metric.Counter.make ("budget.exceeded." ^ reason_to_string r));
-  raise (Exceeded r)
+  b.tripped
 
+(* The crossed limit, or [None] while within budget.  Kept raise-free so
+   [check] needs no exception handler on the hot path.  Sticky: once over,
+   every later checkpoint reports the same reason without counting work, so
+   a multi-stage solver that caught a partial in one stage falls through
+   its remaining stages for free. *)
 let spend b =
-  (* Sticky: once over, every later checkpoint re-raises immediately, so a
-     multi-stage solver that caught a partial in one stage falls through
-     its remaining stages without doing work. *)
-  (match b.tripped with Some r -> raise (Exceeded r) | None -> ());
-  b.probes <- b.probes + 1;
-  (match b.max_probes with
-  | Some m when b.probes > m -> trip b `Probes
-  | Some _ | None -> ());
-  if b.probes = 1 || b.probes mod b.poll_every = 0 then begin
-    (match b.deadline with
-    | Some d when Clock.now () > d -> trip b `Wall_clock
-    | Some _ | None -> ());
-    match b.max_minor_words with
-    | Some m when Gc.minor_words () -. b.minor_base > m -> trip b `Allocations
-    | Some _ | None -> ()
-  end
+  match b.tripped with
+  | Some _ as r -> r
+  | None ->
+      b.probes <- b.probes + 1;
+      let over_probes =
+        match b.max_probes with Some m -> b.probes > m | None -> false
+      in
+      if over_probes then trip b `Probes
+      else if b.probes = 1 || b.probes mod b.poll_every = 0 then begin
+        let over_wall =
+          match b.deadline with Some d -> Clock.now () > d | None -> false
+        in
+        if over_wall then trip b `Wall_clock
+        else
+          let over_minor =
+            match b.max_minor_words with
+            | Some m -> Gc.minor_words () -. b.minor_base > m
+            | None -> false
+          in
+          if over_minor then trip b `Allocations else None
+      end
+      else None
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint tick hooks *)
@@ -88,23 +110,53 @@ let spend b =
 type hook = int
 
 let hook_id = ref 0
+
+(* Registration list (newest first) plus a flat snapshot that [check]
+   iterates.  The snapshot is rebuilt on every registration change, so a
+   hook that removes itself or registers another mid-tick mutates the
+   *next* tick's array while the in-flight iteration keeps walking the one
+   it captured — no stale-list skips, no double calls.  It also turns the
+   old O(n) [@ [x]] append into an O(1) cons. *)
 let hooks : (int * (unit -> unit)) list ref = ref []
+let hook_snapshot : (unit -> unit) array ref = ref [||]
 let hooks_active = ref false
+
+let rebuild_snapshot () =
+  (* [List.rev_map] restores registration order from the newest-first list. *)
+  hook_snapshot := Array.of_list (List.rev_map snd !hooks);
+  hooks_active := !hooks <> []
 
 let on_tick f =
   incr hook_id;
   let id = !hook_id in
-  hooks := !hooks @ [ (id, f) ];
-  hooks_active := true;
+  hooks := (id, f) :: !hooks;
+  rebuild_snapshot ();
   id
 
 let remove_hook id =
   hooks := List.filter (fun (i, _) -> i <> id) !hooks;
-  hooks_active := !hooks <> []
+  rebuild_snapshot ()
+
+let run_hooks () =
+  if !hooks_active then begin
+    let snapshot = !hook_snapshot in
+    for i = 0 to Array.length snapshot - 1 do
+      snapshot.(i) ()
+    done
+  end
 
 let check () =
-  (match !current with Some b -> spend b | None -> ());
-  if !hooks_active then List.iter (fun (_, f) -> f ()) !hooks
+  (* Hooks tick whether or not the budget raises: the sampler and series
+     snapshotter must keep observing after a sticky trip, otherwise the
+     first exceeded budget starves them for the rest of the run. *)
+  match !current with
+  | None -> run_hooks ()
+  | Some b -> (
+      match spend b with
+      | None -> run_hooks ()
+      | Some r ->
+          run_hooks ();
+          raise (Exceeded r))
 
 (* ------------------------------------------------------------------ *)
 (* Running under a budget *)

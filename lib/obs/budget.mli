@@ -36,12 +36,14 @@ val create :
     relative deadline from now; [minor_words] bounds minor-heap allocation
     from now; [probes] bounds checkpoint count ([0] trips on the first
     check).  [poll_every] (default 32) is the clock/GC polling stride.
-    @raise Invalid_argument on a negative probe budget or nonpositive
-    [poll_every]. *)
+    @raise Invalid_argument on a negative probe budget, a NaN or negative
+    [wall_s] or [minor_words], or nonpositive [poll_every]. *)
 
 val check : unit -> unit
-(** The cooperative checkpoint.  Enforces the installed budget (if any),
-    then runs every registered tick hook.
+(** The cooperative checkpoint.  Enforces the installed budget (if any)
+    and runs every registered tick hook.  Hooks tick on {e every} check,
+    including over-budget ones — a sticky trip must not starve the
+    sampler or the series snapshotter for the rest of the run.
     @raise Exceeded when the installed budget is (or already was) over. *)
 
 val with_budget : t -> (unit -> 'a) -> 'a
@@ -72,8 +74,11 @@ val installed : unit -> bool
 
     The sampling profiler ({!Sampler}) and the metrics-series snapshotter
     ({!Series}) register here so that one [check ()] call site in a hot
-    loop powers all three subsystems.  Hooks run after budget enforcement
-    (so none fire on an over-budget tick) and must not raise. *)
+    loop powers all three subsystems.  Hooks tick on every check, whether
+    or not the budget raised, and must not raise themselves.  The hook
+    list is snapshotted before each tick: a hook may remove itself or
+    register new hooks mid-tick; changes take effect from the next
+    tick. *)
 
 type hook
 

@@ -1,0 +1,246 @@
+(* Anytime portfolio scheduler: the fuzz-oracle anytime property (always
+   valid, never beats exact), no-deadline equivalence with the best
+   underlying solver, budgeted multi-stage fall-through, determinism
+   across runs, knob validation, and the telemetry counters. *)
+
+open Fsa_csr
+module P = Fsa_portfolio.Portfolio
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let qtest t = QCheck_alcotest.to_alcotest ~verbose:false t
+
+let paper = Instance.paper_example
+
+(* Small random instances where the exact solver is affordable (same
+   recipe as test_csr_solvers). *)
+let small_instance seed =
+  let rng = Fsa_util.Rng.create seed in
+  let planted = Fsa_util.Rng.bool rng in
+  let h_fragments = 1 + Fsa_util.Rng.int rng 3 in
+  let m_fragments = 1 + Fsa_util.Rng.int rng 3 in
+  if planted then
+    Instance.random_planted rng ~regions:6 ~h_fragments ~m_fragments
+      ~inversion_rate:0.3 ~noise_pairs:4
+  else
+    Instance.random_uniform rng ~regions:6 ~h_fragments ~m_fragments
+      ~density:0.25
+
+let sparse_instance ~regions ~frags =
+  let rng = Fsa_util.Rng.create 16 in
+  Instance.random_sparse rng ~regions ~h_fragments:frags ~m_fragments:frags
+    ~inversion_rate:0.2 ~noise_pairs:(regions / 2) ~noise_span:3
+
+let seed_gen = QCheck.(int_bound 1_000_000)
+
+let validate_or_fail label sol =
+  match Solution.validate sol with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: invalid solution: %s" label e
+
+(* ------------------------------------------------------------------ *)
+(* Structure *)
+
+let test_ladder () =
+  check_int "five tiers" 5 (List.length P.ladder);
+  check_bool "tier names are distinct" true
+    (let names = List.map P.tier_to_string P.ladder in
+     List.length (List.sort_uniq compare names) = 5)
+
+let test_estimate_paper () =
+  let est = P.estimate (paper ()) in
+  check_bool "viable pairs positive" true (est.P.viable_pairs > 0);
+  check_bool "greedy cheaper than csr-improve" true
+    (est.P.greedy_probes < est.P.csr_improve_probes);
+  check_bool "exact layouts counted" true
+    (est.P.exact_layouts = Exact.layout_count (paper ()))
+
+(* ------------------------------------------------------------------ *)
+(* Unbudgeted: equals the best underlying solver, certified optimal *)
+
+let best_underlying inst =
+  List.fold_left Float.max neg_infinity
+    [
+      Solution.score (Greedy.solve inst);
+      Solution.score (One_csr.four_approx inst);
+      Solution.score (fst (Full_improve.solve inst));
+      Solution.score (fst (Csr_improve.solve inst));
+    ]
+
+let test_no_deadline_equals_best_paper () =
+  let inst = paper () in
+  let report = P.solve inst in
+  validate_or_fail "paper" report.P.solution;
+  check_float "score equals best underlying solver" (best_underlying inst)
+    (Solution.score report.P.solution);
+  (* The paper example is tiny: the exact tier must certify. *)
+  check_bool "exact certificate present" true (report.P.exact_score <> None);
+  check_float "certified optimum is 11" 11.0
+    (Option.get report.P.exact_score);
+  check_bool "no deadline, no trip" false report.P.deadline_hit
+
+let test_no_deadline_equals_best_qcheck =
+  QCheck.Test.make ~count:40 ~name:"portfolio unbudgeted = best solver"
+    seed_gen (fun seed ->
+      let inst = small_instance seed in
+      let report = P.solve inst in
+      validate_or_fail "unbudgeted" report.P.solution;
+      abs_float (Solution.score report.P.solution -. best_underlying inst)
+      < 1e-9)
+
+let test_never_beats_exact_qcheck =
+  QCheck.Test.make ~count:40 ~name:"portfolio never beats exact (anytime)"
+    QCheck.(pair seed_gen (int_bound 2))
+    (fun (seed, mode) ->
+      let inst = small_instance seed in
+      let report =
+        match mode with
+        | 0 -> P.solve inst
+        | 1 -> P.solve ~probes:(50 + (seed mod 500)) inst
+        | _ -> P.solve ~deadline:0.001 inst
+      in
+      validate_or_fail "anytime" report.P.solution;
+      let opt = Exact.solve_score inst in
+      Solution.score report.P.solution <= opt +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Budgeted fall-through *)
+
+let test_fall_through_structure () =
+  let inst = sparse_instance ~regions:32 ~frags:8 in
+  let report = P.solve ~probes:400 inst in
+  validate_or_fail "fall-through" report.P.solution;
+  (* Every tier is accounted for, in ladder order. *)
+  check_int "one attempt per tier" (List.length P.ladder)
+    (List.length report.P.attempts);
+  List.iter2
+    (fun tier (a : P.attempt) ->
+      check_bool
+        ("attempt order: " ^ P.tier_to_string tier)
+        true (a.P.tier = tier))
+    P.ladder report.P.attempts;
+  (* A 400-probe budget cannot converge the whole ladder on 32r/8f: some
+     tier trips (or is skipped once the budget is exhausted), and the
+     report says so. *)
+  check_bool "deadline hit" true report.P.deadline_hit;
+  check_bool "some tier tripped" true
+    (List.exists
+       (fun (a : P.attempt) ->
+         match a.P.outcome with P.Tripped _ -> true | _ -> false)
+       report.P.attempts);
+  (* Tiers that produced a solution produced a *valid* one: their recorded
+     score is the score of a solution that passed validation (the answered
+     tier's is the returned solution itself). *)
+  List.iter
+    (fun (a : P.attempt) ->
+      match a.P.outcome with
+      | P.Skipped _ -> check_bool "skipped tiers consume no probes" true (a.P.probes = 0)
+      | P.Completed | P.Tripped _ -> ())
+    report.P.attempts
+
+let test_budgeted_runs_are_deterministic () =
+  (* Probe budgets are deterministic (no wall clock in the trip decision),
+     and a second run reuses nothing stale from the first: identical
+     reports, attempt by attempt. *)
+  let inst = sparse_instance ~regions:32 ~frags:8 in
+  let r1 = P.solve ~probes:400 inst in
+  let r2 = P.solve ~probes:400 inst in
+  check_float "same score" (Solution.score r1.P.solution)
+    (Solution.score r2.P.solution);
+  check_bool "same answered tier" true (r1.P.answered = r2.P.answered);
+  List.iter2
+    (fun (a : P.attempt) (b : P.attempt) ->
+      check_bool ("same outcome: " ^ P.tier_to_string a.P.tier) true
+        (a.P.outcome = b.P.outcome && a.P.score = b.P.score
+        && a.P.epsilon = b.P.epsilon))
+    r1.P.attempts r2.P.attempts
+
+let test_zero_budget_returns_empty () =
+  let inst = sparse_instance ~regions:32 ~frags:8 in
+  let report = P.solve ~probes:0 inst in
+  validate_or_fail "zero budget" report.P.solution;
+  check_float "empty solution" 0.0 (Solution.score report.P.solution);
+  check_bool "answered by the floor tier" true (report.P.answered = P.Greedy);
+  check_bool "deadline hit" true report.P.deadline_hit
+
+(* ------------------------------------------------------------------ *)
+(* Latency acceptance and telemetry *)
+
+let test_deadline_acceptance_and_counters () =
+  let inst = sparse_instance ~regions:64 ~frags:16 in
+  let deadline = 0.05 in
+  let registry = Fsa_obs.Registry.create () in
+  let report =
+    Fsa_obs.Runtime.with_observation ~registry (fun () ->
+        P.solve ~deadline inst)
+  in
+  validate_or_fail "deadline" report.P.solution;
+  check_bool "answered a real solution" true
+    (Solution.score report.P.solution > 0.0);
+  (* The anytime contract (also enforced as an absolute ceiling by
+     tools/benchgate on the "@Nms" bench tier). *)
+  check_bool
+    (Printf.sprintf "answered within 2x deadline (%.1f ms)"
+       (report.P.elapsed_s *. 1000.0))
+    true
+    (report.P.elapsed_s <= 2.0 *. deadline);
+  let counter name =
+    Option.value ~default:0.0 (Fsa_obs.Registry.counter_value registry name)
+  in
+  check_float "greedy tier counted" 1.0 (counter "portfolio.tier.greedy");
+  check_float "answering tier counted" 1.0
+    (counter ("portfolio.answered." ^ P.tier_to_string report.P.answered));
+  if report.P.deadline_hit then
+    check_bool "deadline hit counted" true
+      (counter "portfolio.deadline_hits" >= 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Knob validation *)
+
+let test_knob_validation () =
+  let inst = paper () in
+  let rejects label f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+  in
+  rejects "NaN deadline" (fun () -> P.solve ~deadline:Float.nan inst);
+  rejects "negative deadline" (fun () -> P.solve ~deadline:(-1.0) inst);
+  rejects "negative probes" (fun () -> P.solve ~probes:(-1) inst);
+  rejects "zero epsilon" (fun () -> P.solve ~epsilon:0.0 inst);
+  rejects "NaN epsilon" (fun () -> P.solve ~epsilon:Float.nan inst)
+
+let () =
+  Alcotest.run "fsa_portfolio"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "ladder" `Quick test_ladder;
+          Alcotest.test_case "estimate on the paper example" `Quick
+            test_estimate_paper;
+        ] );
+      ( "anytime",
+        [
+          Alcotest.test_case "no deadline equals best (paper)" `Quick
+            test_no_deadline_equals_best_paper;
+          qtest test_no_deadline_equals_best_qcheck;
+          qtest test_never_beats_exact_qcheck;
+        ] );
+      ( "fall-through",
+        [
+          Alcotest.test_case "tier structure under a probe budget" `Quick
+            test_fall_through_structure;
+          Alcotest.test_case "budgeted runs are deterministic" `Quick
+            test_budgeted_runs_are_deterministic;
+          Alcotest.test_case "zero budget returns the empty floor" `Quick
+            test_zero_budget_returns_empty;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "2x-deadline acceptance + counters" `Quick
+            test_deadline_acceptance_and_counters;
+        ] );
+      ( "validation",
+        [ Alcotest.test_case "knob validation" `Quick test_knob_validation ] );
+    ]

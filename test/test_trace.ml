@@ -565,6 +565,50 @@ let test_benchgate_noisy_bench_gets_slack () =
   Sys.remove cand;
   check_int "2x regression fails even on a noisy bench" 1 code
 
+let test_benchgate_deadline_ceiling () =
+  (* A bench named "... @Nms" carries the anytime contract: the candidate
+     must answer within 2×N ms, as an absolute ceiling — even when the
+     baseline is equally slow (no grandfathering) and even when the bench
+     is new in the candidate. *)
+  let base = Filename.temp_file "bench_base" ".json" in
+  let cand = Filename.temp_file "bench_cand" ".json" in
+  let blown = 25e6 (* 25 ms > 2 × 10 ms *) in
+  write_file base (bench_doc [ ("portfolio (64r) @10ms", blown) ]);
+  write_file cand (bench_doc [ ("portfolio (64r) @10ms", blown) ]);
+  let code, out =
+    run_benchgate
+      (Printf.sprintf "--baseline %s --candidate %s" (Filename.quote base)
+         (Filename.quote cand))
+  in
+  check_int "equal-but-blown deadline still fails" 1 code;
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "names the blown deadline" true (contains "DEADLINE BLOWN" out);
+  (* Within the ceiling: 15 ms < 2 × 10 ms passes on its own merits. *)
+  write_file cand (bench_doc [ ("portfolio (64r) @10ms", 15e6) ]);
+  write_file base (bench_doc [ ("portfolio (64r) @10ms", 14e6) ]);
+  let code, _ =
+    run_benchgate
+      (Printf.sprintf "--baseline %s --candidate %s" (Filename.quote base)
+         (Filename.quote cand))
+  in
+  check_int "inside the ceiling passes" 0 code;
+  (* A new candidate-only bench is still held to its ceiling. *)
+  write_file base (bench_doc [ ("other bench", 1000.0) ]);
+  write_file cand
+    (bench_doc [ ("other bench", 1000.0); ("portfolio (new) @10ms", blown) ]);
+  let code, _ =
+    run_benchgate
+      (Printf.sprintf "--baseline %s --candidate %s" (Filename.quote base)
+         (Filename.quote cand))
+  in
+  Sys.remove base;
+  Sys.remove cand;
+  check_int "new bench with a blown deadline fails" 1 code
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -622,5 +666,7 @@ let () =
             test_benchgate_detects_2x_regression;
           Alcotest.test_case "noise-aware slack" `Quick
             test_benchgate_noisy_bench_gets_slack;
+          Alcotest.test_case "deadline ceiling on @Nms benches" `Quick
+            test_benchgate_deadline_ceiling;
         ] );
     ]

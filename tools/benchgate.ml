@@ -114,6 +114,28 @@ let allowed_delta ~threshold base cand =
   Float.min allowed_cap
     (threshold *. ((noise_factor base +. noise_factor cand) /. 2.0))
 
+(* Anytime latency ceiling: a bench named "... @Nms" measures a run under
+   an N-millisecond deadline, and the portfolio's contract is to answer
+   within 2× its deadline.  That is an absolute bound on the candidate
+   measurement, checked on top of the relative gate — a noisy or equally
+   slow baseline must never grandfather a blown deadline. *)
+let deadline_ceiling_ns name =
+  match String.rindex_opt name '@' with
+  | None -> None
+  | Some i ->
+      let rest = String.sub name (i + 1) (String.length name - i - 1) in
+      let n = String.length rest in
+      if n > 2 && String.sub rest (n - 2) 2 = "ms" then
+        match int_of_string_opt (String.sub rest 0 (n - 2)) with
+        | Some ms when ms > 0 -> Some (2.0 *. float_of_int ms *. 1e6)
+        | _ -> None
+      else None
+
+let blown_deadline b =
+  match deadline_ceiling_ns b.b_name with
+  | Some ceiling when b.ns > ceiling -> Some ceiling
+  | _ -> None
+
 type verdict = Ok_v | Improved | Regressed
 
 let judge ~threshold base cand =
@@ -283,24 +305,35 @@ let () =
               "missing in candidate" ]
       | Some cand ->
           let rel, allowed, v = judge ~threshold:!threshold base cand in
-          if v = Regressed then incr regressions;
+          let blown = blown_deadline cand in
+          if v = Regressed || blown <> None then incr regressions;
           Fsa_util.Tablefmt.add_row t
             [ base.b_name; Fsa_obs.Report.pretty_ns base.ns;
               Fsa_obs.Report.pretty_ns cand.ns;
               Printf.sprintf "%+.1f%%" (100.0 *. rel);
               Printf.sprintf "%.0f%%" (100.0 *. allowed);
-              (match v with
-              | Regressed -> "REGRESSED"
-              | Improved -> "improved"
-              | Ok_v -> "ok") ])
+              (match (blown, v) with
+              | Some ceiling, _ ->
+                  Printf.sprintf "DEADLINE BLOWN (> %s)"
+                    (Fsa_obs.Report.pretty_ns ceiling)
+              | None, Regressed -> "REGRESSED"
+              | None, Improved -> "improved"
+              | None, Ok_v -> "ok") ])
     base_doc.benches;
   List.iter
     (fun cand ->
       if not (List.exists (fun b -> b.b_name = cand.b_name) base_doc.benches)
-      then
+      then begin
+        let blown = blown_deadline cand in
+        if blown <> None then incr regressions;
         Fsa_util.Tablefmt.add_row t
           [ cand.b_name; "-"; Fsa_obs.Report.pretty_ns cand.ns; "-"; "-";
-            "new bench" ])
+            (match blown with
+            | Some ceiling ->
+                Printf.sprintf "DEADLINE BLOWN (> %s)"
+                  (Fsa_obs.Report.pretty_ns ceiling)
+            | None -> "new bench") ]
+      end)
     cand_doc.benches;
   Fsa_util.Tablefmt.print t;
   print_newline ();
@@ -308,8 +341,13 @@ let () =
     Printf.printf "warning: %d baseline bench(es) missing from the candidate\n"
       !missing;
   if !regressions > 0 then begin
-    Printf.printf "FAIL: %d bench(es) regressed beyond their allowed delta\n"
+    Printf.printf
+      "FAIL: %d bench(es) regressed beyond their allowed delta or blew their \
+       deadline ceiling\n"
       !regressions;
     exit 1
   end
-  else print_endline "OK: no bench regressed beyond its allowed delta"
+  else
+    print_endline
+      "OK: no bench regressed beyond its allowed delta or blew its deadline \
+       ceiling"

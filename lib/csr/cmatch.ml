@@ -59,41 +59,92 @@ let evictions_counter = Counter.make "cmatch.evictions"
    whole-cache reset dropped the live instance's tables mid-solve and caused
    rebuild thrash); the budget is configurable via FSA_TABLE_BUDGET or
    {!set_table_budget}. *)
+let fallback_table_budget = 16_000_000
+
+let parse_table_budget raw =
+  match int_of_string_opt (String.trim raw) with
+  | Some n when n >= 0 -> Ok n
+  | Some n -> Error (Printf.sprintf "negative cell budget %d" n)
+  | None -> Error (Printf.sprintf "not an integer: %S" raw)
+
+(* A malformed or negative FSA_TABLE_BUDGET used to be swallowed silently —
+   a typo'd knob ran with the 16M default and nobody noticed.  Warn loudly
+   and fall back instead. *)
 let default_table_budget =
   match Sys.getenv_opt "FSA_TABLE_BUDGET" with
-  | Some v -> ( match int_of_string_opt (String.trim v) with
-    | Some n when n >= 0 -> n
-    | Some _ | None -> 16_000_000)
-  | None -> 16_000_000
+  | None -> fallback_table_budget
+  | Some raw -> (
+      match parse_table_budget raw with
+      | Ok n -> n
+      | Error msg ->
+          Printf.eprintf
+            "fsa: warning: ignoring FSA_TABLE_BUDGET (%s); using %d cells\n%!"
+            msg fallback_table_budget;
+          fallback_table_budget)
 
-let table_cache : (int * bool * int * int, site_table) Lru.t =
-  Lru.create ~budget:default_table_budget
-    ~on_evict:(fun _ _ -> Counter.incr evictions_counter)
-    ~weight:(fun t -> 2 * t.host_len * t.host_len)
-    ()
+(* The budget is a process-wide knob; the caches are per-domain (an Lru is
+   single-domain by construction — see Fsa_util.Lru).  Each domain's cache
+   re-reads the shared budget cell on access and trims itself when the knob
+   changed.  Caches are keyed by instance uid and uids are never reused, so
+   stale entries for another domain's instances can never collide — they
+   just age out by LRU weight. *)
+let table_budget_cell = Atomic.make default_table_budget
 
-let set_table_budget cells = Lru.set_budget table_cache cells
-let table_budget () = Lru.budget table_cache
+type caches = {
+  tables : (int * bool * int * int, site_table) Lru.t;
+  dense : (int, Scoring.dense option) Lru.t;
+      (* σ probes dominate the kernel inner loop; use the dense snapshot
+         unless the region-id range is too large for it (then fall back to
+         the hashed table).  Snapshots are memoized per instance uid like
+         the site tables, LRU-bounded by snapshot count. *)
+  mutable synced_budget : int;
+}
 
-(* σ probes dominate the kernel inner loop; use the dense snapshot unless
-   the region-id range is too large for it (then fall back to the hashed
-   table).  Snapshots are memoized per instance uid like the site tables,
-   LRU-bounded by snapshot count. *)
-let dense_cache : (int, Scoring.dense option) Lru.t =
-  Lru.create ~budget:64 ~weight:(fun _ -> 1) ()
+let caches_key : caches Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let budget = Atomic.get table_budget_cell in
+      {
+        tables =
+          Lru.create ~budget
+            ~on_evict:(fun _ _ -> Counter.incr evictions_counter)
+            ~weight:(fun t -> 2 * t.host_len * t.host_len)
+            ();
+        dense = Lru.create ~budget:64 ~weight:(fun _ -> 1) ();
+        synced_budget = budget;
+      })
+
+let caches () =
+  let c = Domain.DLS.get caches_key in
+  let budget = Atomic.get table_budget_cell in
+  if budget <> c.synced_budget then begin
+    Lru.set_budget c.tables budget;
+    c.synced_budget <- budget
+  end;
+  c
+
+let set_table_budget cells =
+  if cells < 0 then invalid_arg "Cmatch.set_table_budget: negative budget";
+  Atomic.set table_budget_cell cells;
+  (* Trim the calling domain's cache now; other domains trim on next access. *)
+  ignore (caches ())
+
+let table_budget () = Atomic.get table_budget_cell
 
 let clear_cache () =
-  Lru.clear table_cache;
-  Lru.clear dense_cache;
+  let c = caches () in
+  Lru.clear c.tables;
+  Lru.clear c.dense;
   Bound.clear_cache ()
 
 let invalidate inst =
   let uid = inst.Instance.uid in
-  Lru.filter_out table_cache (fun (u, _, _, _) -> u = uid);
-  Lru.remove dense_cache uid;
+  let c = caches () in
+  Lru.filter_out c.tables (fun (u, _, _, _) -> u = uid);
+  Lru.remove c.dense uid;
   Bound.invalidate inst
 
 let sigma_get inst =
+  let dense_cache = (caches ()).dense in
   let d =
     match Lru.find dense_cache inst.Instance.uid with
     | Some d -> d
@@ -107,6 +158,7 @@ let sigma_get inst =
   | None -> fun a b -> Scoring.get inst.Instance.sigma a b
 
 let full_table inst ~full_side idx ~other_frag =
+  let table_cache = (caches ()).tables in
   let key = (inst.Instance.uid, full_side = Species.H, idx, other_frag) in
   match Lru.find table_cache key with
   | Some t ->

@@ -71,17 +71,29 @@ val table_ms : site_table -> lo:int -> hi:int -> float * bool
     attains it (ties prefer forward, as in {!Fsa_align.Region_align.ms_full}). *)
 
 val clear_cache : unit -> unit
-(** Drops the MS memo tables, σ snapshots, and {!Bound} summaries. *)
+(** Drops the MS memo tables, σ snapshots, and {!Bound} summaries — on the
+    {e calling domain}.  Caches are per-domain (keyed by instance uid; uids
+    are never reused, so cross-domain staleness cannot collide — entries
+    just age out by LRU weight). *)
 
 val invalidate : Instance.t -> unit
 (** Drops only this instance's memoized tables, σ snapshot, and bound
-    summary — for callers that construct short-lived derived instances
-    ({!Instance.with_sigma}) and want to release their cache share early. *)
+    summary on the calling domain — for callers that construct short-lived
+    derived instances ({!Instance.with_sigma}) and want to release their
+    cache share early. *)
 
 val set_table_budget : int -> unit
-(** Override the table-cache cell budget (also trims immediately). *)
+(** Override the table-cache cell budget.  The knob is process-wide; the
+    calling domain's cache trims immediately, other domains trim on their
+    next cache access.  @raise Invalid_argument on a negative budget. *)
 
 val table_budget : unit -> int
+
+val parse_table_budget : string -> (int, string) result
+(** Validate an [FSA_TABLE_BUDGET]-style value: a non-negative cell count.
+    At startup a malformed or negative value is rejected with a loud
+    [stderr] warning (never silently swallowed) and the 16M-cell default is
+    used instead. *)
 
 val border :
   Instance.t -> h_frag:int -> h_site:Site.t -> m_frag:int -> m_site:Site.t -> t option

@@ -7,6 +7,64 @@ let evaluated_counter = Fsa_obs.Metric.Counter.make "improve.evaluated"
 let accepted_counter = Fsa_obs.Metric.Counter.make "improve.accepted"
 let rejected_counter = Fsa_obs.Metric.Counter.make "improve.rejected"
 
+(* First-improvement scan over one round's attempt list.
+
+   Attempts are evaluated speculatively across domains; the winner is the
+   {e minimum-index} improvement, which is exactly the attempt the
+   sequential scan commits (no improvement exists below it, by
+   definition), so the committed solution sequence is identical at any
+   domain count.  Slots cancel early once some slot has found an
+   improvement below their current index ([best] only ever decreases, so
+   the slot owning the true winner can never be cancelled before reaching
+   it).  The reported scan length is the sequential one — winner index + 1,
+   or the full list — so [stats] and the improve.* counters are
+   deterministic; speculative probes beyond the winner still show up
+   truthfully in the cmatch.* cache counters.
+
+   Each attempt reads only the frozen instance and the persistent [sol]
+   (Cmatch/Bound memos are per-domain), which is what makes speculation
+   safe. *)
+let scan_attempts ~min_gain sol base attempt_list =
+  let arr = Array.of_list attempt_list in
+  let n = Array.length arr in
+  let best = Atomic.make max_int in
+  let improving i =
+    Fsa_obs.Budget.check ();
+    match arr.(i).apply sol with
+    | Some sol' when Solution.score sol' -. base > min_gain -> Some sol'
+    | Some _ | None -> None
+  in
+  let slots =
+    Fsa_parallel.Pool.fan_out ~n ~chunk:(fun ~slot:_ ~lo ~hi ->
+        let rec go i =
+          if i >= hi || Atomic.get best < i then None
+          else
+            match improving i with
+            | Some sol' ->
+                let rec publish () =
+                  let cur = Atomic.get best in
+                  if i < cur && not (Atomic.compare_and_set best cur i) then
+                    publish ()
+                in
+                publish ();
+                Some (i, arr.(i), sol')
+            | None -> go (i + 1)
+        in
+        go lo)
+  in
+  let winner =
+    Array.fold_left
+      (fun acc slot ->
+        match (acc, slot) with
+        | None, s -> s
+        | s, None -> s
+        | Some (i, _, _), Some (j, _, _) -> if j < i then slot else acc)
+      None slots
+  in
+  match winner with
+  | Some (i, a, sol') -> (Some (a, sol'), i + 1)
+  | None -> (None, n)
+
 (* [track] publishes (solution, stats so far) after every committed
    improvement, so a budgeted run can surface the latest state as its
    partial result. *)
@@ -25,15 +83,10 @@ let run_tracked ~track ~min_gain ~max_improvements ~name ~attempts ~init () =
     else begin
       let rounds = rounds + 1 in
       let base = Solution.score sol in
-      let rec scan scanned = function
-        | [] -> (None, scanned)
-        | a :: rest -> (
-            Fsa_obs.Budget.check ();
-            incr evaluated;
-            match a.apply sol with
-            | Some sol' when Solution.score sol' -. base > min_gain ->
-                (Some (a, sol'), scanned + 1)
-            | Some _ | None -> scan (scanned + 1) rest)
+      let scan scanned attempt_list =
+        let result, k = scan_attempts ~min_gain sol base attempt_list in
+        evaluated := !evaluated + k;
+        (result, scanned + k)
       in
       match scan 0 (attempts sol) with
       | Some (a, sol'), scanned ->

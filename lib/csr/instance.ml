@@ -8,12 +8,15 @@ type t = {
   sigma : Scoring.t;
 }
 
-let next_uid = ref 0
+(* Atomic so instances can be built from any domain; uids are never reused,
+   which is what lets per-domain caches keyed by uid age out stale entries
+   instead of ever colliding (DESIGN.md §14). *)
+let next_uid = Atomic.make 0
+let fresh_uid () = Atomic.fetch_and_add next_uid 1 + 1
 
 let make ~alphabet ~h ~m ~sigma =
   if h = [] || m = [] then invalid_arg "Instance.make: a side has no fragments";
-  incr next_uid;
-  { uid = !next_uid; alphabet; h = Array.of_list h; m = Array.of_list m; sigma }
+  { uid = fresh_uid (); alphabet; h = Array.of_list h; m = Array.of_list m; sigma }
 
 let fragments t = function Species.H -> t.h | Species.M -> t.m
 let fragment t side i = (fragments t side).(i)
@@ -24,9 +27,7 @@ let total_length t side =
 
 let max_matches t = min (total_length t Species.H) (total_length t Species.M)
 
-let with_sigma t sigma =
-  incr next_uid;
-  { t with uid = !next_uid; sigma }
+let with_sigma t sigma = { t with uid = fresh_uid (); sigma }
 
 let paper_example () =
   let alphabet = Alphabet.of_names [ "a"; "b"; "c"; "d"; "s"; "t"; "u"; "v" ] in

@@ -62,10 +62,46 @@ let probes t = t.probes
 let exceeded t = t.tripped
 
 (* ------------------------------------------------------------------ *)
-(* The ambient budget *)
+(* The ambient budget and the tick-hook list *)
 
-let current : t option ref = ref None
-let installed () = Option.is_some !current
+(* Domain-local: a budget installed in one domain can neither trip nor
+   count probes from another.  A plain global ref here was a latent data
+   race (worker checkpoints would race on [probes] and [tripped]) and a
+   semantic leak (a worker's probes would drain the caller's budget);
+   domain-local storage makes a worker's [check] a guaranteed no-op unless
+   that worker installs its own budget.  The domain pool additionally
+   refuses to fan out while a budget is installed, so budgeted solver runs
+   keep their exact sequential trip points.
+
+   The budget and the hook list live in ONE domain-local record so the
+   [check] fast path pays a single [Domain.DLS.get]: checkpoints sit in
+   solver inner loops (TPA steps, ISP candidates, layout pairs), where a
+   second DLS lookup per call is measurable. *)
+type state = {
+  mutable budget : t option;
+  mutable hooks : (int * (unit -> unit)) list;
+  mutable snapshot : (unit -> unit) array;
+  mutable hooks_active : bool;
+}
+
+let state : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { budget = None; hooks = []; snapshot = [||]; hooks_active = false })
+
+let installed () = Option.is_some (Domain.DLS.get state).budget
+
+(* Live budget installs plus nonempty hook lists, summed over all domains.
+   While this is zero — the overwhelmingly common case, since budgets and
+   tick hooks bracket explicit runs — [check] is a single atomic load and
+   a branch, cheaper than even a DLS lookup; checkpoints sit in ~20ns/iter
+   inner loops (TPA steps), where that difference is a measurable fraction
+   of the whole iteration.  Nonzero only says "some domain might have
+   work": other domains then take the DLS slow path and fall through on
+   their own empty state, which costs them a lookup but never a behavior
+   change.  A domain that dies with hooks still registered leaves the
+   count elevated (slow path forever after) — harmless, and pool workers
+   never register hooks. *)
+let active = Atomic.make 0
 
 let exceeded_counter = Metric.Counter.make "budget.exceeded"
 
@@ -109,62 +145,78 @@ let spend b =
 
 type hook = int
 
-let hook_id = ref 0
+let hook_id = Atomic.make 0
 
 (* Registration list (newest first) plus a flat snapshot that [check]
    iterates.  The snapshot is rebuilt on every registration change, so a
    hook that removes itself or registers another mid-tick mutates the
    *next* tick's array while the in-flight iteration keeps walking the one
    it captured — no stale-list skips, no double calls.  It also turns the
-   old O(n) [@ [x]] append into an O(1) cons. *)
-let hooks : (int * (unit -> unit)) list ref = ref []
-let hook_snapshot : (unit -> unit) array ref = ref [||]
-let hooks_active = ref false
+   old O(n) [@ [x]] append into an O(1) cons.
 
-let rebuild_snapshot () =
+   Hook state is domain-local, like the budget (it shares the [state]
+   record above): the sampler and the series snapshotter are single-domain
+   consumers (they mutate their own unsynchronized state on every tick), so
+   a hook registered on one domain must never fire from another.
+   Worker-domain checkpoints see an empty hook list and fall through. *)
+
+let rebuild_snapshot st =
   (* [List.rev_map] restores registration order from the newest-first list. *)
-  hook_snapshot := Array.of_list (List.rev_map snd !hooks);
-  hooks_active := !hooks <> []
+  let was_active = st.hooks_active in
+  st.snapshot <- Array.of_list (List.rev_map snd st.hooks);
+  st.hooks_active <- st.hooks <> [];
+  if st.hooks_active && not was_active then Atomic.incr active
+  else if was_active && not st.hooks_active then Atomic.decr active
 
 let on_tick f =
-  incr hook_id;
-  let id = !hook_id in
-  hooks := (id, f) :: !hooks;
-  rebuild_snapshot ();
+  let id = Atomic.fetch_and_add hook_id 1 + 1 in
+  let st = Domain.DLS.get state in
+  st.hooks <- (id, f) :: st.hooks;
+  rebuild_snapshot st;
   id
 
 let remove_hook id =
-  hooks := List.filter (fun (i, _) -> i <> id) !hooks;
-  rebuild_snapshot ()
+  let st = Domain.DLS.get state in
+  st.hooks <- List.filter (fun (i, _) -> i <> id) st.hooks;
+  rebuild_snapshot st
 
-let run_hooks () =
-  if !hooks_active then begin
-    let snapshot = !hook_snapshot in
+let run_hooks st =
+  if st.hooks_active then begin
+    let snapshot = st.snapshot in
     for i = 0 to Array.length snapshot - 1 do
       snapshot.(i) ()
     done
   end
 
-let check () =
+let check_slow () =
   (* Hooks tick whether or not the budget raises: the sampler and series
      snapshotter must keep observing after a sticky trip, otherwise the
      first exceeded budget starves them for the rest of the run. *)
-  match !current with
-  | None -> run_hooks ()
+  let st = Domain.DLS.get state in
+  match st.budget with
+  | None -> run_hooks st
   | Some b -> (
       match spend b with
-      | None -> run_hooks ()
+      | None -> run_hooks st
       | Some r ->
-          run_hooks ();
+          run_hooks st;
           raise (Exceeded r))
+
+let check () = if Atomic.get active = 0 then () else check_slow ()
 
 (* ------------------------------------------------------------------ *)
 (* Running under a budget *)
 
 let with_budget b f =
-  let old = !current in
-  current := Some b;
-  Fun.protect ~finally:(fun () -> current := old) f
+  let st = Domain.DLS.get state in
+  let old = st.budget in
+  st.budget <- Some b;
+  Atomic.incr active;
+  Fun.protect
+    ~finally:(fun () ->
+      st.budget <- old;
+      Atomic.decr active)
+    f
 
 type 'a outcome = ('a, [ `Budget_exceeded of 'a * reason ]) result
 

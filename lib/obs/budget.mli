@@ -3,8 +3,9 @@
 
     Solver hot loops call {!check} once per probe (a pair table build, an
     ISP candidate, a branch-and-bound node, a layout pair...).  When no
-    budget is installed and no tick hook is registered this is two branch
-    reads.  With a budget installed (via {!with_budget} or {!run}), each
+    budget is installed and no tick hook is registered {e anywhere} — on
+    any domain — this is a single atomic load and a branch; once some
+    domain installs one, checks pay one domain-local lookup instead.  With a budget installed (via {!with_budget} or {!run}), each
     check counts one probe against the probe limit and, every [poll_every]
     probes (and on the very first), polls the {!Clock} against the
     wall-clock deadline and [Gc.minor_words] against the allocation limit;
@@ -19,7 +20,14 @@
     Budgets do not stack: installing one shadows any outer budget for the
     extent of the call (innermost wins).  A tripped budget is sticky —
     every later checkpoint under it re-raises immediately, so multi-stage
-    solvers degrade through their remaining stages without doing work. *)
+    solvers degrade through their remaining stages without doing work.
+
+    The ambient budget (and the tick-hook list) is {e domain-local}: a
+    budget installed in one domain neither counts probes from nor trips
+    checkpoints in any other domain, and hooks registered on one domain
+    never fire from another.  The domain pool ([Fsa_parallel.Pool])
+    additionally runs sequentially whenever a budget is installed, so
+    budgeted solver runs keep their exact single-domain trip points. *)
 
 type reason = [ `Allocations | `Probes | `Wall_clock ]
 

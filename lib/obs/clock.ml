@@ -4,12 +4,14 @@
    clock until real time catches up, which keeps every derived duration
    nonnegative — the property the trace/series consumers rely on. *)
 
-let last = ref 0.0
+(* Domain-local high-water mark: each domain monotonicizes its own reads,
+   so concurrent domains never race on (or stall behind) a shared cell. *)
+let last = Domain.DLS.new_key (fun () -> 0.0)
 
 let now () =
   let t = Unix.gettimeofday () in
-  if t > !last then last := t;
-  !last
+  if t > Domain.DLS.get last then Domain.DLS.set last t;
+  Domain.DLS.get last
 
 let wall = Unix.gettimeofday
 

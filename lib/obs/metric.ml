@@ -1,6 +1,13 @@
-(* Handles are just names; each operation is one bool read when telemetry
-   is off, and a hashtable update on the current registry when on.  Handles
-   therefore survive registry swaps. *)
+(* Handles are just names; each operation is one domain-local read when
+   telemetry is off, and a hashtable update on the current registry when
+   on.  Handles therefore survive registry swaps.
+
+   Operations read [Registry.current] directly rather than consulting
+   [Runtime.observing] first: a registry being installed is exactly the
+   condition under which a metric must record ([Runtime.refresh] keeps
+   [observing] true whenever one is), and with both cells domain-local the
+   extra pre-check would double the DLS lookups on the instrumented hot
+   path for nothing. *)
 
 module Counter = struct
   type t = string
@@ -9,10 +16,9 @@ module Counter = struct
   let name t = t
 
   let add t by =
-    if Runtime.observing () then
-      match Runtime.registry () with
-      | Some r -> Registry.incr_counter r t by
-      | None -> ()
+    match Registry.current () with
+    | Some r -> Registry.incr_counter r t by
+    | None -> ()
 
   let incr ?(by = 1) t = add t (float_of_int by)
 end
@@ -24,10 +30,9 @@ module Gauge = struct
   let name t = t
 
   let set t v =
-    if Runtime.observing () then
-      match Runtime.registry () with
-      | Some r -> Registry.set_gauge r t v
-      | None -> ()
+    match Registry.current () with
+    | Some r -> Registry.set_gauge r t v
+    | None -> ()
 end
 
 module Histogram = struct
@@ -37,10 +42,9 @@ module Histogram = struct
   let name t = t
 
   let observe t v =
-    if Runtime.observing () then
-      match Runtime.registry () with
-      | Some r -> Registry.observe r t v
-      | None -> ()
+    match Registry.current () with
+    | Some r -> Registry.observe r t v
+    | None -> ()
 
   let observe_int t v = observe t (float_of_int v)
 end

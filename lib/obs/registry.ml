@@ -39,13 +39,17 @@ let clear t =
   Hashtbl.reset t.histograms;
   Hashtbl.reset t.spans
 
-(* The process-wide "current" registry cell lives here (rather than in
-   Runtime, which manages it) so that [reset] can clear whatever registry
-   is installed without a dependency cycle. *)
-let installed : t option ref = ref None
-let install r = installed := r
-let current () = !installed
-let reset () = match !installed with Some t -> clear t | None -> ()
+(* The ambient "current" registry cell lives here (rather than in Runtime,
+   which manages it) so that [reset] can clear whatever registry is
+   installed without a dependency cycle.  The cell is domain-local: a
+   registry installed on one domain is invisible to every other, so
+   parallel workers never write into the caller's registry concurrently —
+   Fsa_parallel.Pool installs per-worker scratch registries and merges
+   them (with {!merge_into}) after the join instead. *)
+let installed : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let install r = Domain.DLS.set installed r
+let current () = Domain.DLS.get installed
+let reset () = match current () with Some t -> clear t | None -> ()
 
 let incr_counter t name by =
   match Hashtbl.find_opt t.counters name with
@@ -87,6 +91,52 @@ let record_span t name ~elapsed_ns ~minor_words ~major_words =
           s_minor_words = minor_words;
           s_major_words = major_words;
         }
+
+(* Fold one registry into another: counters and span stats add, gauges
+   last-write-wins, histograms merge moments exactly and concatenate
+   stored values up to the cap.  Used by the domain pool to land worker
+   scratch registries into the caller's registry in slot order, on the
+   caller's domain, after the join — the merge itself is single-domain. *)
+let merge_into ~into src =
+  Hashtbl.iter (fun name cell -> incr_counter into name !cell) src.counters;
+  Hashtbl.iter (fun name cell -> set_gauge into name !cell) src.gauges;
+  Hashtbl.iter
+    (fun name (h : hist) ->
+      match Hashtbl.find_opt into.histograms name with
+      | None ->
+          Hashtbl.add into.histograms name
+            {
+              h_count = h.h_count;
+              sum = h.sum;
+              h_min = h.h_min;
+              h_max = h.h_max;
+              values = h.values;
+              stored = h.stored;
+            }
+      | Some dst ->
+          dst.h_count <- dst.h_count + h.h_count;
+          dst.sum <- dst.sum +. h.sum;
+          if h.h_min < dst.h_min then dst.h_min <- h.h_min;
+          if h.h_max > dst.h_max then dst.h_max <- h.h_max;
+          let rec take vs =
+            match vs with
+            | v :: rest when dst.stored < value_cap ->
+                dst.values <- v :: dst.values;
+                dst.stored <- dst.stored + 1;
+                take rest
+            | _ -> ()
+          in
+          take h.values)
+    src.histograms;
+  Hashtbl.iter
+    (fun name (s : span_stat) ->
+      record_span into name ~elapsed_ns:s.total_ns ~minor_words:s.s_minor_words
+        ~major_words:s.s_major_words;
+      (* record_span counts one span; fix up to the real count. *)
+      match Hashtbl.find_opt into.spans name with
+      | Some dst -> dst.s_count <- dst.s_count + s.s_count - 1
+      | None -> ())
+    src.spans
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)

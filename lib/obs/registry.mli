@@ -37,6 +37,14 @@ val observe : t -> string -> float -> unit
 val record_span :
   t -> string -> elapsed_ns:float -> minor_words:float -> major_words:float -> unit
 
+val merge_into : into:t -> t -> unit
+(** Fold [src] into [into]: counters and span totals add, gauges
+    last-write-wins, histogram moments merge exactly (stored values
+    concatenate up to the cap, so percentiles describe a sample once
+    capped).  Single-domain: the domain pool calls this on the caller's
+    domain, in slot order, to land worker scratch registries after a
+    join. *)
+
 (** {1 Snapshots} (sorted by name) *)
 
 val counters : t -> (string * float) list

@@ -1,22 +1,29 @@
-(* The global-but-swappable switchboard.  Everything is off by default:
-   instrumentation sites guard on [active] (a single bool read) and build
-   no events, so uninstrumented runs pay one branch per site. *)
+(* The ambient-but-swappable switchboard.  Everything is off by default:
+   instrumentation sites guard on [active] (a single domain-local read) and
+   build no events, so uninstrumented runs pay one branch per site.
 
-let current_sink : Sink.t option ref = ref None
+   All three cells are domain-local: a sink or registry installed on one
+   domain is invisible to every other, so a parallel worker can never write
+   into the caller's trace stream or registry concurrently.  The domain
+   pool (Fsa_parallel.Pool) gives each worker a scratch registry for the
+   duration of a batch and merges the scratches after the join; sinks stay
+   caller-only (workers emit no events). *)
+
+let current_sink : Sink.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 (* Nonzero while a sampler is attached: keeps span bookkeeping (the live
    name stack in Span) running even with no sink or registry installed. *)
-let span_users = ref 0
-let active = ref false
+let span_users = Domain.DLS.new_key (fun () -> 0)
+let active = Domain.DLS.new_key (fun () -> false)
 
 let refresh () =
-  active :=
-    Option.is_some !current_sink
+  Domain.DLS.set active
+    (Option.is_some (Domain.DLS.get current_sink)
     || Option.is_some (Registry.current ())
-    || !span_users > 0
+    || Domain.DLS.get span_users > 0)
 
 let set_sink s =
-  current_sink := s;
+  Domain.DLS.set current_sink s;
   refresh ()
 
 let set_registry r =
@@ -24,27 +31,29 @@ let set_registry r =
   refresh ()
 
 let retain_spans () =
-  incr span_users;
+  Domain.DLS.set span_users (Domain.DLS.get span_users + 1);
   refresh ()
 
 let release_spans () =
-  span_users := max 0 (!span_users - 1);
+  Domain.DLS.set span_users (max 0 (Domain.DLS.get span_users - 1));
   refresh ()
 
-let sink () = !current_sink
+let sink () = Domain.DLS.get current_sink
 let registry () = Registry.current ()
-let observing () = !active
-let tracing () = Option.is_some !current_sink
+let observing () = Domain.DLS.get active
+let tracing () = Option.is_some (Domain.DLS.get current_sink)
 
-let emit ev = match !current_sink with Some s -> s.Sink.emit ev | None -> ()
+let emit ev =
+  match Domain.DLS.get current_sink with Some s -> s.Sink.emit ev | None -> ()
 
 let with_observation ?sink:s ?registry:r f =
-  let old_sink = !current_sink and old_registry = Registry.current () in
-  current_sink := s;
+  let old_sink = Domain.DLS.get current_sink
+  and old_registry = Registry.current () in
+  Domain.DLS.set current_sink s;
   Registry.install r;
   refresh ();
   let restore () =
-    current_sink := old_sink;
+    Domain.DLS.set current_sink old_sink;
     Registry.install old_registry;
     refresh ()
   in

@@ -1,7 +1,14 @@
-(** Process-wide observation state: at most one event sink and one metric
-    registry, both [None] by default.  Instrumentation sites check
-    {!observing} (one bool read) before building any event or touching any
-    table, so disabled telemetry is effectively free. *)
+(** Ambient observation state: at most one event sink and one metric
+    registry per domain, both [None] by default.  Instrumentation sites
+    check {!observing} (one domain-local bool read) before building any
+    event or touching any table, so disabled telemetry is effectively
+    free.
+
+    The state is {e domain-local}: installing a sink or registry affects
+    only the calling domain, so parallel workers never race on the
+    caller's trace stream or counters.  [Fsa_parallel.Pool] installs
+    per-worker scratch registries during a batch and merges them into the
+    caller's registry after the join. *)
 
 val set_sink : Sink.t option -> unit
 (** Install (or remove) the event sink.  The caller keeps ownership: call

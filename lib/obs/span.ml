@@ -1,17 +1,21 @@
-let depth = ref 0
-
-(* Innermost-first names of the open spans; maintained (with [depth])
+(* Innermost-first names of the open spans plus the depth; maintained
    whenever observation is on, so the sampling profiler can snapshot the
-   live stack at checkpoint ticks without signals. *)
-let names : string list ref = ref []
+   live stack at checkpoint ticks without signals.  Domain-local: each
+   domain tracks its own open spans, so parallel workers never interleave
+   their stacks (a worker's spans record into whatever registry that
+   worker has installed — see Fsa_parallel.Pool). *)
+type state = { mutable depth : int; mutable names : string list }
+
+let state = Domain.DLS.new_key (fun () -> { depth = 0; names = [] })
 
 let with_ ~name f =
   if not (Runtime.observing ()) then f ()
   else begin
-    let d = !depth in
+    let st = Domain.DLS.get state in
+    let d = st.depth in
     if Runtime.tracing () then Runtime.emit (Event.Span_begin { name; depth = d });
-    incr depth;
-    names := name :: !names;
+    st.depth <- d + 1;
+    st.names <- name :: st.names;
     (* On OCaml 5.1 [Gc.quick_stat] reports minor_words only as of the last
        minor collection; [Gc.minor_words ()] reads the live allocation
        pointer. *)
@@ -22,8 +26,8 @@ let with_ ~name f =
       let t1 = Clock.now () in
       let g1 = Gc.quick_stat () in
       let m1 = Gc.minor_words () in
-      decr depth;
-      (match !names with _ :: tl -> names := tl | [] -> ());
+      st.depth <- st.depth - 1;
+      (match st.names with _ :: tl -> st.names <- tl | [] -> ());
       let elapsed_ns = (t1 -. t0) *. 1e9 in
       let minor_words = m1 -. m0 in
       let major_words = g1.Gc.major_words -. g0.Gc.major_words in
@@ -46,5 +50,5 @@ let with_ ~name f =
 let phase name =
   if Runtime.tracing () then Runtime.emit (Event.Phase { name })
 
-let current_depth () = !depth
-let stack () = !names
+let current_depth () = (Domain.DLS.get state).depth
+let stack () = (Domain.DLS.get state).names

@@ -1,0 +1,218 @@
+(* A reusable domain pool with a deterministic fan-out/merge combinator.
+
+   Work items are chunked by index: with [d] slots over [n] items, slot
+   [s] owns the contiguous range [s*n/d, (s+1)*n/d).  Slot assignment is
+   static — slot 0 runs on the calling domain, slot [s > 0] on worker
+   [s - 1] — so which domain computes which items never depends on
+   scheduling, and the caller merges slot results in index order.  Outputs
+   are therefore bit-identical to the sequential run by construction:
+   the sequential run is just the [d = 1] instance of the same code path.
+
+   Observability: if the caller has a registry installed, each worker gets
+   a fresh scratch registry for the duration of the batch; after the join
+   the scratches are merged into the caller's registry in slot order (on
+   the caller's domain — the merge itself never races).  Workers never get
+   a sink, so trace events only ever come from the calling domain.
+
+   Budgets: the pool refuses to fan out while an ambient Budget is
+   installed and runs the whole range inline instead.  Budgets are
+   domain-local, so a fanned-out run would silently stop enforcing them;
+   running inline keeps every budgeted entry point's trip points exactly
+   as they were single-domain.
+
+   Nesting: a fan-out inside a chunk (on any domain) runs inline.  One
+   level of parallelism keeps the merge order — and the worker count —
+   trivially deterministic, and the inner kernels (e.g. the all-windows
+   column kernel) stay parallel for top-level callers. *)
+
+let max_domains = 512
+
+let parse_domains raw =
+  match int_of_string_opt (String.trim raw) with
+  | Some n when n >= 1 && n <= max_domains -> Ok n
+  | Some n -> Error (Printf.sprintf "domain count %d out of range [1, %d]" n max_domains)
+  | None -> Error (Printf.sprintf "not an integer: %S" raw)
+
+(* Malformed knobs are rejected loudly (same policy as FSA_TABLE_BUDGET and
+   Budget.create): a typo'd FSA_DOMAINS must not silently serialize a run
+   that was meant to be parallel. *)
+let default_domains =
+  match Sys.getenv_opt "FSA_DOMAINS" with
+  | None -> 1
+  | Some raw -> (
+      match parse_domains raw with
+      | Ok n -> n
+      | Error msg ->
+          Printf.eprintf "fsa: warning: ignoring FSA_DOMAINS (%s); using 1\n%!" msg;
+          1)
+
+let requested = Atomic.make default_domains
+
+let set_domains n =
+  if n < 1 || n > max_domains then
+    invalid_arg
+      (Printf.sprintf "Pool.set_domains: domain count %d out of range [1, %d]" n
+         max_domains);
+  Atomic.set requested n
+
+let domains () = Atomic.get requested
+
+let with_domains n f =
+  let old = domains () in
+  set_domains n;
+  Fun.protect ~finally:(fun () -> Atomic.set requested old) f
+
+(* ------------------------------------------------------------------ *)
+(* Worker domains *)
+
+(* One shared FIFO of batch jobs.  Workers live for the whole process (they
+   are parked in [Condition.wait] between batches) and are joined by an
+   at_exit hook so the runtime shuts down cleanly. *)
+let lock = Mutex.create ()
+let work_available = Condition.create ()
+let queue : (unit -> unit) Queue.t = Queue.create ()
+let shutdown = ref false (* under [lock] *)
+let workers : unit Domain.t list ref = ref [] (* caller-domain only *)
+let worker_count = ref 0
+
+(* True on worker domains always, and on the calling domain for the extent
+   of its slot-0 chunk: both mean "already inside a batch, run inline". *)
+let inside = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop () =
+  Domain.DLS.set inside true;
+  let next () =
+    Mutex.lock lock;
+    let rec wait () =
+      if !shutdown then begin
+        Mutex.unlock lock;
+        None
+      end
+      else
+        match Queue.take_opt queue with
+        | Some job ->
+            Mutex.unlock lock;
+            Some job
+        | None ->
+            Condition.wait work_available lock;
+            wait ()
+    in
+    wait ()
+  in
+  let rec go () =
+    match next () with
+    | None -> ()
+    | Some job ->
+        (* Jobs are wrapped by [fan_out] and never raise. *)
+        job ();
+        go ()
+  in
+  go ()
+
+let stop () =
+  Mutex.lock lock;
+  shutdown := true;
+  Condition.broadcast work_available;
+  Mutex.unlock lock;
+  List.iter Domain.join !workers;
+  workers := [];
+  worker_count := 0;
+  Mutex.lock lock;
+  shutdown := false;
+  Mutex.unlock lock
+
+let exit_hook_registered = ref false
+
+let ensure_workers n =
+  if not !exit_hook_registered then begin
+    exit_hook_registered := true;
+    at_exit stop
+  end;
+  while !worker_count < n do
+    workers := Domain.spawn worker_loop :: !workers;
+    incr worker_count
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fan-out / merge *)
+
+let chunk_bounds ~n ~slots s = (s * n / slots, (s + 1) * n / slots)
+
+let sequential ~n ~chunk = [| chunk ~slot:0 ~lo:0 ~hi:n |]
+
+let fan_out ~n ~chunk =
+  if n <= 0 then [||]
+  else
+    let d = min (domains ()) n in
+    if d <= 1 || Domain.DLS.get inside || Fsa_obs.Budget.installed () then
+      sequential ~n ~chunk
+    else begin
+      ensure_workers (d - 1);
+      let results = Array.make d None in
+      let errors = Array.make d None in
+      let caller_registry = Fsa_obs.Runtime.registry () in
+      let scratches =
+        match caller_registry with
+        | Some _ -> Array.init (d - 1) (fun _ -> Fsa_obs.Registry.create ())
+        | None -> [||]
+      in
+      let batch_lock = Mutex.create () in
+      let batch_done = Condition.create () in
+      let pending = ref (d - 1) in
+      let run_slot s =
+        let lo, hi = chunk_bounds ~n ~slots:d s in
+        try results.(s) <- Some (chunk ~slot:s ~lo ~hi)
+        with e -> errors.(s) <- Some (e, Printexc.get_raw_backtrace ())
+      in
+      let worker_job s () =
+        if Array.length scratches > 0 then
+          Fsa_obs.Runtime.set_registry (Some scratches.(s - 1));
+        run_slot s;
+        if Array.length scratches > 0 then Fsa_obs.Runtime.set_registry None;
+        Mutex.lock batch_lock;
+        decr pending;
+        if !pending = 0 then Condition.signal batch_done;
+        Mutex.unlock batch_lock
+      in
+      Mutex.lock lock;
+      for s = 1 to d - 1 do
+        Queue.add (worker_job s) queue
+      done;
+      Condition.broadcast work_available;
+      Mutex.unlock lock;
+      (* The caller runs slot 0 itself, with nested fan-outs inlined. *)
+      Domain.DLS.set inside true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set inside false)
+        (fun () -> run_slot 0);
+      Mutex.lock batch_lock;
+      while !pending > 0 do
+        Condition.wait batch_done batch_lock
+      done;
+      Mutex.unlock batch_lock;
+      (* Land worker telemetry in slot order; merging on this domain means
+         the caller's registry is never touched concurrently. *)
+      (match caller_registry with
+      | Some r -> Array.iter (fun s -> Fsa_obs.Registry.merge_into ~into:r s) scratches
+      | None -> ());
+      (* Deterministic error propagation: the lowest slot's exception wins,
+         mirroring which exception a sequential run would have raised
+         first. *)
+      Array.iteri
+        (fun _ e ->
+          match e with
+          | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+          | None -> ())
+        errors;
+      Array.map
+        (function Some v -> v | None -> assert false (* no result, no error *))
+        results
+    end
+
+let prepend_chunks ~n f =
+  (* Sequential prepend-accumulation over 0..n-1 yields the items in
+     reverse iteration order; each chunk reproduces that locally, so
+     concatenating the slot lists in *reverse* slot order rebuilds the
+     exact sequential list. *)
+  let slots = fan_out ~n ~chunk:(fun ~slot:_ ~lo ~hi -> f ~lo ~hi) in
+  Array.fold_left (fun acc l -> l @ acc) [] slots

@@ -14,6 +14,7 @@ type ('k, 'v) node = {
 }
 
 type ('k, 'v) t = {
+  owner : int; (* Domain.id of the creating domain *)
   table : ('k, ('k, 'v) node) Hashtbl.t;
   weight_of : 'v -> int;
   on_evict : 'k -> 'v -> unit;
@@ -24,9 +25,31 @@ type ('k, 'v) t = {
   mutable evictions : int;
 }
 
+exception Cross_domain_use of { owner : int; caller : int }
+
+let () =
+  Printexc.register_printer (function
+    | Cross_domain_use { owner; caller } ->
+        Some
+          (Printf.sprintf
+             "Lru.Cross_domain_use: cache owned by domain %d touched from \
+              domain %d (caches are domain-local; see DESIGN.md §14)"
+             owner caller)
+    | _ -> None)
+
+(* Even a promoting [find] rewires the intrusive recency list, so there is
+   no read-only entry point: any cross-domain touch can corrupt the list or
+   the Hashtbl.  Detect-and-fail on every operation rather than silently
+   corrupting — the check is one domain-register read and one int compare,
+   invisible next to the Hashtbl probe it guards. *)
+let check_owner t =
+  let caller = (Domain.self () :> int) in
+  if caller <> t.owner then raise (Cross_domain_use { owner = t.owner; caller })
+
 let create ?(budget = max_int) ?(on_evict = fun _ _ -> ()) ~weight () =
   if budget < 0 then invalid_arg "Lru.create: negative budget";
   {
+    owner = (Domain.self () :> int);
     table = Hashtbl.create 64;
     weight_of = weight;
     on_evict;
@@ -55,6 +78,7 @@ let push_front t n =
   t.head <- Some n
 
 let find t key =
+  check_owner t;
   match Hashtbl.find_opt t.table key with
   | None -> None
   | Some n ->
@@ -62,7 +86,9 @@ let find t key =
       push_front t n;
       Some n.value
 
-let mem t key = Hashtbl.mem t.table key
+let mem t key =
+  check_owner t;
+  Hashtbl.mem t.table key
 
 let drop_node ?(evicted = false) t n =
   Hashtbl.remove t.table n.key;
@@ -74,6 +100,7 @@ let drop_node ?(evicted = false) t n =
   end
 
 let remove t key =
+  check_owner t;
   match Hashtbl.find_opt t.table key with
   | None -> ()
   | Some n -> drop_node t n
@@ -91,6 +118,7 @@ let trim ?keep t =
   done
 
 let add t key value =
+  check_owner t;
   remove t key;
   let n = { key; value; weight = t.weight_of value; prev = None; next = None } in
   Hashtbl.add t.table key n;
@@ -99,23 +127,27 @@ let add t key value =
   trim ~keep:n t
 
 let set_budget t budget =
+  check_owner t;
   if budget < 0 then invalid_arg "Lru.set_budget: negative budget";
   t.budget <- budget;
   trim t
 
 let filter_out t pred =
+  check_owner t;
   let doomed =
     Hashtbl.fold (fun k n acc -> if pred k then n :: acc else acc) t.table []
   in
   List.iter (fun n -> drop_node t n) doomed
 
 let clear t =
+  check_owner t;
   Hashtbl.reset t.table;
   t.total <- 0;
   t.head <- None;
   t.tail <- None
 
 let fold f t init =
+  check_owner t;
   let rec go acc = function
     | None -> acc
     | Some n -> go (f n.key n.value acc) n.next

@@ -8,9 +8,18 @@
     is never evicted by its own insertion (an oversized entry is kept until
     the next insertion displaces it).
 
-    Not thread-safe; callers serialize access like any Hashtbl. *)
+    Not thread-safe, and deliberately not shareable across domains: every
+    cache is owned by the domain that created it, and {e any} operation
+    from another domain — including [find], which rewires the intrusive
+    recency list — raises {!Cross_domain_use} instead of silently
+    corrupting the structure.  Domain-parallel callers keep one cache per
+    domain (e.g. in [Domain.DLS]) rather than sharing one. *)
 
 type ('k, 'v) t
+
+exception Cross_domain_use of { owner : int; caller : int }
+(** Raised by every operation invoked from a domain other than the cache's
+    creator.  [owner]/[caller] are [Domain.id]s. *)
 
 val create :
   ?budget:int ->

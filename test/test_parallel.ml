@@ -1,0 +1,395 @@
+(* Domain pool and domain-safety tests: the fan-out/merge contract
+   (chunk coverage, slot order, exception propagation, inline fallbacks),
+   the cross-domain determinism suite (every CSR solver bit-identical at
+   FSA_DOMAINS ∈ {1, 2, 4}), the pinned fuzz corpus under parallelism,
+   and the regression tests for the shared-mutable-state bug class:
+   budget isolation, Lru owner checks, knob validation, registry merge. *)
+
+open Fsa_csr
+module Pool = Fsa_parallel.Pool
+module Budget = Fsa_obs.Budget
+module Registry = Fsa_obs.Registry
+module Lru = Fsa_util.Lru
+module Rng = Fsa_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_float = Alcotest.(check (float 1e-12))
+
+(* ------------------------------------------------------------------ *)
+(* Pool basics                                                          *)
+
+let test_parse_domains () =
+  check_bool "ok" true (Pool.parse_domains "4" = Ok 4);
+  check_bool "trimmed" true (Pool.parse_domains " 2 " = Ok 2);
+  check_bool "zero rejected" true (Result.is_error (Pool.parse_domains "0"));
+  check_bool "negative rejected" true (Result.is_error (Pool.parse_domains "-3"));
+  check_bool "huge rejected" true (Result.is_error (Pool.parse_domains "100000"));
+  check_bool "garbage rejected" true (Result.is_error (Pool.parse_domains "four"));
+  check_bool "empty rejected" true (Result.is_error (Pool.parse_domains ""))
+
+let test_set_domains_validation () =
+  let rejects n =
+    match Pool.set_domains n with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "0 rejected" true (rejects 0);
+  check_bool "-1 rejected" true (rejects (-1));
+  check_bool "513 rejected" true (rejects 513);
+  let before = Pool.domains () in
+  (try Pool.set_domains 0 with Invalid_argument _ -> ());
+  check_int "rejected set leaves the knob alone" before (Pool.domains ())
+
+let test_with_domains_restores () =
+  let before = Pool.domains () in
+  Pool.with_domains 3 (fun () -> check_int "inside" 3 (Pool.domains ()));
+  check_int "restored" before (Pool.domains ());
+  (try Pool.with_domains 2 (fun () -> failwith "boom") with Failure _ -> ());
+  check_int "restored on exception" before (Pool.domains ())
+
+let test_fan_out_coverage () =
+  List.iter
+    (fun d ->
+      Pool.with_domains d (fun () ->
+          List.iter
+            (fun n ->
+              let slots =
+                Pool.fan_out ~n ~chunk:(fun ~slot ~lo ~hi -> (slot, lo, hi))
+              in
+              check_bool
+                (Printf.sprintf "d=%d n=%d: at most d slots" d n)
+                true
+                (Array.length slots <= max 1 d);
+              (* Slots in index order, contiguous, covering exactly [0, n). *)
+              let expected_next = ref 0 in
+              Array.iteri
+                (fun i (slot, lo, hi) ->
+                  check_int "slot order" i slot;
+                  check_int "contiguous" !expected_next lo;
+                  check_bool "nonempty-or-empty range" true (lo <= hi);
+                  expected_next := hi)
+                slots;
+              check_int (Printf.sprintf "d=%d n=%d: covers [0,n)" d n) n
+                !expected_next)
+            [ 1; 2; 3; 7; 64 ]))
+    [ 1; 2; 4 ]
+
+let test_fan_out_empty () =
+  Pool.with_domains 4 (fun () ->
+      check_int "n=0 yields no slots" 0
+        (Array.length (Pool.fan_out ~n:0 ~chunk:(fun ~slot ~lo:_ ~hi:_ -> slot))))
+
+let prepend_reference n =
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    acc := i :: !acc
+  done;
+  !acc
+
+let test_prepend_chunks_deterministic () =
+  List.iter
+    (fun n ->
+      let reference = prepend_reference n in
+      List.iter
+        (fun d ->
+          Pool.with_domains d (fun () ->
+              let got =
+                Pool.prepend_chunks ~n (fun ~lo ~hi ->
+                    let acc = ref [] in
+                    for i = lo to hi - 1 do
+                      acc := i :: !acc
+                    done;
+                    !acc)
+              in
+              check_bool
+                (Printf.sprintf "n=%d d=%d: sequential prepend order" n d)
+                true (got = reference)))
+        [ 1; 2; 4 ])
+    [ 0; 1; 5; 37; 128 ]
+
+let test_exception_lowest_slot_wins () =
+  Pool.with_domains 4 (fun () ->
+      match
+        Pool.fan_out ~n:8 ~chunk:(fun ~slot ~lo:_ ~hi:_ ->
+            if slot >= 1 then failwith (string_of_int slot))
+      with
+      | _ -> Alcotest.fail "expected a Failure"
+      | exception Failure s -> check_string "slot 1 wins" "1" s)
+
+let test_nested_fan_out_inlines () =
+  Pool.with_domains 4 (fun () ->
+      let inner_slot_counts =
+        Pool.fan_out ~n:4 ~chunk:(fun ~slot:_ ~lo:_ ~hi:_ ->
+            Array.length (Pool.fan_out ~n:8 ~chunk:(fun ~slot ~lo:_ ~hi:_ -> slot)))
+      in
+      Array.iter (fun c -> check_int "inner runs as one chunk" 1 c)
+        inner_slot_counts)
+
+let test_budget_forces_sequential () =
+  Pool.with_domains 4 (fun () ->
+      let b = Budget.create () in
+      Budget.with_budget b (fun () ->
+          check_int "one chunk under a budget" 1
+            (Array.length (Pool.fan_out ~n:8 ~chunk:(fun ~slot ~lo:_ ~hi:_ -> slot)))))
+
+(* ------------------------------------------------------------------ *)
+(* Budget isolation across domains (regression: Budget.current was a
+   process-global ref, so a worker's checkpoints drained — and raced on —
+   the caller's budget).                                                *)
+
+let test_budget_not_visible_across_domains () =
+  let b = Budget.create ~probes:5 () in
+  let outcome =
+    Budget.run b
+      ~partial:(fun () -> `Partial)
+      (fun () ->
+        let d =
+          Domain.spawn (fun () ->
+              (* If the budget leaked here, 100 checks would trip it. *)
+              for _ = 1 to 100 do
+                Budget.check ()
+              done;
+              Budget.installed ())
+        in
+        let installed_in_worker = Domain.join d in
+        check_bool "no ambient budget in the other domain" false
+          installed_in_worker;
+        Budget.check ();
+        `Completed)
+  in
+  check_bool "100 foreign checks did not trip a 5-probe budget" true
+    (outcome = Ok `Completed);
+  check_int "only the owner's probe counted" 1 (Budget.probes b)
+
+let test_budget_trip_stays_in_its_domain () =
+  let d =
+    Domain.spawn (fun () ->
+        let b = Budget.create ~probes:0 () in
+        match
+          Budget.run b ~partial:(fun () -> ()) (fun () -> Budget.check ())
+        with
+        | Error (`Budget_exceeded ((), `Probes)) -> true
+        | Ok () | Error _ -> false)
+  in
+  check_bool "budget tripped in its own domain" true (Domain.join d);
+  (* This domain has no budget: the checkpoint must be a no-op. *)
+  Budget.check ();
+  check_bool "no leak back" false (Budget.installed ())
+
+(* ------------------------------------------------------------------ *)
+(* Lru owner-domain check                                               *)
+
+let test_lru_cross_domain_use () =
+  let t : (int, int) Lru.t = Lru.create ~budget:10 ~weight:(fun _ -> 1) () in
+  Lru.add t 1 10;
+  check_bool "owner can use it" true (Lru.find t 1 = Some 10);
+  let d =
+    Domain.spawn (fun () ->
+        match Lru.find t 1 with
+        | _ -> `No_exception
+        | exception Lru.Cross_domain_use _ -> `Raised)
+  in
+  check_bool "foreign domain gets Cross_domain_use" true (Domain.join d = `Raised);
+  let d2 =
+    Domain.spawn (fun () ->
+        match Lru.add t 2 20 with
+        | () -> `No_exception
+        | exception Lru.Cross_domain_use { owner; caller } ->
+            if owner <> caller then `Raised else `Bad_ids)
+  in
+  check_bool "foreign add fails too" true (Domain.join d2 = `Raised);
+  (* A cache created inside a domain works there. *)
+  let d3 =
+    Domain.spawn (fun () ->
+        let t : (int, int) Lru.t =
+          Lru.create ~budget:10 ~weight:(fun _ -> 1) ()
+        in
+        Lru.add t 1 1;
+        Lru.find t 1 = Some 1)
+  in
+  check_bool "domain-local cache fine" true (Domain.join d3)
+
+(* ------------------------------------------------------------------ *)
+(* Knob validation (regression: malformed FSA_TABLE_BUDGET was silently
+   swallowed).                                                          *)
+
+let test_parse_table_budget () =
+  check_bool "ok" true (Cmatch.parse_table_budget "1000" = Ok 1000);
+  check_bool "zero ok" true (Cmatch.parse_table_budget "0" = Ok 0);
+  check_bool "trimmed" true (Cmatch.parse_table_budget " 42 " = Ok 42);
+  check_bool "negative rejected" true
+    (Result.is_error (Cmatch.parse_table_budget "-1"));
+  check_bool "garbage rejected" true
+    (Result.is_error (Cmatch.parse_table_budget "16M"));
+  check_bool "empty rejected" true
+    (Result.is_error (Cmatch.parse_table_budget ""));
+  match Cmatch.set_table_budget (-5) with
+  | () -> Alcotest.fail "negative set_table_budget accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Registry merge (the pool's counter-landing path)                     *)
+
+let test_registry_merge () =
+  let a = Registry.create () and b = Registry.create () in
+  Registry.incr_counter a "c" 2.0;
+  Registry.incr_counter b "c" 3.0;
+  Registry.incr_counter b "only_b" 1.0;
+  Registry.set_gauge b "g" 7.0;
+  Registry.merge_into ~into:a b;
+  check_float "counters add" 5.0
+    (Option.value ~default:Float.nan (Registry.counter_value a "c"));
+  check_float "missing counters appear" 1.0
+    (Option.value ~default:Float.nan (Registry.counter_value a "only_b"));
+  check_float "gauges carry over" 7.0
+    (Option.value ~default:Float.nan (Registry.gauge_value a "g"))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain determinism: every solver's output is byte-identical at
+   1, 2, and 4 domains.                                                 *)
+
+let planted_instance () =
+  let rng = Rng.create 7 in
+  Instance.random_planted rng ~regions:28 ~h_fragments:6 ~m_fragments:6
+    ~inversion_rate:0.2 ~noise_pairs:14
+
+let sparse_instance () =
+  let rng = Rng.create 16 in
+  Instance.random_sparse rng ~regions:40 ~h_fragments:10 ~m_fragments:10
+    ~inversion_rate:0.2 ~noise_pairs:20 ~noise_span:2
+
+let fingerprint sol =
+  Printf.sprintf "%.17g\n%s" (Solution.score sol) (Solution.to_text sol)
+
+let solvers =
+  [
+    ("one_csr.four_approx", fun inst -> One_csr.four_approx inst);
+    ( "one_csr.exact_isp",
+      fun inst -> One_csr.four_approx ~algorithm:One_csr.Exact_isp inst );
+    ("greedy", fun inst -> Greedy.solve inst);
+    ("full_improve", fun inst -> fst (Full_improve.solve inst));
+    ("csr_improve", fun inst -> fst (Csr_improve.solve inst));
+  ]
+
+let test_solver_determinism () =
+  List.iter
+    (fun (inst_name, inst) ->
+      List.iter
+        (fun (solver_name, solve) ->
+          let at d = Pool.with_domains d (fun () -> fingerprint (solve inst)) in
+          let s1 = at 1 in
+          check_string
+            (Printf.sprintf "%s on %s: 2 domains == 1" solver_name inst_name)
+            s1 (at 2);
+          check_string
+            (Printf.sprintf "%s on %s: 4 domains == 1" solver_name inst_name)
+            s1 (at 4))
+        solvers)
+    [ ("planted", planted_instance ()); ("sparse", sparse_instance ()) ]
+
+let test_improve_stats_determinism () =
+  let inst = planted_instance () in
+  let at d =
+    Pool.with_domains d (fun () ->
+        let sol, (stats : Improve.stats) = Full_improve.solve inst in
+        (fingerprint sol, stats.rounds, stats.improvements, stats.evaluated))
+  in
+  let r1 = at 1 in
+  check_bool "stats identical at 2 domains" true (at 2 = r1);
+  check_bool "stats identical at 4 domains" true (at 4 = r1)
+
+let test_region_align_kernel_determinism () =
+  (* A word pair big enough to cross the all-windows parallel threshold. *)
+  let rng = Rng.create 3 in
+  let inst =
+    Instance.random_planted rng ~regions:96 ~h_fragments:2 ~m_fragments:2
+      ~inversion_rate:0.3 ~noise_pairs:300
+  in
+  let probe () =
+    Cmatch.clear_cache ();
+    let tbl = Cmatch.full_table inst ~full_side:Species.H 0 ~other_frag:0 in
+    let len =
+      Fsa_seq.Fragment.length (Instance.fragment inst Species.M 0)
+    in
+    let buf = Buffer.create 4096 in
+    for lo = 0 to len - 1 do
+      for hi = lo to len - 1 do
+        let ms, rev = Cmatch.table_ms tbl ~lo ~hi in
+        Buffer.add_string buf (Printf.sprintf "%d %d %.17g %b\n" lo hi ms rev)
+      done
+    done;
+    Buffer.contents buf
+  in
+  let at d = Pool.with_domains d probe in
+  let s1 = at 1 in
+  check_bool "kernel identical at 2 domains" true (s1 = at 2);
+  check_bool "kernel identical at 4 domains" true (s1 = at 4)
+
+(* The pinned fuzz corpus, replayed with the pool active: every oracle
+   property must still hold, and the runs must examine the same number of
+   instances as the sequential replay in test_check.  *)
+let test_corpus_parallel () =
+  Pool.with_domains 2 (fun () ->
+      List.iter
+        (fun (seed, count) ->
+          let o = Fsa_check.Fuzz.run ~seed ~count () in
+          check_int
+            (Printf.sprintf "seed %d examined all" seed)
+            count o.Fsa_check.Fuzz.instances;
+          match o.Fsa_check.Fuzz.counterexamples with
+          | [] -> ()
+          | c :: _ ->
+              Alcotest.failf "seed %d: %s on instance %d:\n%s" seed
+                c.Fsa_check.Fuzz.property c.Fsa_check.Fuzz.index
+                c.Fsa_check.Fuzz.detail)
+        Fsa_check.Fuzz.corpus)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parse_domains" `Quick test_parse_domains;
+          Alcotest.test_case "set_domains validation" `Quick
+            test_set_domains_validation;
+          Alcotest.test_case "with_domains restores" `Quick
+            test_with_domains_restores;
+          Alcotest.test_case "fan_out coverage" `Quick test_fan_out_coverage;
+          Alcotest.test_case "fan_out empty" `Quick test_fan_out_empty;
+          Alcotest.test_case "prepend_chunks order" `Quick
+            test_prepend_chunks_deterministic;
+          Alcotest.test_case "lowest-slot exception wins" `Quick
+            test_exception_lowest_slot_wins;
+          Alcotest.test_case "nested fan-out inlines" `Quick
+            test_nested_fan_out_inlines;
+          Alcotest.test_case "budget forces sequential" `Quick
+            test_budget_forces_sequential;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "budget invisible across domains" `Quick
+            test_budget_not_visible_across_domains;
+          Alcotest.test_case "budget trips stay local" `Quick
+            test_budget_trip_stays_in_its_domain;
+          Alcotest.test_case "Lru cross-domain use fails" `Quick
+            test_lru_cross_domain_use;
+        ] );
+      ( "knobs",
+        [
+          Alcotest.test_case "parse_table_budget" `Quick test_parse_table_budget;
+          Alcotest.test_case "registry merge" `Quick test_registry_merge;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "solvers at 1/2/4 domains" `Slow
+            test_solver_determinism;
+          Alcotest.test_case "improve stats" `Slow
+            test_improve_stats_determinism;
+          Alcotest.test_case "all-windows kernel" `Slow
+            test_region_align_kernel_determinism;
+          Alcotest.test_case "pinned corpus with pool" `Slow
+            test_corpus_parallel;
+        ] );
+    ]

@@ -609,6 +609,47 @@ let test_benchgate_deadline_ceiling () =
   Sys.remove cand;
   check_int "new bench with a blown deadline fails" 1 code
 
+let test_benchgate_domain_tier_speedup () =
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  (* A tier whose 4d row is no faster than 1d: reported, but the gate is
+     opt-in, so the default run passes. *)
+  let flat =
+    bench_doc
+      [ ("sparse (128r 32f) (1d)", 1e6); ("sparse (128r 32f) (2d)", 1e6);
+        ("sparse (128r 32f) (4d)", 1e6) ]
+  in
+  let base = Filename.temp_file "bench_base" ".json" in
+  let cand = Filename.temp_file "bench_cand" ".json" in
+  write_file base flat;
+  write_file cand flat;
+  let args =
+    Printf.sprintf "--baseline %s --candidate %s" (Filename.quote base)
+      (Filename.quote cand)
+  in
+  let code, out = run_benchgate args in
+  check_int "flat tier passes without --min-speedup" 0 code;
+  check_bool "speedups are reported" true (contains "speedup: " out);
+  let code, out = run_benchgate (args ^ " --min-speedup 1.8") in
+  check_int "flat tier fails the 1.8x floor" 1 code;
+  check_bool "names the floor" true (contains "BELOW FLOOR" out);
+  (* Only the highest tier is gated: 2d may be below the floor as long as
+     4d reaches it. *)
+  let scaling =
+    bench_doc
+      [ ("sparse (128r 32f) (1d)", 4e6); ("sparse (128r 32f) (2d)", 2.5e6);
+        ("sparse (128r 32f) (4d)", 2e6) ]
+  in
+  write_file base scaling;
+  write_file cand scaling;
+  let code, _ = run_benchgate (args ^ " --min-speedup 1.8") in
+  check_int "2.0x at 4d passes the 1.8x floor" 0 code;
+  Sys.remove base;
+  Sys.remove cand
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -668,5 +709,7 @@ let () =
             test_benchgate_noisy_bench_gets_slack;
           Alcotest.test_case "deadline ceiling on @Nms benches" `Quick
             test_benchgate_deadline_ceiling;
+          Alcotest.test_case "domain-tier speedup on (Nd) benches" `Quick
+            test_benchgate_domain_tier_speedup;
         ] );
     ]

@@ -21,7 +21,7 @@
    regression gate: it times a fixed solver workload with observability
    fully off and fully on (null sink + registry + sampling profiler +
    unlimited budget checkpoints) and fails if the median slowdown exceeds
-   --obs-allowed (default 0.25).
+   --obs-allowed (default 0.30).
 
    Exit codes: 0 ok, 1 regression, 2 usage/IO error. *)
 
@@ -136,6 +136,67 @@ let blown_deadline b =
   | Some ceiling when b.ns > ceiling -> Some ceiling
   | _ -> None
 
+(* Domain-tier speedup: a bench named "... (Nd)" is the same workload run
+   with the domain pool at N domains; outputs are bit-identical across the
+   tier, only the wall clock may differ.  Rows are grouped by base name and
+   each N>1 row is reported as a speedup over its "(1d)" sibling.  The
+   gate is opt-in (--min-speedup): single-core runners legitimately show
+   ~1x (the >1 rows measure pool overhead there), so an unconditional
+   floor would make the gate machine-dependent. *)
+let domain_tier name =
+  let n = String.length name in
+  if n >= 4 && name.[n - 1] = ')' && name.[n - 2] = 'd' then
+    match String.rindex_opt name '(' with
+    | Some i when i >= 2 && name.[i - 1] = ' ' && i + 1 < n - 2 -> (
+        match int_of_string_opt (String.sub name (i + 1) (n - 2 - (i + 1))) with
+        | Some d when d >= 1 -> Some (String.sub name 0 (i - 1), d)
+        | _ -> None)
+    | _ -> None
+  else None
+
+(* Returns the number of tier groups whose highest domain count misses
+   [min_speedup] (always 0 when the gate is off). *)
+let report_speedups ~min_speedup benches =
+  let tiers =
+    List.filter_map
+      (fun b -> Option.map (fun (base, d) -> (base, d, b)) (domain_tier b.b_name))
+      benches
+  in
+  let bases = List.sort_uniq compare (List.map (fun (b, _, _) -> b) tiers) in
+  let failures = ref 0 in
+  List.iter
+    (fun base ->
+      match
+        List.find_opt (fun (b, d, _) -> b = base && d = 1) tiers
+      with
+      | None -> ()
+      | Some (_, _, one) ->
+          let others =
+            List.sort compare
+              (List.filter_map
+                 (fun (b, d, bench) ->
+                   if b = base && d > 1 then Some (d, bench) else None)
+                 tiers)
+          in
+          if others <> [] then begin
+            let top_d = List.fold_left (fun acc (d, _) -> max acc d) 1 others in
+            List.iter
+              (fun (d, bench) ->
+                let speedup = one.ns /. bench.ns in
+                let gated = min_speedup > 0.0 && d = top_d in
+                let failed = gated && speedup < min_speedup in
+                if failed then incr failures;
+                Printf.printf "speedup: %s: %.2fx at %dd%s\n" base speedup d
+                  (if failed then
+                     Printf.sprintf "  BELOW FLOOR (< %.2fx)" min_speedup
+                   else if gated then
+                     Printf.sprintf "  (floor %.2fx: ok)" min_speedup
+                   else ""))
+              others
+          end)
+    bases;
+  !failures
+
 type verdict = Ok_v | Improved | Regressed
 
 let judge ~threshold base cand =
@@ -246,10 +307,19 @@ let () =
   let baseline = ref "BENCH_solvers.json" in
   let candidate = ref None in
   let quick = ref false in
+  (* 0.30 rather than the regression gate's 0.25: the fully-instrumented
+     side pays the domain-safety constant (budget/hook state and the
+     registry live in Domain.DLS, one domain-local lookup per checkpoint
+     and per counter write instead of a plain global read), measured at
+     ~+20% median on the reference workload.  The guard's job is to catch
+     accidental blowups — an O(n) hook list, an alloc on the checkpoint
+     path — not to freeze that constant; 2x still fails by a wide margin. *)
+  let default_obs_allowed = 0.30 in
   let threshold = ref 0.25 in
   let bench_exe = ref None in
   let obs = ref false in
-  let obs_allowed = ref 0.25 in
+  let obs_allowed = ref default_obs_allowed in
+  let min_speedup = ref 0.0 in
   let spec =
     [
       ("--baseline", Arg.Set_string baseline, "FILE baseline fsa-bench/1 document (default BENCH_solvers.json)");
@@ -258,7 +328,8 @@ let () =
       ("--threshold", Arg.Set_float threshold, "REL base tolerance before noise widening (default 0.25)");
       ("--bench-exe", Arg.String (fun f -> bench_exe := Some f), "PATH bench executable (default: sibling bench/main.exe)");
       ("--obs-overhead", Arg.Set obs, " run the observability overhead guard instead of the regression gate");
-      ("--obs-allowed", Arg.Set_float obs_allowed, "REL allowed obs-on median slowdown (default 0.25)");
+      ("--obs-allowed", Arg.Set_float obs_allowed, "REL allowed obs-on median slowdown (default 0.30)");
+      ("--min-speedup", Arg.Set_float min_speedup, "R require each (Nd) tier group's highest domain count to reach R x over its (1d) sibling (default: off; needs a multi-core runner)");
     ]
   in
   Arg.parse spec
@@ -337,6 +408,14 @@ let () =
     cand_doc.benches;
   Fsa_util.Tablefmt.print t;
   print_newline ();
+  let speedup_failures =
+    report_speedups ~min_speedup:!min_speedup cand_doc.benches
+  in
+  if speedup_failures > 0 then begin
+    Printf.printf "FAIL: %d domain tier(s) below the --min-speedup floor\n"
+      speedup_failures;
+    exit 1
+  end;
   if !missing > 0 then
     Printf.printf "warning: %d baseline bench(es) missing from the candidate\n"
       !missing;

@@ -285,10 +285,15 @@ let run ~quick ~sampler () =
           let grouped = Test.make_grouped ~name:"fsa" ~fmt:"%s %s" [ test ] in
           let r = Benchmark.all cfg instances grouped in
           let counters = Fsa_obs.Registry.counters registry in
+          (* Gauges ride along in the per-bench counter map (pool.skew —
+             the busiest/idlest slot ratio — lands in the (Nd) tiers), but
+             stay out of [totals]: summing a ratio across benches is
+             meaningless. *)
+          let recorded = counters @ Fsa_obs.Registry.gauges registry in
           Hashtbl.iter
             (fun name b ->
               Hashtbl.replace raw name b;
-              Hashtbl.replace bench_counters name counters)
+              Hashtbl.replace bench_counters name recorded)
             r;
           List.iter
             (fun (name, v) ->

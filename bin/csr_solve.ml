@@ -72,16 +72,40 @@ let load_instance path =
   | Invalid_argument msg ->
       die "malformed instance %s: %s" (if path = "-" then "(stdin)" else path) msg
 
-let setup_observation trace stats stats_json =
-  (match trace with
-  | Some file ->
-      let sink =
-        try Fsa_obs.Sink.jsonl file
-        with Sys_error msg -> die "cannot open trace file: %s" msg
-      in
-      Fsa_obs.Runtime.set_sink (Some sink);
-      at_exit (fun () -> sink.Fsa_obs.Sink.close ())
-  | None -> ());
+let setup_observation trace stats stats_json flight =
+  let flight_state =
+    match flight with
+    | Some file ->
+        let fr = Fsa_obs.Flight.create () in
+        (* Dump on budget trips (with the trip as the last event), and at
+           exit if nothing else dumped first. *)
+        ignore (Fsa_obs.Flight.arm fr ~path:file);
+        at_exit (fun () ->
+            if Fsa_obs.Flight.dumps fr = 0 then
+              try Fsa_obs.Flight.dump ~reason:"exit" fr file
+              with Sys_error msg ->
+                prerr_endline
+                  ("csr_solve: error: cannot write flight-recorder dump: " ^ msg));
+        Some (fr, file)
+    | None -> None
+  in
+  let trace_sink =
+    match trace with
+    | Some file ->
+        let sink =
+          try Fsa_obs.Sink.jsonl file
+          with Sys_error msg -> die "cannot open trace file: %s" msg
+        in
+        at_exit (fun () -> sink.Fsa_obs.Sink.close ());
+        Some sink
+    | None -> None
+  in
+  (match (trace_sink, flight_state) with
+  | Some t, Some (fr, _) ->
+      Fsa_obs.Runtime.set_sink (Some (Fsa_obs.Sink.tee t (Fsa_obs.Flight.sink fr)))
+  | Some t, None -> Fsa_obs.Runtime.set_sink (Some t)
+  | None, Some (fr, _) -> Fsa_obs.Runtime.set_sink (Some (Fsa_obs.Flight.sink fr))
+  | None, None -> ());
   if stats || stats_json <> None then begin
     let reg = Fsa_obs.Registry.create () in
     Fsa_obs.Runtime.set_registry (Some reg);
@@ -96,7 +120,8 @@ let setup_observation trace stats stats_json =
           print_newline ();
           Fsa_obs.Report.print reg
         end)
-  end
+  end;
+  flight_state
 
 let outcome_to_string = function
   | Fsa_portfolio.Portfolio.Completed -> "completed"
@@ -134,10 +159,27 @@ let run_portfolio ~deadline_ms ~probes ~epsilon inst =
   report.P.solution
 
 let solve algorithm portfolio deadline_ms portfolio_probes show_conjecture scaled
-    epsilon output trace stats stats_json path =
-  setup_observation trace stats stats_json;
+    epsilon output trace stats stats_json flight path =
+  let flight_state = setup_observation trace stats stats_json flight in
   let inst = load_instance path in
+  (* An uncaught solver exception dumps the flight ring before it
+     propagates — the tail of the event stream leading up to the crash. *)
+  let with_flight_dump f =
+    match flight_state with
+    | None -> f ()
+    | Some (fr, file) -> (
+        try f ()
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Fsa_obs.Flight.note fr "flight.exception" 1.0;
+          (try
+             Fsa_obs.Flight.dump ~reason:("exception: " ^ Printexc.to_string e)
+               fr file
+           with Sys_error _ -> ());
+          Printexc.raise_with_backtrace e bt)
+  in
   let sol =
+    with_flight_dump @@ fun () ->
     if portfolio then
       Some (run_portfolio ~deadline_ms ~probes:portfolio_probes ~epsilon inst)
     else
@@ -259,6 +301,16 @@ let stats_arg =
     & info [ "stats" ]
         ~doc:"Collect span/counter/histogram telemetry and print a summary table.")
 
+let flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-recorder" ] ~docv:"FILE"
+        ~doc:
+          "Keep a ring buffer of the last trace events and dump it (JSONL, \
+           schema fsa-flight/1, readable by fsa_trace summarize) to $(docv) \
+           on a budget trip, on an uncaught solver error, or at exit.")
+
 let stats_json_arg =
   Arg.(
     value
@@ -276,6 +328,7 @@ let cmd =
     Term.(
       const solve $ algorithm_arg $ portfolio_arg $ deadline_ms_arg
       $ portfolio_probes_arg $ conjecture_arg $ scaled_arg $ epsilon_arg
-      $ output_arg $ trace_arg $ stats_arg $ stats_json_arg $ path_arg)
+      $ output_arg $ trace_arg $ stats_arg $ stats_json_arg $ flight_arg
+      $ path_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,5 +1,9 @@
-(* fsa_trace: analyze JSONL traces recorded with --trace, and fsa-series/1
-   metrics time series.
+(* fsa_trace: analyze JSONL traces recorded with --trace (fsa-trace/2,
+   headerless v1 files still read), flight-recorder dumps (fsa-flight/1,
+   from csr_solve --flight-recorder), and fsa-series/1 metrics time
+   series.  Multi-domain traces get a per-domain table in summarize, one
+   Chrome track per domain in export-chrome, and d<N>-prefixed folded
+   stacks in flame.
 
    Subcommands:
      summarize FILE          span-tree profile + per-solver round stats

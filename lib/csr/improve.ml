@@ -7,6 +7,13 @@ let evaluated_counter = Fsa_obs.Metric.Counter.make "improve.evaluated"
 let accepted_counter = Fsa_obs.Metric.Counter.make "improve.accepted"
 let rejected_counter = Fsa_obs.Metric.Counter.make "improve.rejected"
 
+(* Attempts actually evaluated beyond what the sequential scan would have
+   touched: pure CAS-cancellation waste.  Slots below the winner evaluate
+   only indices the sequential scan evaluates too, so the difference is
+   provably >= 0; it depends on cancellation timing, so — like the pool
+   metrics — it is excluded from the deterministic-counters contract. *)
+let waste_counter = Fsa_obs.Metric.Counter.make "improve.speculation_waste"
+
 (* First-improvement scan over one round's attempt list.
 
    Attempts are evaluated speculatively across domains; the winner is the
@@ -36,9 +43,11 @@ let scan_attempts ~min_gain sol base attempt_list =
   in
   let slots =
     Fsa_parallel.Pool.fan_out ~n ~chunk:(fun ~slot:_ ~lo ~hi ->
+        let evaluated = ref 0 in
         let rec go i =
           if i >= hi || Atomic.get best < i then None
-          else
+          else begin
+            incr evaluated;
             match improving i with
             | Some sol' ->
                 let rec publish () =
@@ -49,21 +58,29 @@ let scan_attempts ~min_gain sol base attempt_list =
                 publish ();
                 Some (i, arr.(i), sol')
             | None -> go (i + 1)
+          end
         in
-        go lo)
+        (go lo, !evaluated))
   in
   let winner =
     Array.fold_left
-      (fun acc slot ->
+      (fun acc (slot, _) ->
         match (acc, slot) with
         | None, s -> s
         | s, None -> s
         | Some (i, _, _), Some (j, _, _) -> if j < i then slot else acc)
       None slots
   in
-  match winner with
-  | Some (i, a, sol') -> (Some (a, sol'), i + 1)
-  | None -> (None, n)
+  let result = match winner with
+    | Some (i, a, sol') -> (Some (a, sol'), i + 1)
+    | None -> (None, n)
+  in
+  if Fsa_obs.Runtime.observing () then begin
+    let total = Array.fold_left (fun acc (_, e) -> acc + e) 0 slots in
+    let waste = total - snd result in
+    if waste > 0 then Fsa_obs.Metric.Counter.incr ~by:waste waste_counter
+  end;
+  result
 
 (* [track] publishes (solution, stats so far) after every committed
    improvement, so a budgeted run can surface the latest state as its

@@ -82,11 +82,18 @@ type state = {
   mutable hooks : (int * (unit -> unit)) list;
   mutable snapshot : (unit -> unit) array;
   mutable hooks_active : bool;
+  mutable trip_hooks : (int * (reason -> unit)) list;
 }
 
 let state : state Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { budget = None; hooks = []; snapshot = [||]; hooks_active = false })
+      {
+        budget = None;
+        hooks = [];
+        snapshot = [||];
+        hooks_active = false;
+        trip_hooks = [];
+      })
 
 let installed () = Option.is_some (Domain.DLS.get state).budget
 
@@ -105,10 +112,16 @@ let active = Atomic.make 0
 
 let exceeded_counter = Metric.Counter.make "budget.exceeded"
 
-let trip b r =
+(* Trip hooks fire exactly once per budget: [spend]'s sticky path returns
+   before reaching here, so a budget that already tripped never re-fires
+   them.  They run inside the checkpoint, at the trip site, before
+   [Exceeded] propagates — which is what lets the flight recorder dump a
+   ring whose last event is the trip itself.  Hooks must not raise. *)
+let trip st b r =
   b.tripped <- Some r;
   Metric.Counter.incr exceeded_counter;
   Metric.Counter.incr (Metric.Counter.make ("budget.exceeded." ^ reason_to_string r));
+  List.iter (fun (_, f) -> f r) (List.rev st.trip_hooks);
   b.tripped
 
 (* The crossed limit, or [None] while within budget.  Kept raise-free so
@@ -116,7 +129,7 @@ let trip b r =
    every later checkpoint reports the same reason without counting work, so
    a multi-stage solver that caught a partial in one stage falls through
    its remaining stages for free. *)
-let spend b =
+let spend st b =
   match b.tripped with
   | Some _ as r -> r
   | None ->
@@ -124,19 +137,19 @@ let spend b =
       let over_probes =
         match b.max_probes with Some m -> b.probes > m | None -> false
       in
-      if over_probes then trip b `Probes
+      if over_probes then trip st b `Probes
       else if b.probes = 1 || b.probes mod b.poll_every = 0 then begin
         let over_wall =
           match b.deadline with Some d -> Clock.now () > d | None -> false
         in
-        if over_wall then trip b `Wall_clock
+        if over_wall then trip st b `Wall_clock
         else
           let over_minor =
             match b.max_minor_words with
             | Some m -> Gc.minor_words () -. b.minor_base > m
             | None -> false
           in
-          if over_minor then trip b `Allocations else None
+          if over_minor then trip st b `Allocations else None
       end
       else None
 
@@ -180,6 +193,22 @@ let remove_hook id =
   st.hooks <- List.filter (fun (i, _) -> i <> id) st.hooks;
   rebuild_snapshot st
 
+(* Trip hooks ride on the budget install for activation: they only ever
+   fire from [trip], which only runs with a budget installed on this
+   domain, and installing a budget already raises [active].  So unlike
+   tick hooks they never touch the fast-path counter. *)
+type trip_hook = int
+
+let on_trip f =
+  let id = Atomic.fetch_and_add hook_id 1 + 1 in
+  let st = Domain.DLS.get state in
+  st.trip_hooks <- (id, f) :: st.trip_hooks;
+  id
+
+let remove_trip_hook id =
+  let st = Domain.DLS.get state in
+  st.trip_hooks <- List.filter (fun (i, _) -> i <> id) st.trip_hooks
+
 let run_hooks st =
   if st.hooks_active then begin
     let snapshot = st.snapshot in
@@ -196,7 +225,7 @@ let check_slow () =
   match st.budget with
   | None -> run_hooks st
   | Some b -> (
-      match spend b with
+      match spend st b with
       | None -> run_hooks st
       | Some r ->
           run_hooks st;

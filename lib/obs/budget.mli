@@ -92,3 +92,16 @@ type hook
 
 val on_tick : (unit -> unit) -> hook
 val remove_hook : hook -> unit
+
+(** {1 Trip hooks}
+
+    Fire exactly once per budget, at the trip site, inside the
+    checkpoint that crossed the limit and {e before} {!Exceeded}
+    propagates.  The flight recorder ({!Flight.arm}) registers here to
+    dump its ring with the trip as the final event.  Trip hooks are
+    domain-local, fire in registration order, and must not raise. *)
+
+type trip_hook
+
+val on_trip : (reason -> unit) -> trip_hook
+val remove_trip_hook : trip_hook -> unit

@@ -75,6 +75,42 @@ let solver_section buf (s : Trace.solver) =
     s.Trace.rounds;
   Buffer.add_string buf (Tablefmt.render t)
 
+(* Per-domain totals, shown only for genuinely multi-domain traces so
+   every pre-multicore trace renders byte-identically to before. *)
+let domain_section buf trace =
+  let t =
+    Tablefmt.create
+      [ ("domain", Tablefmt.Left); ("roots", Tablefmt.Right);
+        ("spans", Tablefmt.Right); ("total", Tablefmt.Right);
+        ("self", Tablefmt.Right) ]
+  in
+  List.iter
+    (fun d ->
+      let roots =
+        List.filter (fun (n : Trace.node) -> n.Trace.domain = d)
+          trace.Trace.roots
+      in
+      let rec count (n : Trace.node) =
+        List.fold_left (fun acc c -> acc + count c) 1 n.Trace.children
+      in
+      let spans = List.fold_left (fun acc n -> acc + count n) 0 roots in
+      let total =
+        List.fold_left
+          (fun acc (n : Trace.node) -> acc +. n.Trace.total_ns)
+          0.0 roots
+      in
+      let self =
+        List.fold_left
+          (fun acc (r : Trace.row) -> acc +. r.Trace.row_self_ns)
+          0.0 (Trace.profile_nodes roots)
+      in
+      Tablefmt.add_row t
+        [ Printf.sprintf "d%d" d; string_of_int (List.length roots);
+          string_of_int spans; pretty_ns total; pretty_ns self ])
+    (Trace.domains trace);
+  Buffer.add_string buf "-- domains --\n";
+  Buffer.add_string buf (Tablefmt.render t)
+
 let summary ?(max_lines = default_max_tree_lines) trace =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
@@ -90,7 +126,11 @@ let summary ?(max_lines = default_max_tree_lines) trace =
     tree_section ~max_lines buf trace.Trace.roots;
     Buffer.add_char buf '\n';
     profile_section buf trace;
-    Buffer.add_char buf '\n'
+    Buffer.add_char buf '\n';
+    if List.length (Trace.domains trace) > 1 then begin
+      domain_section buf trace;
+      Buffer.add_char buf '\n'
+    end
   end;
   List.iter
     (fun s ->
@@ -112,12 +152,17 @@ let summary ?(max_lines = default_max_tree_lines) trace =
    timestamps.  Every closed node becomes one complete event ("ph":"X");
    begin times prefer the recorded "ts" and otherwise are laid out
    left-to-right inside the parent so the viewer still shows correct
-   durations and nesting. *)
+   durations and nesting.
+
+   Each domain slot renders as its own thread track: tid = domain + 1
+   (old single-domain traces keep their historical tid 1).  Thread-name
+   metadata events are emitted only for multi-domain traces, so
+   pre-multicore exports are unchanged. *)
 
 let chrome trace =
   let events = ref [] in
   let push e = events := e :: !events in
-  let common = [ ("pid", Json.Int 1); ("tid", Json.Int 1) ] in
+  let common ~domain = [ ("pid", Json.Int 1); ("tid", Json.Int (domain + 1)) ] in
   let rec walk ~cursor_us (n : Trace.node) =
     let dur_us = n.Trace.total_ns /. 1e3 in
     let begin_us =
@@ -129,7 +174,7 @@ let chrome trace =
            ([ ("name", Json.String n.Trace.name); ("cat", Json.String "span");
               ("ph", Json.String "X"); ("ts", Json.Float begin_us);
               ("dur", Json.Float dur_us) ]
-           @ common
+           @ common ~domain:n.Trace.domain
            @ [ ( "args",
                  Json.Obj
                    [ ("minor_words", Json.Float n.Trace.minor_words);
@@ -163,7 +208,7 @@ let chrome trace =
            ([ ("name", Json.String ("phase: " ^ name));
               ("cat", Json.String "phase"); ("ph", Json.String "i");
               ("ts", Json.Float (float_of_int i)); ("s", Json.String "g") ]
-           @ common)))
+           @ common ~domain:0)))
     trace.Trace.phases;
   List.iter
     (fun (s : Trace.solver) ->
@@ -176,13 +221,30 @@ let chrome trace =
                    ([ ("name", Json.String ("score " ^ s.Trace.solver));
                       ("ph", Json.String "C");
                       ("ts", Json.Float (float_of_int r.Trace.round)) ]
-                   @ common
+                   @ common ~domain:0
                    @ [ ("args", Json.Obj [ ("score", Json.Float score) ]) ]))
           | None -> ())
         s.Trace.rounds)
     trace.Trace.solvers;
+  let thread_names =
+    match Trace.domains trace with
+    | [] | [ _ ] -> []
+    | doms ->
+        List.map
+          (fun d ->
+            Json.Obj
+              ([ ("name", Json.String "thread_name"); ("ph", Json.String "M") ]
+              @ common ~domain:d
+              @ [ ( "args",
+                    Json.Obj
+                      [ ( "name",
+                          Json.String
+                            (if d = 0 then "caller (d0)"
+                             else Printf.sprintf "worker d%d" d) ) ] ) ]))
+          doms
+  in
   Json.Obj
-    [ ("traceEvents", Json.List (List.rev !events));
+    [ ("traceEvents", Json.List (thread_names @ List.rev !events));
       ("displayTimeUnit", Json.String "ms") ]
 
 (* ------------------------------------------------------------------ *)
@@ -191,6 +253,10 @@ let chrome trace =
 let folded trace =
   let weights : (string, float) Hashtbl.t = Hashtbl.create 32 in
   let order = ref [] in
+  (* A multi-domain trace gets a synthetic "d<N>" root frame per domain,
+     so per-domain subtrees stay separate in the flamegraph; single-domain
+     traces keep the historical unprefixed paths. *)
+  let multi = match Trace.domains trace with [] | [ _ ] -> false | _ -> true in
   let rec walk path (n : Trace.node) =
     let path = match path with "" -> n.Trace.name | p -> p ^ ";" ^ n.Trace.name in
     let w = Trace.self_ns n in
@@ -201,7 +267,10 @@ let folded trace =
         order := path :: !order);
     List.iter (walk path) n.Trace.children
   in
-  List.iter (walk "") trace.Trace.roots;
+  List.iter
+    (fun (n : Trace.node) ->
+      walk (if multi then Printf.sprintf "d%d" n.Trace.domain else "") n)
+    trace.Trace.roots;
   let buf = Buffer.create 1024 in
   List.iter
     (fun path ->

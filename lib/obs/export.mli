@@ -6,19 +6,26 @@ val summary : ?max_lines:int -> Trace.t -> string
 (** Multi-section text profile: the span tree with total/self times and
     allocation, the hottest spans sorted by self time, per-solver round
     tables (moves, acceptance, score deltas), phases, and notes.
-    [max_lines] (default 200) caps the span-tree section; suppressed
-    nodes are counted and the aggregated profile still covers them. *)
+    Multi-domain traces additionally get a per-domain roots/spans/
+    total/self table.  [max_lines] (default 200) caps the span-tree
+    section; suppressed nodes are counted and the aggregated profile
+    still covers them. *)
 
 val chrome : Trace.t -> Json.t
 (** Chrome Trace Event JSON object format: one complete (["ph":"X"])
     event per closed span (i.e. per recorded [span_end]), an instant
     event per phase, and a counter track per solver score.  Timestamps
     come from the recorded ["ts"] fields when present and are otherwise
-    reconstructed from the tree (parent begin + preceding siblings). *)
+    reconstructed from the tree (parent begin + preceding siblings).
+    Each domain slot renders as its own thread track ([tid = domain+1],
+    with thread-name metadata for multi-domain traces); single-domain
+    traces keep their historical [tid 1] shape. *)
 
 val folded : Trace.t -> string
 (** Folded stacks, one line per distinct span path: ["root;child;leaf N"]
     where [N] is the path's cumulative self time in integer nanoseconds.
+    Multi-domain traces prefix each path with a synthetic ["d<N>"] root
+    frame, so per-domain subtrees stay separate in the flamegraph.
     Pipe into [flamegraph.pl --countname ns] to render an SVG. *)
 
 val diff_table :

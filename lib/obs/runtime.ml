@@ -5,9 +5,9 @@
    All three cells are domain-local: a sink or registry installed on one
    domain is invisible to every other, so a parallel worker can never write
    into the caller's trace stream or registry concurrently.  The domain
-   pool (Fsa_parallel.Pool) gives each worker a scratch registry for the
-   duration of a batch and merges the scratches after the join; sinks stay
-   caller-only (workers emit no events). *)
+   pool (Fsa_parallel.Pool) gives each worker a scratch registry and a
+   bounded buffer sink for the duration of a batch, and merges/replays
+   both into the caller's after the join, in slot order. *)
 
 let current_sink : Sink.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 

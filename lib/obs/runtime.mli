@@ -7,8 +7,9 @@
     The state is {e domain-local}: installing a sink or registry affects
     only the calling domain, so parallel workers never race on the
     caller's trace stream or counters.  [Fsa_parallel.Pool] installs
-    per-worker scratch registries during a batch and merges them into the
-    caller's registry after the join. *)
+    per-worker scratch registries and bounded buffer sinks during a
+    batch, and merges both into the caller's after the join, in slot
+    order. *)
 
 val set_sink : Sink.t option -> unit
 (** Install (or remove) the event sink.  The caller keeps ownership: call

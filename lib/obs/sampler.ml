@@ -55,23 +55,53 @@ let tick t =
             t.order <- path :: t.order)
   end
 
+(* The attached sampler, advertised so the domain pool can [fork] it for
+   workers.  Budget tick hooks are domain-local: a sampler attached on
+   the caller never ticks on a worker domain, which is exactly the
+   lost-worker-samples bug — the pool gives each worker a fork of the
+   ambient sampler and merges the forks back after the join. *)
+let ambient_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let ambient () = Domain.DLS.get ambient_key
+
 let attach t =
   if t.hook = None then begin
     Runtime.retain_spans ();
     t.retained <- true;
-    t.hook <- Some (Budget.on_tick (fun () -> tick t))
+    t.hook <- Some (Budget.on_tick (fun () -> tick t));
+    Domain.DLS.set ambient_key (Some t)
   end
 
 let detach t =
   (match t.hook with
   | Some h ->
       Budget.remove_hook h;
-      t.hook <- None
+      t.hook <- None;
+      if Domain.DLS.get ambient_key = Some t then
+        Domain.DLS.set ambient_key None
   | None -> ());
   if t.retained then begin
     Runtime.release_spans ();
     t.retained <- false
   end
+
+let fork t = create ~every:t.every ()
+
+let merge_into ~into src =
+  into.ticks <- into.ticks + src.ticks;
+  into.sampled <- into.sampled + src.sampled;
+  into.idle <- into.idle + src.idle;
+  (* Walk src in first-seen order so paths new to [into] land in a
+     deterministic order. *)
+  List.iter
+    (fun path ->
+      let c = !(Hashtbl.find src.counts path) in
+      match Hashtbl.find_opt into.counts path with
+      | Some cell -> cell := !cell + c
+      | None ->
+          Hashtbl.add into.counts path (ref c);
+          into.order <- path :: into.order)
+    (List.rev src.order)
 
 let with_ t f =
   attach t;

@@ -29,6 +29,22 @@ val detach : t -> unit
 val with_ : t -> (unit -> 'a) -> 'a
 (** [attach], run, [detach] (also on exceptions). *)
 
+val ambient : unit -> t option
+(** The sampler currently attached on this domain, if any.  The domain
+    pool reads this to give each worker a {!fork} — checkpoint tick
+    hooks are domain-local, so the attached sampler itself never ticks
+    on worker domains. *)
+
+val fork : t -> t
+(** A fresh sampler with the same stride and empty tables, for a pool
+    worker to attach on its own domain. *)
+
+val merge_into : into:t -> t -> unit
+(** Add [src]'s tick/sample/idle totals and per-path counts into
+    [into].  Paths new to [into] are appended in [src]'s first-seen
+    order, so merging forks in slot order keeps {!folded} output
+    deterministic. *)
+
 val tick : t -> unit
 (** Advance the tick counter by hand — the deterministic tick source used
     in tests; {!attach} arranges for {!Budget.check} to call this. *)

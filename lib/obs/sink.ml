@@ -1,46 +1,97 @@
-type t = { emit : Event.t -> unit; close : unit -> unit }
+(* Every event is stamped once, at emission time, with a monotonic
+   timestamp and the ambient domain slot ([Slot.get]).  Sinks consume
+   the stamped form: that way a worker's buffered events keep their
+   original emission time and slot when they are replayed into the
+   caller's sink after a pool join, instead of being re-stamped at
+   merge time. *)
 
-let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+type stamped = { s_ts : float; s_domain : int; s_event : Event.t }
+
+type t = {
+  emit : Event.t -> unit;
+  emit_stamped : stamped -> unit;
+  close : unit -> unit;
+}
+
+let stamp ev = { s_ts = Clock.now (); s_domain = Slot.get (); s_event = ev }
+
+let make ~emit_stamped ~close =
+  { emit = (fun ev -> emit_stamped (stamp ev)); emit_stamped; close }
+
+let null = make ~emit_stamped:(fun _ -> ()) ~close:(fun () -> ())
 
 let pretty ?(ppf = Format.err_formatter) () =
-  {
-    emit = (fun ev -> Format.fprintf ppf "%a@." Event.pp ev);
-    close = (fun () -> Format.pp_print_flush ppf ());
-  }
+  let emit_stamped s =
+    if s.s_domain = 0 then Format.fprintf ppf "%a@." Event.pp s.s_event
+    else Format.fprintf ppf "[d%d] %a@." s.s_domain Event.pp s.s_event
+  in
+  make ~emit_stamped ~close:(fun () -> Format.pp_print_flush ppf ())
+
+(* Bumped from fsa-trace/1 (implicit: no header line) when the "domain"
+   field was added.  Readers treat any line with a "schema" member as a
+   header, so old readers would have choked — hence the version bump —
+   while the new reader still accepts headerless v1 files and defaults
+   domain to 0. *)
+let trace_schema = "fsa-trace/2"
 
 let jsonl path =
   let oc = open_out path in
   let buf = Buffer.create 512 in
   let t0 = Clock.now () in
-  let emit ev =
+  Buffer.clear buf;
+  Json.to_buffer buf (Json.Obj [ ("schema", Json.String trace_schema) ]);
+  Buffer.add_char buf '\n';
+  Buffer.output_buffer oc buf;
+  let emit_stamped s =
     Buffer.clear buf;
-    (* Prefix every line with a relative monotonic timestamp; Event.of_json
-       ignores fields it does not know. *)
+    (* Prefix every line with a relative monotonic timestamp and the
+       emitting domain slot; Event.of_json ignores fields it does not
+       know. *)
     let json =
-      match Event.to_json ev with
+      match Event.to_json s.s_event with
       | Json.Obj fields ->
-          Json.Obj (("ts", Json.Float (Clock.now () -. t0)) :: fields)
+          Json.Obj
+            (("ts", Json.Float (s.s_ts -. t0))
+            :: ("domain", Json.Int s.s_domain)
+            :: fields)
       | other -> other
     in
     Json.to_buffer buf json;
     Buffer.add_char buf '\n';
     Buffer.output_buffer oc buf
   in
-  { emit; close = (fun () -> close_out oc) }
+  make ~emit_stamped ~close:(fun () -> close_out oc)
 
 let memory () =
   let events = ref [] in
-  ( { emit = (fun ev -> events := ev :: !events); close = (fun () -> ()) },
+  ( make
+      ~emit_stamped:(fun s -> events := s.s_event :: !events)
+      ~close:(fun () -> ()),
     fun () -> List.rev !events )
 
+let default_buffer_capacity = 65536
+
+let buffer ?(capacity = default_buffer_capacity) () =
+  if capacity < 1 then invalid_arg "Sink.buffer: capacity must be positive";
+  let events = ref [] in
+  let count = ref 0 in
+  let dropped = ref 0 in
+  let emit_stamped s =
+    if !count >= capacity then incr dropped
+    else begin
+      events := s :: !events;
+      incr count
+    end
+  in
+  ( make ~emit_stamped ~close:(fun () -> ()),
+    (fun () -> List.rev !events),
+    fun () -> !dropped )
+
 let tee a b =
-  {
-    emit =
-      (fun ev ->
-        a.emit ev;
-        b.emit ev);
-    close =
-      (fun () ->
-        a.close ();
-        b.close ());
-  }
+  make
+    ~emit_stamped:(fun s ->
+      a.emit_stamped s;
+      b.emit_stamped s)
+    ~close:(fun () ->
+      a.close ();
+      b.close ())

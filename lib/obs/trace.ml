@@ -1,5 +1,6 @@
 type node = {
   name : string;
+  domain : int;
   begin_ts : float option;
   total_ns : float;
   minor_words : float;
@@ -53,10 +54,17 @@ type t = {
    of the stack still closes the right frame when one exists below —
    any frames above it were abandoned mid-flight (the writer raised
    through them without the exception handler running, or the trace was
-   truncated) and are kept as unclosed nodes. *)
+   truncated) and are kept as unclosed nodes.
+
+   Each domain slot gets its own stack and root list: a worker's spans
+   nest among themselves, never inside the caller's open span, even
+   though the merged stream interleaves them (the pool replays worker
+   buffers after the caller's surrounding span has closed, but a flight
+   recorder can capture mid-batch interleavings too). *)
 
 type frame = {
   f_name : string;
+  f_domain : int;
   f_ts : float option;
   mutable f_children : node list;  (* reversed *)
 }
@@ -64,6 +72,7 @@ type frame = {
 let node_of_end frame ~elapsed_ns ~minor_words ~major_words =
   {
     name = frame.f_name;
+    domain = frame.f_domain;
     begin_ts = frame.f_ts;
     total_ns = elapsed_ns;
     minor_words;
@@ -77,6 +86,7 @@ let node_of_abandoned frame =
   let sum f = List.fold_left (fun acc c -> acc +. f c) 0.0 children in
   {
     name = frame.f_name;
+    domain = frame.f_domain;
     begin_ts = frame.f_ts;
     total_ns = sum (fun c -> c.total_ns);
     minor_words = sum (fun c -> c.minor_words);
@@ -94,19 +104,29 @@ type round_acc = {
   mutable a_score : float option;
 }
 
-let of_events events =
-  let stack = ref [] in
-  let roots = ref [] in
+let of_events_domains events =
+  (* Per-domain open-frame stack and root accumulator. *)
+  let doms : (int, frame list ref * node list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let dom_state d =
+    match Hashtbl.find_opt doms d with
+    | Some s -> s
+    | None ->
+        let s = (ref [], ref []) in
+        Hashtbl.add doms d s;
+        s
+  in
   let unclosed = ref 0 in
-  let attach node =
+  let attach (stack, roots) node =
     match !stack with
     | frame :: _ -> frame.f_children <- node :: frame.f_children
     | [] -> roots := node :: !roots
   in
-  let pop_abandoned frame =
+  let pop_abandoned ((stack, _) as st) frame =
     incr unclosed;
     stack := List.tl !stack;
-    attach (node_of_abandoned frame)
+    attach st (node_of_abandoned frame)
   in
   let rounds : (string * int, round_acc) Hashtbl.t = Hashtbl.create 16 in
   let round_acc solver round =
@@ -127,21 +147,26 @@ let of_events events =
   in
   let phases = ref [] and notes = ref [] and count = ref 0 in
   List.iter
-    (fun (ts, ev) ->
+    (fun (ts, domain, ev) ->
       incr count;
       match (ev : Event.t) with
       | Span_begin { name; depth = _ } ->
-          stack := { f_name = name; f_ts = ts; f_children = [] } :: !stack
+          let stack, _ = dom_state domain in
+          stack :=
+            { f_name = name; f_domain = domain; f_ts = ts; f_children = [] }
+            :: !stack
       | Span_end { name; depth = _; elapsed_ns; minor_words; major_words } -> (
+          let ((stack, _) as st) = dom_state domain in
           let rec has_open = function
             | [] -> false
             | f :: rest -> f.f_name = name || has_open rest
           in
           if not (has_open !stack) then
             (* End without a begin: the trace started mid-span. *)
-            attach
+            attach st
               {
                 name;
+                domain;
                 begin_ts = None;
                 total_ns = elapsed_ns;
                 minor_words;
@@ -151,12 +176,13 @@ let of_events events =
               }
           else begin
             while (List.hd !stack).f_name <> name do
-              pop_abandoned (List.hd !stack)
+              pop_abandoned st (List.hd !stack)
             done;
             match !stack with
             | frame :: rest ->
                 stack := rest;
-                attach (node_of_end frame ~elapsed_ns ~minor_words ~major_words)
+                attach st
+                  (node_of_end frame ~elapsed_ns ~minor_words ~major_words)
             | [] -> assert false
           end)
       | Phase { name } -> phases := name :: !phases
@@ -173,9 +199,16 @@ let of_events events =
           a.a_score <- Some score
       | Note { name; value } -> notes := (name, value) :: !notes)
     events;
-  while !stack <> [] do
-    pop_abandoned (List.hd !stack)
-  done;
+  let dom_ids =
+    Hashtbl.fold (fun d _ acc -> d :: acc) doms [] |> List.sort compare
+  in
+  List.iter
+    (fun d ->
+      let ((stack, _) as st) = dom_state d in
+      while !stack <> [] do
+        pop_abandoned st (List.hd !stack)
+      done)
+    dom_ids;
   let solvers =
     let by_solver : (string, round list ref) Hashtbl.t = Hashtbl.create 8 in
     Hashtbl.iter
@@ -210,8 +243,17 @@ let of_events events =
       by_solver []
     |> List.sort (fun a b -> compare a.solver b.solver)
   in
+  (* Roots grouped by domain id ascending, emission order within each —
+     for a single-domain trace this is exactly the old emission order. *)
+  let roots =
+    List.concat_map
+      (fun d ->
+        let _, roots = dom_state d in
+        List.rev !roots)
+      dom_ids
+  in
   {
-    roots = List.rev !roots;
+    roots;
     solvers;
     phases = List.rev !phases;
     notes = List.rev !notes;
@@ -219,6 +261,11 @@ let of_events events =
     skipped = 0;
     unclosed = !unclosed;
   }
+
+let of_events events =
+  of_events_domains (List.map (fun (ts, ev) -> (ts, 0, ev)) events)
+
+let domains t = List.sort_uniq compare (List.map (fun n -> n.domain) t.roots)
 
 let of_string text =
   let skipped = ref 0 in
@@ -233,17 +280,30 @@ let of_string text =
                  incr skipped;
                  None
              | Some j -> (
-                 match Event.of_json j with
-                 | None ->
-                     incr skipped;
-                     None
-                 | Some ev ->
-                     let ts =
-                       Option.bind (Json.member "ts" j) Json.to_float_opt
-                     in
-                     Some (ts, ev)))
+                 if Option.is_some (Json.member "schema" j) then
+                   (* Header line (fsa-trace/2, fsa-flight/1): metadata,
+                      not an event and not a skip.  Headerless v1 files
+                      parse the same as before. *)
+                   None
+                 else
+                   match Event.of_json j with
+                   | None ->
+                       incr skipped;
+                       None
+                   | Some ev ->
+                       let ts =
+                         Option.bind (Json.member "ts" j) Json.to_float_opt
+                       in
+                       let domain =
+                         match
+                           Option.bind (Json.member "domain" j) Json.to_int_opt
+                         with
+                         | Some d when d >= 0 -> d
+                         | _ -> 0
+                       in
+                       Some (ts, domain, ev)))
   in
-  let t = of_events events in
+  let t = of_events_domains events in
   { t with skipped = !skipped }
 
 let of_file path =
@@ -253,7 +313,21 @@ let of_file path =
   close_in ic;
   of_string text
 
-let wall_ns t = List.fold_left (fun acc n -> acc +. n.total_ns) 0.0 t.roots
+(* Wall time is the *caller's* elapsed time: worker spans run inside the
+   caller's roots concurrently, so summing every domain would count the
+   same wall-clock interval once per busy domain.  The caller is the
+   lowest domain present (0, except for a trace attached mid-run on a
+   worker). *)
+let wall_ns t =
+  match t.roots with
+  | [] -> 0.0
+  | first :: _ ->
+      let caller =
+        List.fold_left (fun acc n -> min acc n.domain) first.domain t.roots
+      in
+      List.fold_left
+        (fun acc n -> if n.domain = caller then acc +. n.total_ns else acc)
+        0.0 t.roots
 
 let span_ends t =
   let rec count n =
@@ -274,7 +348,7 @@ type row = {
   row_major_words : float;
 }
 
-let profile t =
+let profile_nodes roots =
   let rows : (string, row ref) Hashtbl.t = Hashtbl.create 16 in
   (* [ancestors] carries the span names on the path to the root so that a
      recursive span contributes its total only at the outermost level. *)
@@ -305,9 +379,11 @@ let profile t =
              }));
     List.iter (walk (n.name :: ancestors)) n.children
   in
-  List.iter (walk []) t.roots;
+  List.iter (walk []) roots;
   Hashtbl.fold (fun _ cell acc -> !cell :: acc) rows []
   |> List.sort (fun a b -> Float.compare b.row_self_ns a.row_self_ns)
+
+let profile t = profile_nodes t.roots
 
 (* ------------------------------------------------------------------ *)
 (* Diff *)

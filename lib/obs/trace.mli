@@ -12,6 +12,9 @@
 
 type node = {
   name : string;
+  domain : int;
+      (** Pool slot that emitted the span; 0 for the calling domain and
+          for traces recorded before the ["domain"] field existed. *)
   begin_ts : float option;  (** ["ts"] of the [span_begin] line, seconds. *)
   total_ns : float;
       (** Wall time of the [span_end]; for unclosed nodes, the sum of the
@@ -61,16 +64,34 @@ type t = {
 
 val of_events : (float option * Event.t) list -> t
 (** Build a trace from already-decoded events ([ts], event) in emission
-    order, e.g. from {!Sink.memory} (with [None] timestamps). *)
+    order, e.g. from {!Sink.memory} (with [None] timestamps).  All
+    events are attributed to domain 0. *)
+
+val of_events_domains : (float option * int * Event.t) list -> t
+(** Like {!of_events} with an explicit domain slot per event.  Spans are
+    reconstructed per domain (each domain has its own open-span stack),
+    and [roots] groups domains in ascending id order, emission order
+    within each. *)
+
+val domains : t -> int list
+(** Distinct root domain ids, ascending.  [[0]] for any pre-multicore
+    trace. *)
 
 val of_string : string -> t
-(** Parse JSONL text (one event object per line; blank lines ignored). *)
+(** Parse JSONL text (one event object per line; blank lines ignored).
+    Lines carrying a ["schema"] member — the [fsa-trace/2] file header,
+    or an [fsa-flight/1] dump header — are metadata, not events, and do
+    not count as skipped.  A missing ["domain"] field defaults to 0, so
+    v1 files read unchanged. *)
 
 val of_file : string -> t
 (** Raises [Sys_error] if the file cannot be read. *)
 
 val wall_ns : t -> float
-(** Sum of the root spans' totals: the recorded wall time of the run. *)
+(** The recorded wall time of the run: the sum of the {e caller
+    domain's} root totals (the lowest domain id present).  Worker spans
+    run concurrently inside the caller's roots, so counting every
+    domain would bill the same interval once per busy domain. *)
 
 val span_ends : t -> int
 (** Number of closed nodes, i.e. [span_end] events represented in the
@@ -91,6 +112,10 @@ type row = {
 
 val profile : t -> row list
 (** One row per span name, sorted by self time, descending. *)
+
+val profile_nodes : node list -> row list
+(** {!profile} over an arbitrary forest — e.g. the roots of a single
+    domain, for per-domain tables. *)
 
 (** {1 Diffing two traces} *)
 

@@ -11,8 +11,15 @@
    Observability: if the caller has a registry installed, each worker gets
    a fresh scratch registry for the duration of the batch; after the join
    the scratches are merged into the caller's registry in slot order (on
-   the caller's domain — the merge itself never races).  Workers never get
-   a sink, so trace events only ever come from the calling domain.
+   the caller's domain — the merge itself never races).  Likewise, if the
+   caller has a sink, each worker gets a bounded in-memory buffer sink
+   (stamped with the worker's slot id) replayed into the caller's sink
+   after the join in slot order, and if the caller has a sampler attached,
+   each worker attaches a fork of it whose tables are merged back in slot
+   order.  The pool also records its own metrics per batch (fan-out and
+   inline-fallback counters, per-slot busy time, busy skew, merge time)
+   into the caller's registry; these are wall-clock derived and hence not
+   part of the deterministic-counters contract.
 
    Budgets: the pool refuses to fan out while an ambient Budget is
    installed and runs the whole range inline instead.  Budgets are
@@ -140,20 +147,58 @@ let chunk_bounds ~n ~slots s = (s * n / slots, (s + 1) * n / slots)
 
 let sequential ~n ~chunk = [| chunk ~slot:0 ~lo:0 ~hi:n |]
 
+(* Pool telemetry.  All of these land in the *caller's* registry after
+   the join (on the caller's domain), except the inline counters, which
+   record wherever the fallback happens.  Everything here is wall-clock
+   derived (busy times, skew, merge time) or scheduling-shaped (event
+   drops), so pool.* metrics are exempt from the "merged counters equal
+   the sequential run" contract. *)
+let m_fan_outs = Fsa_obs.Metric.Counter.make "pool.fan_outs"
+let m_inline_nested = Fsa_obs.Metric.Counter.make "pool.inline.nested"
+let m_inline_budget = Fsa_obs.Metric.Counter.make "pool.inline.budget"
+let m_busy_ns = Fsa_obs.Metric.Counter.make "pool.busy_ns"
+let m_merge_ns = Fsa_obs.Metric.Counter.make "pool.merge_ns"
+let m_slot_busy = Fsa_obs.Metric.Histogram.make "pool.slot_busy_ns"
+let m_skew = Fsa_obs.Metric.Gauge.make "pool.skew"
+let m_dropped = Fsa_obs.Metric.Counter.make "pool.events_dropped"
+
 let fan_out ~n ~chunk =
   if n <= 0 then [||]
   else
     let d = min (domains ()) n in
-    if d <= 1 || Domain.DLS.get inside || Fsa_obs.Budget.installed () then
+    if d <= 1 then sequential ~n ~chunk
+    else if Domain.DLS.get inside then begin
+      Fsa_obs.Metric.Counter.incr m_inline_nested;
       sequential ~n ~chunk
+    end
+    else if Fsa_obs.Budget.installed () then begin
+      Fsa_obs.Metric.Counter.incr m_inline_budget;
+      sequential ~n ~chunk
+    end
     else begin
       ensure_workers (d - 1);
+      Fsa_obs.Metric.Counter.incr m_fan_outs;
       let results = Array.make d None in
       let errors = Array.make d None in
+      let busy = Array.make d 0.0 in
+      (* Each slot writes only its own cell of [busy] (distinct indices
+         of an unboxed float array), so no synchronization is needed. *)
       let caller_registry = Fsa_obs.Runtime.registry () in
+      let caller_sink = Fsa_obs.Runtime.sink () in
+      let caller_sampler = Fsa_obs.Sampler.ambient () in
       let scratches =
         match caller_registry with
         | Some _ -> Array.init (d - 1) (fun _ -> Fsa_obs.Registry.create ())
+        | None -> [||]
+      in
+      let buffers =
+        match caller_sink with
+        | Some _ -> Array.init (d - 1) (fun _ -> Fsa_obs.Sink.buffer ())
+        | None -> [||]
+      in
+      let forks =
+        match caller_sampler with
+        | Some sm -> Array.init (d - 1) (fun _ -> Fsa_obs.Sampler.fork sm)
         | None -> [||]
       in
       let batch_lock = Mutex.create () in
@@ -161,14 +206,31 @@ let fan_out ~n ~chunk =
       let pending = ref (d - 1) in
       let run_slot s =
         let lo, hi = chunk_bounds ~n ~slots:d s in
-        try results.(s) <- Some (chunk ~slot:s ~lo ~hi)
-        with e -> errors.(s) <- Some (e, Printexc.get_raw_backtrace ())
+        let t0 = Fsa_obs.Clock.now () in
+        (try results.(s) <- Some (chunk ~slot:s ~lo ~hi)
+         with e -> errors.(s) <- Some (e, Printexc.get_raw_backtrace ()));
+        busy.(s) <- Fsa_obs.Clock.now () -. t0
       in
       let worker_job s () =
+        (* Install the batch's observation state on this worker domain:
+           slot id (event stamps), buffer sink, forked sampler (tick
+           hooks are domain-local, so the caller's sampler can never
+           tick here — satellite fix for lost worker samples), scratch
+           registry.  Torn down in reverse order; [run_slot] never
+           raises, so the teardown always runs. *)
+        Fsa_obs.Slot.set s;
+        if Array.length buffers > 0 then begin
+          let sink, _, _ = buffers.(s - 1) in
+          Fsa_obs.Runtime.set_sink (Some sink)
+        end;
+        if Array.length forks > 0 then Fsa_obs.Sampler.attach forks.(s - 1);
         if Array.length scratches > 0 then
           Fsa_obs.Runtime.set_registry (Some scratches.(s - 1));
         run_slot s;
         if Array.length scratches > 0 then Fsa_obs.Runtime.set_registry None;
+        if Array.length forks > 0 then Fsa_obs.Sampler.detach forks.(s - 1);
+        if Array.length buffers > 0 then Fsa_obs.Runtime.set_sink None;
+        Fsa_obs.Slot.set 0;
         Mutex.lock batch_lock;
         decr pending;
         if !pending = 0 then Condition.signal batch_done;
@@ -180,7 +242,8 @@ let fan_out ~n ~chunk =
       done;
       Condition.broadcast work_available;
       Mutex.unlock lock;
-      (* The caller runs slot 0 itself, with nested fan-outs inlined. *)
+      (* The caller runs slot 0 itself, with nested fan-outs inlined; it
+         keeps its own sink/sampler/registry, so its events stay live. *)
       Domain.DLS.set inside true;
       Fun.protect
         ~finally:(fun () -> Domain.DLS.set inside false)
@@ -191,9 +254,53 @@ let fan_out ~n ~chunk =
       done;
       Mutex.unlock batch_lock;
       (* Land worker telemetry in slot order; merging on this domain means
-         the caller's registry is never touched concurrently. *)
+         the caller's sink/registry/sampler are never touched
+         concurrently.  Replayed events keep their original stamps, so
+         the merged stream is "slot 1's events in order, then slot
+         2's, ..." — deterministic for a deterministic workload. *)
+      let merge_t0 = Fsa_obs.Clock.now () in
+      (match caller_sink with
+      | Some sink ->
+          Array.iter
+            (fun (_, drain, dropped) ->
+              List.iter sink.Fsa_obs.Sink.emit_stamped (drain ());
+              let dr = dropped () in
+              if dr > 0 then Fsa_obs.Metric.Counter.incr ~by:dr m_dropped)
+            buffers
+      | None -> ());
       (match caller_registry with
       | Some r -> Array.iter (fun s -> Fsa_obs.Registry.merge_into ~into:r s) scratches
+      | None -> ());
+      (match caller_sampler with
+      | Some sm ->
+          Array.iter (fun f -> Fsa_obs.Sampler.merge_into ~into:sm f) forks
+      | None -> ());
+      let merge_ns = (Fsa_obs.Clock.now () -. merge_t0) *. 1e9 in
+      (* Pool metrics land in the caller's registry (the Metric calls
+         are no-ops without one). *)
+      (match caller_registry with
+      | Some r ->
+          Fsa_obs.Metric.Counter.add m_merge_ns merge_ns;
+          let busy_total = ref 0.0 in
+          let busy_min = ref infinity and busy_max = ref 0.0 in
+          Array.iter
+            (fun b ->
+              busy_total := !busy_total +. b;
+              if b < !busy_min then busy_min := b;
+              if b > !busy_max then busy_max := b;
+              Fsa_obs.Metric.Histogram.observe m_slot_busy (b *. 1e9))
+            busy;
+          Fsa_obs.Metric.Counter.add m_busy_ns (!busy_total *. 1e9);
+          (* Chunk skew: slowest slot over fastest, this batch; the gauge
+             keeps the worst ratio seen since the registry was reset. *)
+          if !busy_min > 0.0 then begin
+            let skew = !busy_max /. !busy_min in
+            let prev =
+              Option.value ~default:0.0
+                (Fsa_obs.Registry.gauge_value r (Fsa_obs.Metric.Gauge.name m_skew))
+            in
+            if skew > prev then Fsa_obs.Metric.Gauge.set m_skew skew
+          end
       | None -> ());
       (* Deterministic error propagation: the lowest slot's exception wins,
          mirroring which exception a sequential run would have raised

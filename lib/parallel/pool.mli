@@ -27,11 +27,24 @@
     worker gets a fresh scratch registry for the batch; after the join
     the scratches are merged into the caller's registry in slot order
     (see [Fsa_obs.Registry.merge_into]).  Because chunking is static,
-    merged counters equal the sequential run's counters exactly.  Trace
-    sinks are {e not} propagated to workers: span/trace events come only
-    from the calling domain.
+    merged {e solver} counters equal the sequential run's counters
+    exactly — the exceptions are the pool's own [pool.*] metrics
+    (wall-clock derived: per-slot busy ns, busy skew, merge time,
+    fan-out/inline counters, dropped-event counts) and counters
+    documented as speculation-dependent ([improve.speculation_waste]),
+    which exist only to describe the parallel execution itself.
 
-    See DESIGN.md §14 for the full domain-safety contract. *)
+    When the caller has a trace sink, each worker gets a bounded
+    in-memory buffer sink; buffered events are stamped with the worker's
+    slot id ([Fsa_obs.Slot]) and replayed into the caller's sink after
+    the join, in slot order, with their original timestamps.  When the
+    caller has a sampler attached ([Fsa_obs.Sampler.ambient]), each
+    worker attaches a fresh fork on its own domain and the forks' sample
+    tables are merged back in slot order — checkpoint tick hooks are
+    domain-local, so without the forks worker samples would be lost.
+
+    See DESIGN.md §14 for the full domain-safety contract and §15 for
+    the multicore observability contract. *)
 
 val default_domains : int
 (** The domain count parsed from [FSA_DOMAINS] at startup (1 if unset

@@ -256,16 +256,25 @@ let test_jsonl_roundtrip () =
   sink.Sink.close ();
   let lines = read_lines path in
   Sys.remove path;
-  check_int "one line per event" (List.length sample_events) (List.length lines);
+  check_int "header + one line per event"
+    (1 + List.length sample_events)
+    (List.length lines);
+  let header, event_lines =
+    match lines with h :: rest -> (h, rest) | [] -> Alcotest.fail "empty file"
+  in
+  (match Json.member "schema" (Json.of_string header) with
+  | Some (Json.String s) -> Alcotest.(check string) "schema" "fsa-trace/2" s
+  | _ -> Alcotest.fail "missing schema header");
   let parsed =
     List.map
       (fun line ->
         let j = Json.of_string line in
         check_bool "ts present" true (Json.member "ts" j <> None);
+        check_bool "domain present" true (Json.member "domain" j <> None);
         match Event.of_json j with
         | Some ev -> ev
         | None -> Alcotest.fail ("unparseable event line: " ^ line))
-      lines
+      event_lines
   in
   check_bool "events round-trip" true (parsed = sample_events)
 
@@ -277,6 +286,101 @@ let test_tee_and_memory () =
   t.Sink.close ();
   check_int "first copy" 1 (List.length (ev1 ()));
   check_int "second copy" 1 (List.length (ev2 ()))
+
+let test_buffer_sink_bounded () =
+  let sink, drain, dropped = Sink.buffer ~capacity:3 () in
+  for i = 1 to 5 do
+    sink.Sink.emit (Event.Note { name = "n"; value = float_of_int i })
+  done;
+  let kept = drain () in
+  check_int "keeps the first capacity events" 3 (List.length kept);
+  check_int "counts the rest as dropped" 2 (dropped ());
+  match kept with
+  | { Sink.s_event = Event.Note { value; _ }; _ } :: _ ->
+      check_float "oldest event kept" 1.0 value
+  | _ -> Alcotest.fail "expected the first note"
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+let test_flight_ring () =
+  let fr = Flight.create ~capacity:4 () in
+  let sink = Flight.sink fr in
+  for i = 1 to 10 do
+    sink.Sink.emit (Event.Note { name = "ev"; value = float_of_int i })
+  done;
+  check_int "recorded all" 10 (Flight.recorded fr);
+  check_int "overflow dropped" 6 (Flight.dropped fr);
+  let evs = Flight.events fr in
+  check_int "retains capacity" 4 (List.length evs);
+  (match evs with
+  | { Sink.s_event = Event.Note { value; _ }; _ } :: _ ->
+      check_float "oldest retained is event 7" 7.0 value
+  | _ -> Alcotest.fail "expected a note");
+  match Flight.last_event fr with
+  | Some { Sink.s_event = Event.Note { value; _ }; _ } ->
+      check_float "last retained is event 10" 10.0 value
+  | _ -> Alcotest.fail "expected a note"
+
+let test_flight_dump_readable () =
+  let fr = Flight.create ~capacity:4 () in
+  let sink = Flight.sink fr in
+  for i = 1 to 6 do
+    sink.Sink.emit (Event.Note { name = "ev"; value = float_of_int i })
+  done;
+  let path = Filename.temp_file "fsa_flight" ".jsonl" in
+  Flight.dump ~reason:"test" fr path;
+  let t = Trace.of_file path in
+  Sys.remove path;
+  check_int "events parse back" 4 t.Trace.events;
+  check_int "header is metadata, not a skip" 0 t.Trace.skipped;
+  check_int "one dump recorded" 1 (Flight.dumps fr)
+
+let test_flight_dump_on_budget_trip () =
+  let path = Filename.temp_file "fsa_flight" ".jsonl" in
+  let fr = Flight.create () in
+  let hook = Flight.arm fr ~path in
+  Runtime.with_observation ~sink:(Flight.sink fr) (fun () ->
+      let b = Budget.create ~probes:3 () in
+      let outcome =
+        Budget.run b
+          ~partial:(fun () -> ())
+          (fun () ->
+            let i = ref 0 in
+            while true do
+              incr i;
+              Runtime.emit (Event.Note { name = "probe"; value = float_of_int !i });
+              Budget.check ()
+            done)
+      in
+      check_bool "budget tripped" true
+        (match outcome with
+        | Error (`Budget_exceeded ((), `Probes)) -> true
+        | _ -> false));
+  Flight.disarm hook;
+  check_int "trip dumped exactly once" 1 (Flight.dumps fr);
+  (* The dump's last event must identify the trip site. *)
+  (match Flight.last_event fr with
+  | Some { Sink.s_event = Event.Note { name; _ }; _ } ->
+      check_string "trip marker is the last ring event"
+        "flight.budget_trip.probes" name
+  | _ -> Alcotest.fail "expected the trip marker");
+  let lines = read_lines path in
+  Sys.remove path;
+  (match lines with
+  | header :: _ -> (
+      match Json.member "reason" (Json.of_string header) with
+      | Some (Json.String r) -> check_string "reason" "budget_trip:probes" r
+      | _ -> Alcotest.fail "dump header has no reason")
+  | [] -> Alcotest.fail "empty dump");
+  match List.rev lines with
+  | last :: _ -> (
+      match Event.of_json (Json.of_string last) with
+      | Some (Event.Note { name; _ }) ->
+          check_string "last dumped line is the trip marker"
+            "flight.budget_trip.probes" name
+      | _ -> Alcotest.fail "last dump line is not the trip note")
+  | [] -> assert false
 
 (* ------------------------------------------------------------------ *)
 (* Zero interference: instrumentation must not change solver output *)
@@ -645,6 +749,14 @@ let () =
         [
           Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_roundtrip;
           Alcotest.test_case "tee and memory" `Quick test_tee_and_memory;
+          Alcotest.test_case "buffer sink bounded" `Quick test_buffer_sink_bounded;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring retention" `Quick test_flight_ring;
+          Alcotest.test_case "dump readable" `Quick test_flight_dump_readable;
+          Alcotest.test_case "dump on budget trip" `Quick
+            test_flight_dump_on_budget_trip;
         ] );
       ( "integration",
         [

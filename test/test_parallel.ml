@@ -247,6 +247,139 @@ let test_registry_merge () =
     (Option.value ~default:Float.nan (Registry.gauge_value a "g"))
 
 (* ------------------------------------------------------------------ *)
+(* Multicore observability: worker events/samples/metrics land in the
+   caller's sink/sampler/registry after the join, deterministically.    *)
+
+(* Each chunk opens one span; with a sink installed, the caller must see
+   span events from every slot, stamped with the emitting slot id, and
+   the merged order must be reproducible run over run. *)
+(* Timestamps and span durations are wall-clock, so determinism is
+   asserted over the ts-stripped stream: (domain, event kind, name). *)
+let trace_fan_out () =
+  let sink, drain, _ = Fsa_obs.Sink.buffer () in
+  Fsa_obs.Runtime.with_observation ~sink (fun () ->
+      ignore
+        (Pool.fan_out ~n:8 ~chunk:(fun ~slot ~lo ~hi ->
+             Fsa_obs.Span.with_ ~name:(Printf.sprintf "chunk.%d.%d" lo hi)
+               (fun () -> slot))));
+  List.map
+    (fun (s : Fsa_obs.Sink.stamped) ->
+      ( s.Fsa_obs.Sink.s_domain,
+        match s.Fsa_obs.Sink.s_event with
+        | Fsa_obs.Event.Span_begin { name; _ } -> "B " ^ name
+        | Fsa_obs.Event.Span_end { name; _ } -> "E " ^ name
+        | _ -> "other" ))
+    (drain ())
+
+let test_worker_events_propagate () =
+  Pool.with_domains 4 (fun () ->
+      let evs = trace_fan_out () in
+      (* 4 slots x one span x (begin + end). *)
+      check_int "all slots' events arrive" 8 (List.length evs);
+      let doms = List.sort_uniq compare (List.map fst evs) in
+      check_bool "events from >= 2 domains" true (List.length doms >= 2);
+      check_bool "slot ids are stamped" true (doms = [ 0; 1; 2; 3 ]);
+      (* Caller's live events first, then workers replayed in slot order. *)
+      check_bool "slot order non-decreasing" true
+        (List.for_all2 ( <= ) (List.map fst evs)
+           (List.tl (List.map fst evs) @ [ max_int ]));
+      check_bool "merge is deterministic" true (trace_fan_out () = evs))
+
+(* Regression (lost worker profiler samples): sampler ticks ride on
+   domain-local Budget hooks, so without per-slot forks merged after the
+   join, only slot 0's spans would ever be sampled. *)
+let test_worker_samples_merged () =
+  Pool.with_domains 4 (fun () ->
+      let s = Fsa_obs.Sampler.create ~every:1 () in
+      Fsa_obs.Sampler.with_ s (fun () ->
+          ignore
+            (Pool.fan_out ~n:4 ~chunk:(fun ~slot ~lo:_ ~hi:_ ->
+                 Fsa_obs.Span.with_ ~name:(Printf.sprintf "slot%d" slot)
+                   (fun () ->
+                     for _ = 1 to 10 do
+                       Fsa_obs.Budget.check ()
+                     done;
+                     slot))));
+      let counts = Fsa_obs.Sampler.counts s in
+      List.iter
+        (fun slot ->
+          check_bool
+            (Printf.sprintf "slot%d's span was sampled" slot)
+            true
+            (List.mem_assoc (Printf.sprintf "slot%d" slot) counts))
+        [ 0; 1; 2; 3 ];
+      check_bool "worker ticks counted" true (Fsa_obs.Sampler.ticks s >= 40))
+
+(* Satellite: Registry.merge_into histogram determinism beyond 2 domains.
+   The same observation stream split 1, 2, and 4 ways and merged in slot
+   order must render byte-identically (percentiles sort internally, so
+   order inside a histogram cannot leak the split). *)
+let test_histogram_merge_determinism () =
+  let observations = List.init 100 (fun i -> float_of_int ((i * 37) mod 100)) in
+  let merged_render ways =
+    let parts = Array.init ways (fun _ -> Registry.create ()) in
+    List.iteri
+      (fun i v ->
+        let r = parts.(i * ways / 100) in
+        Registry.observe r "h" v;
+        Registry.incr_counter r "c" 1.0;
+        Registry.set_gauge r "g" 7.0)
+      observations;
+    let into = Registry.create () in
+    Array.iter (fun p -> Registry.merge_into ~into p) parts;
+    Fsa_obs.Report.render into
+  in
+  let r1 = merged_render 1 in
+  check_string "2-way merge renders like 1-way" r1 (merged_render 2);
+  check_string "4-way merge renders like 1-way" r1 (merged_render 4)
+
+let test_pool_metrics_recorded () =
+  Pool.with_domains 4 (fun () ->
+      let reg = Registry.create () in
+      Fsa_obs.Runtime.with_observation ~registry:reg (fun () ->
+          ignore
+            (Pool.fan_out ~n:8 ~chunk:(fun ~slot ~lo:_ ~hi:_ ->
+                 (* Enough work that every slot's busy time is nonzero. *)
+                 let acc = ref 0.0 in
+                 for i = 1 to 10_000 do
+                   acc := !acc +. sqrt (float_of_int i)
+                 done;
+                 ignore !acc;
+                 slot)));
+      let counter name =
+        Option.value ~default:0.0 (Registry.counter_value reg name)
+      in
+      check_float "one fan-out" 1.0 (counter "pool.fan_outs");
+      check_bool "busy time recorded" true (counter "pool.busy_ns" > 0.0);
+      (match Registry.histogram_summary reg "pool.slot_busy_ns" with
+      | Some h -> check_int "one busy sample per slot" 4 h.Registry.count
+      | None -> Alcotest.fail "pool.slot_busy_ns histogram missing");
+      (match Registry.gauge_value reg "pool.skew" with
+      | Some skew -> check_bool "skew >= 1" true (skew >= 1.0)
+      | None ->
+          (* Legitimate only if some slot's busy time rounded to zero. *)
+          ());
+      check_float "no events dropped" 0.0 (counter "pool.events_dropped"))
+
+(* Inline fallbacks are counted (nested fan-out, ambient budget). *)
+let test_inline_fallback_counters () =
+  Pool.with_domains 4 (fun () ->
+      let reg = Registry.create () in
+      Fsa_obs.Runtime.with_observation ~registry:reg (fun () ->
+          ignore
+            (Pool.fan_out ~n:4 ~chunk:(fun ~slot ~lo:_ ~hi:_ ->
+                 ignore (Pool.fan_out ~n:4 ~chunk:(fun ~slot ~lo:_ ~hi:_ -> slot));
+                 slot));
+          let b = Budget.create () in
+          Budget.with_budget b (fun () ->
+              ignore (Pool.fan_out ~n:4 ~chunk:(fun ~slot ~lo:_ ~hi:_ -> slot))));
+      let counter name =
+        Option.value ~default:0.0 (Registry.counter_value reg name)
+      in
+      check_float "nested inlines counted" 4.0 (counter "pool.inline.nested");
+      check_float "budget inlines counted" 1.0 (counter "pool.inline.budget"))
+
+(* ------------------------------------------------------------------ *)
 (* Cross-domain determinism: every solver's output is byte-identical at
    1, 2, and 4 domains.                                                 *)
 
@@ -380,6 +513,19 @@ let () =
         [
           Alcotest.test_case "parse_table_budget" `Quick test_parse_table_budget;
           Alcotest.test_case "registry merge" `Quick test_registry_merge;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "worker events propagate" `Quick
+            test_worker_events_propagate;
+          Alcotest.test_case "worker samples merged" `Quick
+            test_worker_samples_merged;
+          Alcotest.test_case "histogram merge determinism" `Quick
+            test_histogram_merge_determinism;
+          Alcotest.test_case "pool metrics recorded" `Quick
+            test_pool_metrics_recorded;
+          Alcotest.test_case "inline fallback counters" `Quick
+            test_inline_fallback_counters;
         ] );
       ( "determinism",
         [

@@ -266,6 +266,96 @@ let test_summary_mentions_wall_and_solver () =
   check_bool "prints solver table" true (contains "solver demo" s)
 
 (* ------------------------------------------------------------------ *)
+(* Multi-domain traces (fsa-trace/2) *)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* Two domains interleaved: each domain keeps its own open-span stack, so
+   d1's span must not nest under d0's open root. *)
+let two_domain_events =
+  [
+    (Some 0.0, 0, span_begin "caller");
+    (Some 0.1, 1, span_begin "worker");
+    (Some 0.2, 1, span_end "worker" 1e6);
+    (Some 0.3, 0, span_end "caller" 2e6);
+  ]
+
+let test_v2_header_and_domain_field () =
+  let text =
+    String.concat "\n"
+      [
+        {|{"schema":"fsa-trace/2"}|};
+        {|{"type":"span_begin","name":"caller","depth":0,"ts":0.0,"domain":0}|};
+        {|{"type":"span_begin","name":"worker","depth":0,"ts":0.1,"domain":1}|};
+        {|{"type":"span_end","name":"worker","depth":0,"elapsed_ns":1e6,"minor_words":0.0,"major_words":0.0,"domain":1}|};
+        {|{"type":"span_end","name":"caller","depth":0,"elapsed_ns":2e6,"minor_words":0.0,"major_words":0.0,"domain":0}|};
+      ]
+  in
+  let t = Trace.of_string text in
+  check_int "header is not a skip" 0 t.Trace.skipped;
+  check_int "four events" 4 t.Trace.events;
+  Alcotest.(check (list int)) "two domains" [ 0; 1 ] (Trace.domains t);
+  (* Per-domain stacks: two roots, one per domain, neither nested. *)
+  check_int "two roots" 2 (List.length t.Trace.roots);
+  let d0 = List.nth t.Trace.roots 0 and d1 = List.nth t.Trace.roots 1 in
+  check_string "domain 0 root" "caller" d0.Trace.name;
+  check_int "d0 slot" 0 d0.Trace.domain;
+  check_int "caller has no children" 0 (List.length d0.Trace.children);
+  check_string "domain 1 root" "worker" d1.Trace.name;
+  check_int "d1 slot" 1 d1.Trace.domain
+
+let test_domainless_lines_default_to_zero () =
+  let text =
+    {|{"type":"span_begin","name":"s","depth":0}|} ^ "\n"
+    ^ {|{"type":"span_end","name":"s","depth":0,"elapsed_ns":1000.0,"minor_words":0.0,"major_words":0.0}|}
+  in
+  let t = Trace.of_string text in
+  Alcotest.(check (list int)) "v1 trace is all domain 0" [ 0 ] (Trace.domains t);
+  check_int "d0 slot" 0 (List.hd t.Trace.roots).Trace.domain
+
+let test_chrome_multi_domain_tracks () =
+  let json = Export.chrome (Trace.of_events_domains two_domain_events) in
+  match Json.member "traceEvents" json with
+  | Some (Json.List evs) ->
+      let tids_of ph =
+        List.filter_map
+          (fun e ->
+            if Json.member "ph" e = Some (Json.String ph) then
+              Option.bind (Json.member "tid" e) Json.to_int_opt
+            else None)
+          evs
+      in
+      Alcotest.(check (list int))
+        "one track per domain (tid = domain + 1)" [ 1; 2 ]
+        (List.sort_uniq compare (tids_of "X"));
+      (* thread_name metadata names each track. *)
+      check_int "two thread_name records" 2 (List.length (tids_of "M"))
+  | _ -> Alcotest.fail "missing traceEvents"
+
+let test_folded_multi_domain_prefix () =
+  let folded =
+    String.trim (Export.folded (Trace.of_events_domains two_domain_events))
+  in
+  let lines = List.sort compare (String.split_on_char '\n' folded) in
+  Alcotest.(check (list string))
+    "d<N> root frames" [ "d0;caller 2000000"; "d1;worker 1000000" ] lines
+
+let test_summary_domain_table () =
+  let multi = Export.summary (Trace.of_events_domains two_domain_events) in
+  check_bool "multi-domain summary has a domains table" true
+    (contains "-- domains --" multi);
+  check_bool "lists the worker domain" true (contains "worker" multi);
+  (* Single-domain summaries keep the old layout, no domains section. *)
+  let single =
+    Export.summary (Trace.of_events (no_ts [ span_begin "s"; span_end "s" 1e6 ]))
+  in
+  check_bool "single-domain summary unchanged" false
+    (contains "-- domains --" single)
+
+(* ------------------------------------------------------------------ *)
 (* CLI end-to-end: csr_solve --trace | fsa_trace | benchgate *)
 
 let exe name =
@@ -650,6 +740,31 @@ let test_benchgate_domain_tier_speedup () =
   Sys.remove base;
   Sys.remove cand
 
+let test_benchgate_reports_pool_counters () =
+  (* An (Nd) row carrying pool counters gets them echoed next to its
+     speedup line — informational, never gated. *)
+  let doc =
+    Printf.sprintf
+      {|{"schema":"fsa-bench/1","config":{"quick":false},"benches":[
+         {"name":"sparse (1d)","ns_per_run":4e6,"r_square":0.95,"runs":100},
+         {"name":"sparse (4d)","ns_per_run":2e6,"r_square":0.95,"runs":100,
+          "counters":{"pool.skew":1.25,"pool.busy_ns":8e6}}]}|}
+  in
+  let base = Filename.temp_file "bench_base" ".json" in
+  let cand = Filename.temp_file "bench_cand" ".json" in
+  write_file base doc;
+  write_file cand doc;
+  let code, out =
+    run_benchgate
+      (Printf.sprintf "--baseline %s --candidate %s" (Filename.quote base)
+         (Filename.quote cand))
+  in
+  Sys.remove base;
+  Sys.remove cand;
+  check_int "pool counters never gate" 0 code;
+  check_bool "skew reported" true (contains "skew 1.25" out);
+  check_bool "busy time reported" true (contains "busy " out)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -684,6 +799,19 @@ let () =
           Alcotest.test_case "summary text" `Quick
             test_summary_mentions_wall_and_solver;
         ] );
+      ( "domains",
+        [
+          Alcotest.test_case "v2 header and domain field" `Quick
+            test_v2_header_and_domain_field;
+          Alcotest.test_case "v1 lines default to domain 0" `Quick
+            test_domainless_lines_default_to_zero;
+          Alcotest.test_case "chrome one track per domain" `Quick
+            test_chrome_multi_domain_tracks;
+          Alcotest.test_case "folded d<N> prefix" `Quick
+            test_folded_multi_domain_prefix;
+          Alcotest.test_case "summary domains table" `Quick
+            test_summary_domain_table;
+        ] );
       ( "cli",
         [
           Alcotest.test_case "summarize root = wall" `Quick
@@ -711,5 +839,7 @@ let () =
             test_benchgate_deadline_ceiling;
           Alcotest.test_case "domain-tier speedup on (Nd) benches" `Quick
             test_benchgate_domain_tier_speedup;
+          Alcotest.test_case "pool counters reported on (Nd) benches" `Quick
+            test_benchgate_reports_pool_counters;
         ] );
     ]

@@ -37,7 +37,16 @@ let die fmt =
 (* ------------------------------------------------------------------ *)
 (* fsa-bench/1 parsing *)
 
-type bench = { b_name : string; ns : float; r2 : float option; runs : int }
+type bench = {
+  b_name : string;
+  ns : float;
+  r2 : float option;
+  runs : int;
+  counters : (string * float) list;
+      (* Optional per-bench "counters" object: observability counters and
+         gauges recorded while the bench ran (pool.skew, pool.busy_ns on
+         the (Nd) tiers).  Reported, never gated. *)
+}
 
 type doc = {
   benches : bench list;
@@ -80,6 +89,14 @@ let load_doc path =
                       runs =
                         Option.value ~default:0
                           (Option.bind (J.member "runs" b) J.to_int_opt);
+                      counters =
+                        (match J.member "counters" b with
+                        | Some (J.Obj kvs) ->
+                            List.filter_map
+                              (fun (k, v) ->
+                                Option.map (fun f -> (k, f)) (J.to_float_opt v))
+                              kvs
+                        | _ -> []);
                     })
                   (J.to_float_opt ns_j)
             | _ -> None)
@@ -154,6 +171,27 @@ let domain_tier name =
     | _ -> None
   else None
 
+(* Pool-balance telemetry for an (Nd) row, when the candidate document
+   recorded it: skew is the busiest/idlest slot busy-time ratio (1.0 =
+   perfectly balanced chunks), busy the summed slot busy time.
+   Informational only — skew depends on the machine's load, so it is
+   reported next to the speedup, never gated. *)
+let pool_note bench =
+  let v name = List.assoc_opt name bench.counters in
+  match (v "pool.skew", v "pool.busy_ns") with
+  | None, None -> ""
+  | skew, busy ->
+      let parts =
+        (match skew with
+        | Some s -> [ Printf.sprintf "skew %.2f" s ]
+        | None -> [])
+        @
+        match busy with
+        | Some b -> [ "busy " ^ Fsa_obs.Report.pretty_ns b ]
+        | None -> []
+      in
+      "  [pool: " ^ String.concat ", " parts ^ "]"
+
 (* Returns the number of tier groups whose highest domain count misses
    [min_speedup] (always 0 when the gate is off). *)
 let report_speedups ~min_speedup benches =
@@ -186,12 +224,13 @@ let report_speedups ~min_speedup benches =
                 let gated = min_speedup > 0.0 && d = top_d in
                 let failed = gated && speedup < min_speedup in
                 if failed then incr failures;
-                Printf.printf "speedup: %s: %.2fx at %dd%s\n" base speedup d
+                Printf.printf "speedup: %s: %.2fx at %dd%s%s\n" base speedup d
                   (if failed then
                      Printf.sprintf "  BELOW FLOOR (< %.2fx)" min_speedup
                    else if gated then
                      Printf.sprintf "  (floor %.2fx: ok)" min_speedup
-                   else ""))
+                   else "")
+                  (pool_note bench))
               others
           end)
     bases;

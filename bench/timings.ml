@@ -138,6 +138,95 @@ let portfolio_bench ~regions ~frags ~deadline_ms =
     (Staged.stage (fun () ->
          ignore (Fsa_portfolio.Portfolio.solve ~deadline inst)))
 
+(* Chromosome-scale discovery tier: one ≥256 kb synthetic genome pair,
+   instance built by the seed → chain → band engine vs the full-kernel
+   per-anchor baseline.  Homology is confined to planted ~3 kb conserved
+   regions separated by unrelated random spacers — unlike
+   Pipeline.generate, whose spacers descend from the shared ancestor too,
+   which would make every contig pair homologous end to end and the full
+   O(n·m) baseline intractable at this scale.  A few regions are inverted
+   on the M side to exercise reverse-strand chains.  Per-bench counters
+   carry the chain.* / band.* telemetry (band.fallbacks is
+   force-registered so the key is present even when the adaptive kernel
+   never falls back). *)
+let discovery_pair =
+  lazy
+    (let rng = Rng.create 17 in
+     let regions = 44 and region_len = 3000 and spacer_len = 3000 in
+     let cores =
+       Array.init regions (fun _ -> Fsa_seq.Dna.random rng region_len)
+     in
+     (* Small indels shift the alignment diagonal mid-region, so one region
+        seeds several anchors that only chaining reunites — and the
+        inter-anchor gaps are what the adaptive banded stitcher aligns. *)
+     let indel core =
+       let n = Fsa_seq.Dna.length core in
+       let pos = Rng.int rng n in
+       if Rng.int rng 2 = 0 then
+         let len = min (1 + Rng.int rng 20) (n - pos) in
+         Fsa_seq.Dna.concat
+           [
+             Fsa_seq.Dna.sub core ~pos:0 ~len:pos;
+             Fsa_seq.Dna.sub core ~pos:(pos + len) ~len:(n - pos - len);
+           ]
+       else
+         Fsa_seq.Dna.concat
+           [
+             Fsa_seq.Dna.sub core ~pos:0 ~len:pos;
+             Fsa_seq.Dna.random rng (1 + Rng.int rng 20);
+             Fsa_seq.Dna.sub core ~pos ~len:(n - pos);
+           ]
+     in
+     let rec indels k core = if k = 0 then core else indels (k - 1) (indel core) in
+     let genome ~mutate ~core_indels ~invert_every =
+       let parts = ref [ Fsa_seq.Dna.random rng spacer_len ] in
+       Array.iteri
+         (fun i core ->
+           let core = Fsa_seq.Dna.point_mutate rng ~rate:mutate core in
+           let core = indels core_indels core in
+           let core =
+             if invert_every > 0 && i mod invert_every = invert_every - 1 then
+               Fsa_seq.Dna.reverse_complement core
+             else core
+           in
+           parts := Fsa_seq.Dna.random rng spacer_len :: core :: !parts)
+         cores;
+       Fsa_seq.Dna.concat (List.rev !parts)
+     in
+     let contigs prefix pieces dna =
+       let n = Fsa_seq.Dna.length dna in
+       List.init pieces (fun i ->
+           let lo = i * n / pieces and hi = (i + 1) * n / pieces in
+           {
+             Fsa_genome.Fragmentation.name = Printf.sprintf "%s%d" prefix i;
+             dna = Fsa_seq.Dna.sub dna ~pos:lo ~len:(hi - lo);
+             regions = [];
+             true_offset = lo;
+             true_reversed = false;
+           })
+     in
+     let h = contigs "h" 3 (genome ~mutate:0.01 ~core_indels:0 ~invert_every:0) in
+     let m = contigs "m" 7 (genome ~mutate:0.02 ~core_indels:4 ~invert_every:9) in
+     (h, m))
+
+let discovery_genome_size () =
+  let h, m = Lazy.force discovery_pair in
+  List.fold_left
+    (fun n (c : Fsa_genome.Fragmentation.contig) ->
+      n + Fsa_seq.Dna.length c.Fsa_genome.Fragmentation.dna)
+    0 (h @ m)
+  / 2
+
+let band_fallbacks_probe = Fsa_obs.Metric.Counter.make "band.fallbacks"
+
+let discovery_bench ~engine ~label =
+  let h, m = Lazy.force discovery_pair in
+  Test.make
+    ~name:(Printf.sprintf "discovery %s %dkb" label (discovery_genome_size () / 1024))
+    (Staged.stage (fun () ->
+         Fsa_obs.Metric.Counter.incr ~by:0 band_fallbacks_probe;
+         ignore (Fsa_genome.Pipeline.discovery_instance ~engine ~h ~m ())))
+
 let four_approx_bench () =
   let rng = Rng.create 11 in
   let inst =
@@ -178,6 +267,8 @@ let test_list () =
     sparse_parallel_bench ~regions:128 ~frags:32 ~domains:4;
     portfolio_bench ~regions:64 ~frags:16 ~deadline_ms:5;
     portfolio_bench ~regions:128 ~frags:32 ~deadline_ms:10;
+    discovery_bench ~engine:`Chained ~label:"chained";
+    discovery_bench ~engine:`Per_anchor_full ~label:"per-anchor-full";
     exact_bench ();
   ]
 

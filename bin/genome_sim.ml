@@ -65,14 +65,17 @@ let run seed mode regions region_len h_pieces m_pieces subst inversions transloc
       rearrangement_len = region_len * 5 / 2;
     }
   in
+  (* Export before the solve loop so --reps 0 works as "generate and
+     export only" — at chromosome scale the solve costs minutes the
+     export-only caller (e.g. the CI discovery smoke) doesn't need. *)
+  (match fasta_dir with
+  | Some dir ->
+      let h, m = P.generate (Fsa_util.Rng.create seed) params in
+      export_fasta dir h m
+  | None -> ());
   let accs = ref [] and covs = ref [] in
   for i = 0 to reps - 1 do
     let rng = Fsa_util.Rng.create (seed + i) in
-    (match fasta_dir with
-    | Some dir when i = 0 ->
-        let h, m = P.generate (Fsa_util.Rng.create (seed + i)) params in
-        export_fasta dir h m
-    | _ -> ());
     let built, sol, report = P.run rng ~mode params ~solver:Fsa_csr.Csr_improve.solve_best in
     Printf.printf "run %d: score %.1f | %s\n" (i + 1)
       (Fsa_csr.Solution.score sol)
@@ -107,7 +110,11 @@ let term =
   let duplications =
     value & opt int 0 & info [ "duplications" ] ~doc:"Segmental duplications (region ambiguity)."
   in
-  let reps = value & opt int 1 & info [ "reps" ] ~doc:"Independent repetitions." in
+  let reps =
+    value & opt int 1
+    & info [ "reps" ]
+        ~doc:"Independent repetitions (0 with --export-fasta: generate and export only)."
+  in
   let show_islands =
     value & flag & info [ "islands" ] ~doc:"Print the inferred island layouts."
   in
@@ -132,8 +139,125 @@ let term =
     $ inversions $ transloc $ indels $ duplications $ reps $ show_islands $ fasta_dir
     $ trace $ stats)
 
+(* ------------------------------------------------------------------ *)
+(* discover: seed → chain → band on real FASTA pairs                   *)
+
+let contigs_of_fasta path =
+  let entries =
+    try Fsa_seq.Fasta.read_file path
+    with Sys_error msg | Failure msg ->
+      prerr_endline ("genome_sim discover: error: " ^ msg);
+      exit 2
+  in
+  if entries = [] then begin
+    prerr_endline ("genome_sim discover: error: no sequences in " ^ path);
+    exit 2
+  end;
+  List.map
+    (fun (e : Fsa_seq.Fasta.entry) ->
+      {
+        Fsa_genome.Fragmentation.name = e.Fsa_seq.Fasta.name;
+        dna = e.Fsa_seq.Fasta.dna;
+        regions = [];
+        true_offset = 0;
+        true_reversed = false;
+      })
+    entries
+
+let discover h_path m_path k min_anchor_score cluster_gap engine max_gap band
+    band_cap trace =
+  setup_observation trace false;
+  let reg = Fsa_obs.Registry.create () in
+  Fsa_obs.Runtime.set_registry (Some reg);
+  let h = contigs_of_fasta h_path and m = contigs_of_fasta m_path in
+  let engine =
+    match engine with
+    | "per-anchor" -> `Per_anchor
+    | "per-anchor-full" -> `Per_anchor_full
+    | _ -> `Chained
+  in
+  let built =
+    try
+      P.discovery_instance ~k ~min_anchor_score ~cluster_gap ~engine ~max_gap
+        ?band ?band_cap ~h ~m ()
+    with Invalid_argument msg ->
+      prerr_endline ("genome_sim discover: " ^ msg);
+      exit 1
+  in
+  print_string (Fsa_csr.Instance.to_text built.P.instance);
+  print_newline ();
+  List.iter
+    (fun (name, v) ->
+      let prefix p = String.length name >= String.length p
+                     && String.sub name 0 (String.length p) = p in
+      if prefix "seed." || prefix "chain." || prefix "band."
+         || prefix "pipeline." then
+        Printf.printf "# %-28s %.0f\n" name v)
+    (Fsa_obs.Registry.counters reg)
+
+let discover_cmd =
+  let open Arg in
+  let h_fasta =
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"H.fa" ~doc:"FASTA file with the first species' contigs."
+  in
+  let m_fasta =
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"M.fa" ~doc:"FASTA file with the second species' contigs."
+  in
+  let k = value & opt int 12 & info [ "k" ] ~doc:"Seed k-mer size." in
+  let min_anchor_score =
+    value & opt float 24.0
+    & info [ "min-anchor-score" ] ~doc:"Discard anchors scoring below this."
+  in
+  let cluster_gap =
+    value & opt int 5
+    & info [ "cluster-gap" ] ~doc:"Merge footprints within this many bases."
+  in
+  let engine =
+    value
+    & opt
+        (enum
+           [
+             ("chained", "chained");
+             ("per-anchor", "per-anchor");
+             ("per-anchor-full", "per-anchor-full");
+           ])
+        "chained"
+    & info [ "engine" ]
+        ~doc:
+          "Region/σ builder: chained (seed → chain → band, default), \
+           per-anchor (historical), per-anchor-full (full-kernel baseline)."
+  in
+  let max_gap =
+    value & opt int 300
+    & info [ "max-gap" ] ~doc:"Largest per-sequence gap bridged by a chain."
+  in
+  let band =
+    value & opt (some int) None
+    & info [ "band" ] ~doc:"Initial adaptive band for gap stitching."
+  in
+  let band_cap =
+    value & opt (some int) None
+    & info [ "band-cap" ]
+        ~doc:"Band width beyond which stitching falls back to the full kernel."
+  in
+  let trace =
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"Write a JSONL trace to $(docv)."
+  in
+  let doc = "discover homologous regions between two FASTA contig sets" in
+  Cmd.v
+    (Cmd.info "discover" ~doc)
+    Term.(
+      const discover $ h_fasta $ m_fasta $ k $ min_anchor_score $ cluster_gap
+      $ engine $ max_gap $ band $ band_cap $ trace)
+
 let cmd =
   let doc = "synthetic two-genome order/orient inference benchmark" in
-  Cmd.v (Cmd.info "genome_sim" ~doc) term
+  Cmd.group ~default:term (Cmd.info "genome_sim" ~doc) [ discover_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -23,6 +23,11 @@ let banded_global ?(params = default) ~band a b =
   Pairwise.banded_global ~score:(score_fn params a b) ~gap:params.gap ~band
     ~la:(Dna.length a) ~lb:(Dna.length b)
 
+let adaptive_global ?(params = default) ?band ?band_cap a b =
+  Pairwise.adaptive_global ~score:(score_fn params a b)
+    ~s_max:(Float.max params.match_score params.mismatch)
+    ~gap:params.gap ?band ?band_cap ~la:(Dna.length a) ~lb:(Dna.length b) ()
+
 let identity_of_alignment a b (al : Pairwise.alignment) =
   let pairs, matches =
     List.fold_left

@@ -19,6 +19,12 @@ val semiglobal : ?params:params -> Dna.t -> Dna.t -> Pairwise.alignment
 val local : ?params:params -> Dna.t -> Dna.t -> Pairwise.local
 val banded_global : ?params:params -> band:int -> Dna.t -> Dna.t -> Pairwise.alignment
 
+val adaptive_global :
+  ?params:params -> ?band:int -> ?band_cap:int -> Dna.t -> Dna.t -> Pairwise.adaptive
+(** {!Pairwise.adaptive_global} with [s_max] derived from [params]:
+    score- and ops-identical to {!global}, banded cost when the band
+    certificate converges. *)
+
 val identity_of_alignment : Dna.t -> Dna.t -> Pairwise.alignment -> float
 (** Fraction of [Both] columns that pair equal bases; 0 for an empty
     alignment. *)

@@ -293,6 +293,93 @@ let banded_global ~score ~gap ~band ~la ~lb =
   in
   { score = dp.(idx la lb); ops = back la lb [] }
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive banded global alignment.
+
+   [banded_global] is exact only when the optimal path stays inside the
+   band; callers had to guess a band and got silently wrong scores when
+   they guessed low.  [adaptive_global] removes the guesswork: it runs the
+   banded kernel and *certifies* the result against full NW before
+   accepting it, doubling the band on certificate failure and falling back
+   to the exact full kernel past a cap.  Returned alignments are therefore
+   always score- and ops-identical to {!global} (fuzz-enforced in
+   test_align).
+
+   The certificate.  Write D = lb - la and let band b >= |D|.  The banded
+   kernel's center line is c(i) = floor(i*lb/la), so any cell outside the
+   band has |j - c(i)| >= b+1, hence |j - i*lb/la| > b (the floor shifts
+   the real center by < 1).  For D >= 0 the real center offset
+   i*D/la lies in [0, D], so an out-of-band cell's diagonal offset
+   o = j - i satisfies o >= b+1 or o <= D-b-1; a global path visiting
+   offset o uses at least |o| + |D - o| indel columns, which in either
+   case (using b >= D) is at least 2*(b+1) - |D|.  D < 0 is symmetric.
+   Every column pair scores at most max(0, s_max), and a path has at most
+   min(la, lb) pairs, so any path that leaves the band scores at most
+
+     outside_bound(b) = max(0, s_max) * min(la, lb)
+                        - gap * (2*(b+1) - |D|).
+
+   If the banded score S satisfies S > outside_bound(b) *strictly*, then
+   every optimal path stays inside the band, so S equals the full-DP
+   optimum.  Strictness also pins the traceback: on every cell of the
+   full traceback the tested neighbor value is realized by the prefix of
+   some optimal (hence in-band) path, so the banded DP holds the same
+   value and the banded traceback makes the same diag/up/left choice in
+   the same preference order.  The two tracebacks are equal column for
+   column, not just in score.
+
+   When the band grows to cover the whole matrix (b >= max(la, lb) >= lb
+   covers every cell of every row), the banded recurrence *is* the full
+   recurrence and no certificate is needed.  [s_max] must upper-bound
+   [score i j] over the rectangle; [gap] must be non-negative. *)
+
+type adaptive = {
+  result : alignment;
+  band_used : int;  (** band of the accepted run; the cap-exceeded fallback
+                        and full-coverage runs report [max la lb] *)
+  widenings : int;  (** number of band doublings before acceptance *)
+  fell_back : bool;  (** true when the band cap forced the full kernel *)
+}
+
+let widenings_counter = Fsa_obs.Metric.Counter.make "band.widenings"
+let fallbacks_counter = Fsa_obs.Metric.Counter.make "band.fallbacks"
+let certified_counter = Fsa_obs.Metric.Counter.make "band.certified"
+
+let adaptive_global ~score ~s_max ~gap ?(band = 16) ?(band_cap = 2048) ~la ~lb
+    () =
+  if gap < 0.0 then invalid_arg "Pairwise.adaptive_global: negative gap";
+  if band < 1 then invalid_arg "Pairwise.adaptive_global: band < 1";
+  let d = abs (lb - la) in
+  let cover = max la lb in
+  let outside_bound b =
+    (Float.max 0.0 s_max *. float_of_int (min la lb))
+    -. (gap *. float_of_int ((2 * (b + 1)) - d))
+  in
+  let rec go b widenings =
+    if b >= cover then begin
+      (* The band covers every cell: banded DP = full DP by construction
+         (identical recurrence, identical traceback guards). *)
+      let result = global ~score ~gap ~la ~lb in
+      { result; band_used = cover; widenings; fell_back = false }
+    end
+    else if b > band_cap then begin
+      Fsa_obs.Metric.Counter.incr fallbacks_counter;
+      let result = global ~score ~gap ~la ~lb in
+      { result; band_used = cover; widenings; fell_back = true }
+    end
+    else
+      let result = banded_global ~score ~gap ~band:b ~la ~lb in
+      if result.score > outside_bound b then begin
+        Fsa_obs.Metric.Counter.incr certified_counter;
+        { result; band_used = b; widenings; fell_back = false }
+      end
+      else begin
+        Fsa_obs.Metric.Counter.incr widenings_counter;
+        go (b * 2) (widenings + 1)
+      end
+  in
+  go (max band d) 0
+
 let xdrop_extend ~score ~x_drop ~la ~lb ~a_start ~b_start =
   let rec go k running best best_len =
     let i = a_start + k and j = b_start + k in

@@ -60,6 +60,36 @@ val banded_global :
 (** Needleman–Wunsch restricted to |i - j·la/lb| within [band] of the main
     diagonal; exact when the optimal path stays in the band. *)
 
+type adaptive = {
+  result : alignment;
+  band_used : int;  (** band of the accepted run; full-kernel runs (cap
+                        fallback or full band coverage) report [max la lb] *)
+  widenings : int;  (** band doublings before acceptance *)
+  fell_back : bool;  (** the band cap forced the exact full kernel *)
+}
+
+val adaptive_global :
+  score:(int -> int -> float) ->
+  s_max:float ->
+  gap:float ->
+  ?band:int ->
+  ?band_cap:int ->
+  la:int ->
+  lb:int ->
+  unit ->
+  adaptive
+(** Needleman–Wunsch via {!banded_global} under an adaptive band: run with
+    [band] (default 16, clamped up to [abs (lb - la)]), accept only if the
+    banded score strictly beats a provable upper bound on every path that
+    leaves the band ([s_max] must dominate [score i j]; see pairwise.ml for
+    the certificate), otherwise double the band; past [band_cap] (default
+    2048) fall back to the exact full kernel.  The accepted alignment is
+    always {e score- and ops-identical} to {!global} — the strict
+    certificate pins both the optimum and the traceback — which the fuzz
+    suite enforces.  Telemetry: [band.widenings], [band.fallbacks],
+    [band.certified] counters.
+    @raise Invalid_argument if [gap < 0] or [band < 1]. *)
+
 val xdrop_extend :
   score:(int -> int -> float) ->
   x_drop:float ->

@@ -1,22 +1,42 @@
 open Fsa_seq
 
-type index = { k : int; table : (int, int list) Hashtbl.t; max_occ : int }
+type index = { k : int; table : (int, int array) Hashtbl.t; max_occ : int }
 
 let build_index ?(max_occ = 32) ~k target =
-  let table = Hashtbl.create 1024 in
-  let add () ~pos ~kmer =
-    let old = Option.value ~default:[] (Hashtbl.find_opt table kmer) in
-    Hashtbl.replace table kmer (pos :: old)
-  in
-  Dna.fold_kmers ~k target ~init:() ~f:add;
-  (* Drop repeat k-mers: they seed quadratically many spurious diagonals. *)
-  Hashtbl.filter_map_inplace
-    (fun _ occs -> if List.length occs > max_occ then None else Some (List.rev occs))
-    table;
+  (* Two counting passes so occurrence lists land in flat int arrays with no
+     intermediate list cells: count per k-mer, then fill in position order. *)
+  let counts = Hashtbl.create 1024 in
+  Dna.fold_kmers ~k target ~init:() ~f:(fun () ~pos:_ ~kmer ->
+      let c = match Hashtbl.find_opt counts kmer with Some c -> c | None -> 0 in
+      Hashtbl.replace counts kmer (c + 1));
+  let table = Hashtbl.create (Hashtbl.length counts) in
+  let fill = Hashtbl.create (Hashtbl.length counts) in
+  Dna.fold_kmers ~k target ~init:() ~f:(fun () ~pos ~kmer ->
+      (* Repeat k-mers seed quadratically many spurious diagonals: drop. *)
+      if Hashtbl.find counts kmer <= max_occ then begin
+        let occs =
+          match Hashtbl.find_opt table kmer with
+          | Some occs -> occs
+          | None ->
+              let occs = Array.make (Hashtbl.find counts kmer) 0 in
+              Hashtbl.add table kmer occs;
+              occs
+        in
+        let i =
+          match Hashtbl.find_opt fill kmer with Some i -> i | None -> 0
+        in
+        occs.(i) <- pos;
+        Hashtbl.replace fill kmer (i + 1)
+      end);
   { k; table; max_occ }
 
+let empty_occs : int array = [||]
 let index_k idx = idx.k
-let lookup idx kmer = Option.value ~default:[] (Hashtbl.find_opt idx.table kmer)
+
+let lookup idx kmer =
+  match Hashtbl.find_opt idx.table kmer with
+  | Some occs -> occs
+  | None -> empty_occs
 
 type anchor = {
   t_lo : int;
@@ -34,27 +54,59 @@ let dominated_counter = Fsa_obs.Metric.Counter.make "seed.anchors_dominated"
 
 (* One strand: seeds as (diagonal, query-pos) pairs, merged into runs along
    each diagonal, each run extended with x-drop.  Query coordinates here are
-   in the possibly reverse-complemented sequence [q]; the caller converts. *)
-let strand_runs ?(params = Dna_align.default) ~max_gap ~x_drop ~min_score idx ~target ~q =
+   in the possibly reverse-complemented sequence [q]; the caller converts.
+
+   Hits are packed one per int — (diag + ql) in the bits above 31, query
+   position in the low 31 — so collection is a growable int array and
+   ordering by (diagonal, position) is a single monomorphic int sort.  Valid
+   for sequences shorter than 2^30 bases, comfortably past chromosome
+   scale. *)
+let strand_runs ?(params = Dna_align.default) ~max_gap ~x_drop ~min_score idx
+    ~target ~q =
   let k = idx.k in
-  let hits =
-    Dna.fold_kmers ~k q ~init:[] ~f:(fun acc ~pos ~kmer ->
-        List.fold_left (fun acc t -> (t - pos, pos) :: acc) acc (lookup idx kmer))
-  in
-  let hits = List.sort compare hits in
+  let ql = Dna.length q in
+  let buf = ref (Array.make 256 0) and len = ref 0 in
+  Dna.fold_kmers ~k q ~init:() ~f:(fun () ~pos ~kmer ->
+      let occs = lookup idx kmer in
+      for i = 0 to Array.length occs - 1 do
+        let cap = Array.length !buf in
+        if !len = cap then begin
+          let bigger = Array.make (2 * cap) 0 in
+          Array.blit !buf 0 bigger 0 cap;
+          buf := bigger
+        end;
+        !buf.(!len) <- ((occs.(i) - pos + ql) lsl 31) lor pos;
+        incr len
+      done);
+  let hits = Array.sub !buf 0 !len in
+  Array.sort Int.compare hits;
   (* Merge hits on a common diagonal whose starts are within k + max_gap. *)
-  let runs, last =
-    List.fold_left
-      (fun (runs, current) (d, j) ->
-        match current with
-        | Some (cd, j0, j1) when cd = d && j <= j1 + k + max_gap ->
-            (runs, Some (cd, j0, max j1 j))
-        | Some run -> (run :: runs, Some (d, j, j))
-        | None -> (runs, Some (d, j, j)))
-      ([], None) hits
+  let runs = ref [] in
+  let nruns = ref 0 in
+  let cur_d = ref 0 and cur_j0 = ref 0 and cur_j1 = ref 0 in
+  let have = ref false in
+  let flush () =
+    if !have then begin
+      runs := (!cur_d, !cur_j0, !cur_j1) :: !runs;
+      incr nruns
+    end
   in
-  let runs = match last with Some run -> run :: runs | None -> runs in
-  let tl = Dna.length target and ql = Dna.length q in
+  for i = 0 to Array.length hits - 1 do
+    let key = hits.(i) in
+    let d = (key asr 31) - ql and j = key land 0x7FFF_FFFF in
+    if !have && !cur_d = d && j <= !cur_j1 + k + max_gap then begin
+      if j > !cur_j1 then cur_j1 := j
+    end
+    else begin
+      flush ();
+      have := true;
+      cur_d := d;
+      cur_j0 := j;
+      cur_j1 := j
+    end
+  done;
+  flush ();
+  let tl = Dna.length target in
   let pair_score i j =
     if Dna.get target i = Dna.get q j then params.Dna_align.match_score
     else params.Dna_align.mismatch
@@ -84,7 +136,7 @@ let strand_runs ?(params = Dna_align.default) ~max_gap ~x_drop ~min_score idx ~t
     let score = !core_score +. left_score +. right_score in
     (d, q_lo, q_hi, score)
   in
-  Fsa_obs.Metric.Counter.incr ~by:(List.length runs) runs_counter;
+  Fsa_obs.Metric.Counter.incr ~by:!nruns runs_counter;
   List.filter_map
     (fun run ->
       let d, q_lo, q_hi, score = extend run in
@@ -93,7 +145,7 @@ let strand_runs ?(params = Dna_align.default) ~max_gap ~x_drop ~min_score idx ~t
         Fsa_obs.Metric.Counter.incr filtered_counter;
         None
       end)
-    runs
+    !runs
 
 let anchors ?(params = Dna_align.default) ?(max_gap = 4) ?(x_drop = 10.0)
     ?(min_score = 20.0) idx ~target ~query =
@@ -125,24 +177,55 @@ let anchors ?(params = Dna_align.default) ?(max_gap = 4) ?(x_drop = 10.0)
 
 let contains_range (lo1, hi1) (lo2, hi2) = lo1 <= lo2 && hi2 <= hi1
 
+(* Sort-and-sweep domination filter, equivalent to the obvious quadratic
+   fold ("keep each anchor unless an already kept — hence earlier in input
+   order, hence at least as good — anchor covers it on both sequences").
+
+   Equivalence: containment is transitive, so "dominated by some earlier
+   input anchor" and "dominated by some kept anchor" coincide — if the
+   dominator was itself dropped, whatever kept anchor dropped it also
+   contains the current one and is earlier still.  Sweeping anchors by
+   (t_lo asc, t_hi desc, input-pos asc) places every potential target-range
+   dominator of [a] before [a]; the active list holds kept sweep-earlier
+   anchors whose target interval still reaches the sweep line, and a
+   dominator is any active entry with t_hi covering, query range covering,
+   and an earlier input position.  Output preserves input order. *)
 let filter_dominated anchors =
-  (* Anchors arrive sorted by decreasing score; keep each unless an already
-     kept (hence at least as good) anchor covers it on both sequences. *)
-  let keep kept a =
-    let dominated =
-      List.exists
-        (fun b ->
-          contains_range (b.t_lo, b.t_hi) (a.t_lo, a.t_hi)
-          && contains_range (b.q_lo, b.q_hi) (a.q_lo, a.q_hi))
-        kept
-    in
-    if dominated then begin
-      Fsa_obs.Metric.Counter.incr dominated_counter;
-      kept
-    end
-    else a :: kept
+  let arr = Array.of_list anchors in
+  let n = Array.length arr in
+  let order = Array.init n (fun i -> i) in
+  let cmp i j =
+    let a = arr.(i) and b = arr.(j) in
+    if a.t_lo <> b.t_lo then Int.compare a.t_lo b.t_lo
+    else if a.t_hi <> b.t_hi then Int.compare b.t_hi a.t_hi
+    else Int.compare i j
   in
-  List.rev (List.fold_left keep [] anchors)
+  Array.sort cmp order;
+  let keep = Array.make n true in
+  let active = ref [] in
+  Array.iter
+    (fun ai ->
+      let a = arr.(ai) in
+      active := List.filter (fun bi -> arr.(bi).t_hi >= a.t_lo) !active;
+      let dominated =
+        List.exists
+          (fun bi ->
+            let b = arr.(bi) in
+            bi < ai && b.t_hi >= a.t_hi
+            && contains_range (b.q_lo, b.q_hi) (a.q_lo, a.q_hi))
+          !active
+      in
+      if dominated then begin
+        keep.(ai) <- false;
+        Fsa_obs.Metric.Counter.incr dominated_counter
+      end
+      else active := ai :: !active)
+    order;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if keep.(i) then out := arr.(i) :: !out
+  done;
+  !out
 
 let pp_anchor ppf a =
   Format.fprintf ppf "t[%d,%d] ~ q[%d,%d]%s score=%.1f" a.t_lo a.t_hi a.q_lo a.q_hi

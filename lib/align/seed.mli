@@ -11,13 +11,16 @@ type index
 (** k-mer index of a target sequence. *)
 
 val build_index : ?max_occ:int -> k:int -> Dna.t -> index
-(** Positions of every k-mer; k-mers occurring more than [max_occ] times
-    (default 32) are dropped as repeats. *)
+(** Positions of every k-mer, stored as flat int arrays (no list cells);
+    k-mers occurring more than [max_occ] times (default 32) are dropped as
+    repeats.  An index is immutable and reusable across any number of
+    queries. *)
 
 val index_k : index -> int
 
-val lookup : index -> int -> int list
-(** Target positions of a packed k-mer. *)
+val lookup : index -> int -> int array
+(** Target positions of a packed k-mer, in increasing order.  The returned
+    array is owned by the index: do not mutate. *)
 
 type anchor = {
   t_lo : int;

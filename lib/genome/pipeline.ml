@@ -93,45 +93,138 @@ let cluster_footprints ~gap spans =
     [] sorted
   |> List.rev
 
-let discovery_instance ?(k = 12) ?(min_anchor_score = 24.0) ?(cluster_gap = 5) ~h ~m () =
+(* A scored region-pair candidate between one h contig and one m contig:
+   the per-anchor engines emit one per surviving anchor, the chained engine
+   one per stitched chain.  Downstream clustering and σ construction are
+   engine-agnostic. *)
+type candidate = {
+  c_hi : int;
+  c_mi : int;
+  h_span : int * int;  (** h-contig footprint, forward coordinates *)
+  m_span : int * int;  (** m-contig footprint *)
+  c_forward : bool;
+  c_score : float;
+}
+
+let regions_counter = Fsa_obs.Metric.Counter.make "pipeline.regions_called"
+
+let discovery_instance ?(k = 12) ?(min_anchor_score = 24.0) ?(cluster_gap = 5)
+    ?(engine = `Chained) ?(max_gap = 300) ?band ?band_cap ~h ~m () =
   let h_all = Array.of_list h and m_all = Array.of_list m in
-  (* Collect anchors per (h contig, m contig). *)
-  let anchors = ref [] in
-  Array.iteri
-    (fun mi (mc : Fragmentation.contig) ->
-      if Dna.length mc.Fragmentation.dna >= k then begin
-        let idx = Fsa_align.Seed.build_index ~k mc.Fragmentation.dna in
-        Array.iteri
-          (fun hi (hc : Fragmentation.contig) ->
-            if Dna.length hc.Fragmentation.dna >= k then
-              List.iter
-                (fun a -> anchors := (hi, mi, a) :: !anchors)
-                (Fsa_align.Seed.filter_dominated
-                   (Fsa_align.Seed.anchors ~min_score:min_anchor_score idx
-                      ~target:mc.Fragmentation.dna ~query:hc.Fragmentation.dna)))
-          h_all
-      end)
-    m_all;
-  let anchors = !anchors in
-  (* Cluster anchor footprints per contig side into discovered regions. *)
+  (* Per-m-contig work (index build, anchor probes against every h contig,
+     and — for the chained engine — chaining and banded stitching) fans
+     across the domain pool.  Chunk results come back in slot order and
+     chunks emit their m-range in index order, so the merged stream equals
+     the sequential m-outer / h-inner traversal exactly. *)
+  let pair_work mi =
+    let mc = m_all.(mi) in
+    if Dna.length mc.Fragmentation.dna < k then []
+    else begin
+      let idx = Fsa_align.Seed.build_index ~k mc.Fragmentation.dna in
+      let acc = ref [] in
+      Array.iteri
+        (fun hi (hc : Fragmentation.contig) ->
+          if Dna.length hc.Fragmentation.dna >= k then begin
+            let found =
+              Fsa_align.Seed.filter_dominated
+                (Fsa_align.Seed.anchors ~min_score:min_anchor_score idx
+                   ~target:mc.Fragmentation.dna ~query:hc.Fragmentation.dna)
+            in
+            if found <> [] then begin
+              let stitched =
+                match engine with
+                | `Chained ->
+                    Fsa_align.Chain.chains ~max_gap found
+                    |> List.map
+                         (Fsa_align.Chain.stitch ?band ?band_cap
+                            ~target:mc.Fragmentation.dna
+                            ~query:hc.Fragmentation.dna)
+                    |> List.filter (fun (st : Fsa_align.Chain.stitched) ->
+                           st.Fsa_align.Chain.score > 0.0)
+                | `Per_anchor | `Per_anchor_full -> []
+              in
+              acc := (hi, found, stitched) :: !acc
+            end
+          end)
+        h_all;
+      List.rev !acc
+    end
+  in
+  let per_mi =
+    Fsa_parallel.Pool.fan_out ~n:(Array.length m_all)
+      ~chunk:(fun ~slot:_ ~lo ~hi ->
+        let out = ref [] in
+        for mi = hi - 1 downto lo do
+          out := (mi, pair_work mi) :: !out
+        done;
+        !out)
+    |> Array.to_list |> List.concat
+  in
+  let anchor_candidates =
+    (* Reversed generation order, matching the historical prepend loop so
+       the per-anchor engine stays byte-identical to the old builder. *)
+    List.rev
+      (List.concat_map
+         (fun (mi, pairs) ->
+           List.concat_map
+             (fun (hi, found, _) ->
+               List.map
+                 (fun (a : Fsa_align.Seed.anchor) ->
+                   {
+                     c_hi = hi;
+                     c_mi = mi;
+                     h_span = (a.Fsa_align.Seed.q_lo, a.Fsa_align.Seed.q_hi);
+                     m_span = (a.Fsa_align.Seed.t_lo, a.Fsa_align.Seed.t_hi);
+                     c_forward = a.Fsa_align.Seed.forward;
+                     c_score = a.Fsa_align.Seed.score;
+                   })
+                 found)
+             pairs)
+         per_mi)
+  in
+  let candidates =
+    match engine with
+    | `Per_anchor | `Per_anchor_full -> anchor_candidates
+    | `Chained ->
+        List.concat_map
+          (fun (mi, pairs) ->
+            List.concat_map
+              (fun (hi, _, stitched) ->
+                List.map
+                  (fun (st : Fsa_align.Chain.stitched) ->
+                    let c = st.Fsa_align.Chain.chain in
+                    {
+                      c_hi = hi;
+                      c_mi = mi;
+                      h_span = (c.Fsa_align.Chain.q_lo, c.Fsa_align.Chain.q_hi);
+                      m_span = (c.Fsa_align.Chain.t_lo, c.Fsa_align.Chain.t_hi);
+                      c_forward = c.Fsa_align.Chain.forward;
+                      c_score = st.Fsa_align.Chain.score;
+                    })
+                  stitched)
+              pairs)
+          per_mi
+  in
+  (* Cluster candidate footprints per contig side into discovered regions. *)
   let cluster side_count span_of =
     Array.init side_count (fun ci ->
-        let spans =
-          List.filter_map
-            (fun item ->
-              match span_of ci item with Some s -> Some s | None -> None)
-            anchors
-        in
+        let spans = List.filter_map (span_of ci) candidates in
         cluster_footprints ~gap:cluster_gap spans)
   in
   let h_clusters =
-    cluster (Array.length h_all) (fun ci (hi, _, (a : Fsa_align.Seed.anchor)) ->
-        if hi = ci then Some (a.Fsa_align.Seed.q_lo, a.Fsa_align.Seed.q_hi) else None)
+    cluster (Array.length h_all) (fun ci c ->
+        if c.c_hi = ci then Some c.h_span else None)
   in
   let m_clusters =
-    cluster (Array.length m_all) (fun ci (_, mi, (a : Fsa_align.Seed.anchor)) ->
-        if mi = ci then Some (a.Fsa_align.Seed.t_lo, a.Fsa_align.Seed.t_hi) else None)
+    cluster (Array.length m_all) (fun ci c ->
+        if c.c_mi = ci then Some c.m_span else None)
   in
+  Array.iter
+    (fun cs -> Fsa_obs.Metric.Counter.incr ~by:(List.length cs) regions_counter)
+    h_clusters;
+  Array.iter
+    (fun cs -> Fsa_obs.Metric.Counter.incr ~by:(List.length cs) regions_counter)
+    m_clusters;
   (* Region alphabet: one per cluster, with side-distinct names. *)
   let alphabet = Alphabet.create () in
   let cluster_id prefix ci idx =
@@ -145,22 +238,71 @@ let discovery_instance ?(k = 12) ?(min_anchor_score = 24.0) ?(cluster_gap = 5) ~
     at 0 clusters.(ci)
   in
   let sigma = Scoring.create () in
-  List.iter
-    (fun (hi, mi, (a : Fsa_align.Seed.anchor)) ->
-      match
-        ( find_cluster h_clusters hi a.Fsa_align.Seed.q_lo,
-          find_cluster m_clusters mi a.Fsa_align.Seed.t_lo )
-      with
-      | Some hc, Some mc ->
-          let h_id = cluster_id "h" hi hc and m_id = cluster_id "m" mi mc in
-          let m_sym =
-            if a.Fsa_align.Seed.forward then Symbol.make m_id else Symbol.reversed m_id
-          in
+  (match engine with
+  | `Per_anchor | `Chained ->
+      (* σ: best candidate score per (h region, m region, orientation). *)
+      List.iter
+        (fun c ->
+          match
+            ( find_cluster h_clusters c.c_hi (fst c.h_span),
+              find_cluster m_clusters c.c_mi (fst c.m_span) )
+          with
+          | Some hc, Some mc ->
+              let h_id = cluster_id "h" c.c_hi hc
+              and m_id = cluster_id "m" c.c_mi mc in
+              let m_sym =
+                if c.c_forward then Symbol.make m_id else Symbol.reversed m_id
+              in
+              let prev = Scoring.get sigma (Symbol.make h_id) m_sym in
+              if c.c_score > prev then
+                Scoring.set sigma (Symbol.make h_id) m_sym c.c_score
+          | _ -> ())
+        candidates
+  | `Per_anchor_full ->
+      (* Baseline σ: every connected region pair scored by the exact full
+         O(n·m) kernel over the whole region DNA — the path the chained
+         engine exists to beat.  Pair scoring fans across the pool. *)
+      let module PairSet = Set.Make (struct
+        type t = int * int * int * int * bool
+
+        let compare = compare
+      end) in
+      let pairs =
+        List.fold_left
+          (fun set c ->
+            match
+              ( find_cluster h_clusters c.c_hi (fst c.h_span),
+                find_cluster m_clusters c.c_mi (fst c.m_span) )
+            with
+            | Some hc, Some mc ->
+                PairSet.add (c.c_hi, hc, c.c_mi, mc, c.c_forward) set
+            | _ -> set)
+          PairSet.empty candidates
+        |> PairSet.elements |> Array.of_list
+      in
+      let region_dna contigs clusters ci idx =
+        let c = List.nth clusters.(ci) idx in
+        Dna.sub contigs.(ci).Fragmentation.dna ~pos:c.lo ~len:(c.hi - c.lo + 1)
+      in
+      let scores =
+        Fsa_parallel.Pool.fan_out ~n:(Array.length pairs)
+          ~chunk:(fun ~slot:_ ~lo ~hi ->
+            Array.init (hi - lo) (fun i ->
+                let hi_, hc, mi_, mc, fwd = pairs.(lo + i) in
+                let h_dna = region_dna h_all h_clusters hi_ hc in
+                let m_dna = region_dna m_all m_clusters mi_ mc in
+                let m_dna = if fwd then m_dna else Dna.reverse_complement m_dna in
+                (Fsa_align.Dna_align.global h_dna m_dna).Fsa_align.Pairwise.score))
+        |> Array.to_list |> Array.concat
+      in
+      Array.iteri
+        (fun i (hi_, hc, mi_, mc, fwd) ->
+          let h_id = cluster_id "h" hi_ hc and m_id = cluster_id "m" mi_ mc in
+          let m_sym = if fwd then Symbol.make m_id else Symbol.reversed m_id in
           let prev = Scoring.get sigma (Symbol.make h_id) m_sym in
-          if a.Fsa_align.Seed.score > prev then
-            Scoring.set sigma (Symbol.make h_id) m_sym a.Fsa_align.Seed.score
-      | _ -> ())
-    anchors;
+          if scores.(i) > prev then
+            Scoring.set sigma (Symbol.make h_id) m_sym scores.(i))
+        pairs);
   (* Contigs become fragments listing their discovered regions in order;
      contigs with no region are dropped (with their ground truth). *)
   let build prefix clusters contigs =

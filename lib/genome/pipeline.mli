@@ -7,10 +7,14 @@
       against its counterpart by length × percent identity.  Isolates the
       combinatorial problem from alignment noise.
     - {e discovery}: conserved regions are re-discovered from the contig DNA
-      with the {!Fsa_align.Seed} seed-and-extend engine; overlapping anchor
-      footprints are clustered into regions per side and σ takes the best
-      anchor score per region pair.  This injects realistic noise (missed,
-      split and spurious regions). *)
+      by the seed → chain → band pipeline: {!Fsa_align.Seed} anchors are
+      chained colinearly per contig pair ({!Fsa_align.Chain.chains}), each
+      chain is stitched into an exact gapped score under the adaptive banded
+      kernel ({!Fsa_align.Chain.stitch}), chain footprints are clustered
+      into regions per side, and σ takes the best stitched score per region
+      pair.  This injects realistic noise (missed, split and spurious
+      regions).  Per-contig-pair work fans across the
+      {!Fsa_parallel.Pool} with a slot-ordered deterministic merge. *)
 
 type built = Pipeline_types.built = {
   instance : Fsa_csr.Instance.t;
@@ -27,13 +31,33 @@ val discovery_instance :
   ?k:int ->
   ?min_anchor_score:float ->
   ?cluster_gap:int ->
+  ?engine:[ `Chained | `Per_anchor | `Per_anchor_full ] ->
+  ?max_gap:int ->
+  ?band:int ->
+  ?band_cap:int ->
   h:Fragmentation.contig list ->
   m:Fragmentation.contig list ->
   unit ->
   built
 (** [k] (default 12) is the seed size; [min_anchor_score] (default 24)
-    filters weak anchors; anchor footprints closer than [cluster_gap]
-    (default 5) bases merge into one region. *)
+    filters weak anchors; candidate footprints closer than [cluster_gap]
+    (default 5) bases merge into one region.
+
+    [engine] selects the region/σ builder:
+    - [`Chained] (default): seed → chain → band.  Anchors are chained per
+      contig pair under [max_gap] (default 300), chains are stitched with
+      the adaptive banded kernel ([band], [band_cap] forwarded to
+      {!Fsa_align.Chain.stitch}), and regions/σ come from the stitched
+      chains.
+    - [`Per_anchor]: the historical builder — regions from raw anchor
+      footprints, σ from the best single anchor score per region pair.
+      Kept for the equivalence suite; byte-identical output to the
+      pre-chaining implementation.
+    - [`Per_anchor_full]: per-anchor regions, but σ scores every connected
+      region pair with the exact full O(n·m) kernel over the whole region
+      DNA.  The benchmark baseline the chained engine is measured against.
+
+    @raise Invalid_argument when no conserved regions are discovered. *)
 
 type params = {
   regions : int;

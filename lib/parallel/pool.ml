@@ -72,36 +72,50 @@ let with_domains n f =
 (* ------------------------------------------------------------------ *)
 (* Worker domains *)
 
-(* One shared FIFO of batch jobs.  Workers live for the whole process (they
-   are parked in [Condition.wait] between batches) and are joined by an
-   at_exit hook so the runtime shuts down cleanly. *)
-let lock = Mutex.create ()
-let work_available = Condition.create ()
-let queue : (unit -> unit) Queue.t = Queue.create ()
-let shutdown = ref false (* under [lock] *)
-let workers : unit Domain.t list ref = ref [] (* caller-domain only *)
+(* One private mailbox per worker.  Slot [s > 0] of every batch is pushed
+   to worker [s - 1]'s mailbox, so the slot → domain mapping is *static*
+   across batches (the contract the mli documents).  This is load-bearing
+   for the domain-local caches (Cmatch/Bound site tables, Budget state):
+   with a shared job queue, whichever worker woke first took the job, so a
+   repeat of an identical fan-out could land chunk [s] on a different
+   domain whose cache had never seen those tables — rebuild churn and a
+   nondeterministic cache-hit profile (the test_bound "repeat solve
+   rebuilds nothing" flake at FSA_DOMAINS=4).  Workers live for the whole
+   process (parked in [Condition.wait] between batches) and are joined by
+   an at_exit hook so the runtime shuts down cleanly. *)
+type worker = {
+  jobs : (unit -> unit) Queue.t; (* under [wm] *)
+  wm : Mutex.t;
+  wcv : Condition.t;
+  mutable quit : bool; (* under [wm] *)
+  mutable domain : unit Domain.t option; (* caller-domain only *)
+}
+
+let lock = Mutex.create () (* guards [workers] / [worker_count] *)
+let workers : worker list ref = ref [] (* newest first; caller-domain only *)
 let worker_count = ref 0
+let worker_slots : worker array ref = ref [||] (* index s-1 = worker for slot s *)
 
 (* True on worker domains always, and on the calling domain for the extent
    of its slot-0 chunk: both mean "already inside a batch, run inline". *)
 let inside = Domain.DLS.new_key (fun () -> false)
 
-let worker_loop () =
+let worker_loop w () =
   Domain.DLS.set inside true;
   let next () =
-    Mutex.lock lock;
+    Mutex.lock w.wm;
     let rec wait () =
-      if !shutdown then begin
-        Mutex.unlock lock;
+      if w.quit then begin
+        Mutex.unlock w.wm;
         None
       end
       else
-        match Queue.take_opt queue with
+        match Queue.take_opt w.jobs with
         | Some job ->
-            Mutex.unlock lock;
+            Mutex.unlock w.wm;
             Some job
         | None ->
-            Condition.wait work_available lock;
+            Condition.wait w.wcv w.wm;
             wait ()
     in
     wait ()
@@ -116,17 +130,27 @@ let worker_loop () =
   in
   go ()
 
+let push w job =
+  Mutex.lock w.wm;
+  Queue.add job w.jobs;
+  Condition.signal w.wcv;
+  Mutex.unlock w.wm
+
 let stop () =
   Mutex.lock lock;
-  shutdown := true;
-  Condition.broadcast work_available;
-  Mutex.unlock lock;
-  List.iter Domain.join !workers;
+  let ws = !workers in
   workers := [];
   worker_count := 0;
-  Mutex.lock lock;
-  shutdown := false;
-  Mutex.unlock lock
+  worker_slots := [||];
+  Mutex.unlock lock;
+  List.iter
+    (fun w ->
+      Mutex.lock w.wm;
+      w.quit <- true;
+      Condition.signal w.wcv;
+      Mutex.unlock w.wm)
+    ws;
+  List.iter (fun w -> Option.iter Domain.join w.domain) ws
 
 let exit_hook_registered = ref false
 
@@ -135,10 +159,28 @@ let ensure_workers n =
     exit_hook_registered := true;
     at_exit stop
   end;
+  Mutex.lock lock;
   while !worker_count < n do
-    workers := Domain.spawn worker_loop :: !workers;
+    let w =
+      {
+        jobs = Queue.create ();
+        wm = Mutex.create ();
+        wcv = Condition.create ();
+        quit = false;
+        domain = None;
+      }
+    in
+    w.domain <- Some (Domain.spawn (worker_loop w));
+    workers := w :: !workers;
     incr worker_count
-  done
+  done;
+  if Array.length !worker_slots <> !worker_count then
+    (* Slot s-1 must always map to the same worker: oldest worker first,
+       so growing the pool never reshuffles existing slots. *)
+    worker_slots := Array.of_list (List.rev !workers);
+  let slots = !worker_slots in
+  Mutex.unlock lock;
+  slots
 
 (* ------------------------------------------------------------------ *)
 (* Fan-out / merge *)
@@ -176,7 +218,7 @@ let fan_out ~n ~chunk =
       sequential ~n ~chunk
     end
     else begin
-      ensure_workers (d - 1);
+      let slot_workers = ensure_workers (d - 1) in
       Fsa_obs.Metric.Counter.incr m_fan_outs;
       let results = Array.make d None in
       let errors = Array.make d None in
@@ -236,12 +278,9 @@ let fan_out ~n ~chunk =
         if !pending = 0 then Condition.signal batch_done;
         Mutex.unlock batch_lock
       in
-      Mutex.lock lock;
       for s = 1 to d - 1 do
-        Queue.add (worker_job s) queue
+        push slot_workers.(s - 1) (worker_job s)
       done;
-      Condition.broadcast work_available;
-      Mutex.unlock lock;
       (* The caller runs slot 0 itself, with nested fan-outs inlined; it
          keeps its own sink/sampler/registry, so its events stay live. *)
       Domain.DLS.set inside true;

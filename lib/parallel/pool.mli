@@ -5,11 +5,15 @@
     sequential ones.  Work items are chunked by index: with [d] domains
     over [n] items, slot [s] owns the contiguous range
     [(s*n/d, (s+1)*n/d)].  Slot assignment is static — slot 0 runs on the
-    calling domain, slot [s > 0] on worker [s-1]; there is no work
-    stealing — and {!fan_out} returns the slot results in index order, so
-    any order-sensitive merge (list concatenation, fold, min-index
-    selection) reproduces the sequential result exactly.  [d = 1] {e is}
-    the sequential code path, not a simulation of it.
+    calling domain, slot [s > 0] on worker [s-1] via that worker's private
+    mailbox; there is no work stealing or shared queue — and {!fan_out}
+    returns the slot results in index order, so any order-sensitive merge
+    (list concatenation, fold, min-index selection) reproduces the
+    sequential result exactly.  [d = 1] {e is} the sequential code path,
+    not a simulation of it.  Because slot [s] always lands on the same
+    domain, domain-local caches (Cmatch/Bound site tables) warmed by one
+    fan-out are hit again by the next identical fan-out — repeat solves
+    rebuild nothing, deterministically, at any domain count.
 
     Domain count comes from the [FSA_DOMAINS] environment variable
     (default 1; malformed or out-of-range values are rejected with a

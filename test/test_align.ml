@@ -214,6 +214,96 @@ let test_affine_traceback_consistent_qcheck =
         al.Pairwise.ops;
       Array.for_all (fun c -> c = 1) ca && Array.for_all (fun c -> c = 1) cb)
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive banded = full NW, bit for bit.  The certificate in
+   Pairwise.adaptive_global promises score- AND ops-identical alignments;
+   exercise the certified-accept, widening, and cap-fallback branches. *)
+
+(* Pairs with planted diagonal drift: a mutated copy with random indels so
+   narrow bands genuinely fail and the widening loop has work to do. *)
+let drifted_pair seed =
+  let rng = Fsa_util.Rng.create seed in
+  let la = 1 + Fsa_util.Rng.int rng 120 in
+  let a = Dna.random rng la in
+  match Fsa_util.Rng.int rng 3 with
+  | 0 -> (a, Dna.random rng (1 + Fsa_util.Rng.int rng 120))
+  | 1 -> (a, Dna.point_mutate rng ~rate:0.1 a)
+  | _ ->
+      (* Cut-and-splice: delete a chunk and insert random bases elsewhere. *)
+      let cut_lo = Fsa_util.Rng.int rng la in
+      let cut_len = Fsa_util.Rng.int rng (la - cut_lo + 1) in
+      let ins = Dna.random rng (Fsa_util.Rng.int rng 40) in
+      let b =
+        Dna.concat
+          [
+            Dna.sub a ~pos:0 ~len:cut_lo;
+            ins;
+            Dna.sub a ~pos:(cut_lo + cut_len) ~len:(la - cut_lo - cut_len);
+          ]
+      in
+      (a, Dna.point_mutate rng ~rate:0.05 b)
+
+let adaptive_matches_full ?band ?band_cap seed =
+  let a, b = drifted_pair seed in
+  if Dna.length b = 0 then true
+  else
+    let full = Dna_align.global a b in
+    let ad = Dna_align.adaptive_global ?band ?band_cap a b in
+    Int64.bits_of_float full.Pairwise.score
+    = Int64.bits_of_float ad.Pairwise.result.Pairwise.score
+    && full.Pairwise.ops = ad.Pairwise.result.Pairwise.ops
+
+let test_adaptive_identical_qcheck =
+  QCheck.Test.make ~name:"adaptive banded = full NW (score and ops)" ~count:400
+    QCheck.(int_bound 1_000_000)
+    (fun seed -> adaptive_matches_full seed)
+
+let test_adaptive_identical_tiny_band_qcheck =
+  QCheck.Test.make ~name:"adaptive banded = full NW from band 1 (widening)"
+    ~count:400
+    QCheck.(int_bound 1_000_000)
+    (fun seed -> adaptive_matches_full ~band:1 seed)
+
+let test_adaptive_identical_tiny_cap_qcheck =
+  QCheck.Test.make ~name:"adaptive banded = full NW with cap 2 (fallback)"
+    ~count:400
+    QCheck.(int_bound 1_000_000)
+    (fun seed -> adaptive_matches_full ~band:1 ~band_cap:2 seed)
+
+let test_adaptive_branches_covered () =
+  (* Divergent pair, band 1: the certificate cannot hold, so the engine
+     widens; with a tiny cap it must fall back to the full kernel. *)
+  let rng = Fsa_util.Rng.create 91 in
+  let a = Dna.random rng 200 and b = Dna.random rng 150 in
+  let reg = Fsa_obs.Registry.create () in
+  let widened, capped =
+    Fsa_obs.Runtime.with_observation ~registry:reg (fun () ->
+        let w = Dna_align.adaptive_global ~band:1 a b in
+        let c = Dna_align.adaptive_global ~band:1 ~band_cap:4 a b in
+        (w, c))
+  in
+  check_bool "widened at least once" true (widened.Pairwise.widenings > 0);
+  check_bool "cap forces fallback" true capped.Pairwise.fell_back;
+  check_bool "fallback reports full band" true
+    (capped.Pairwise.band_used = 200);
+  let c name =
+    match Fsa_obs.Registry.counter_value reg name with Some v -> v | None -> 0.0
+  in
+  check_bool "band.widenings counted" true (c "band.widenings" > 0.0);
+  check_bool "band.fallbacks counted" true (c "band.fallbacks" > 0.0)
+
+let test_adaptive_similar_stays_narrow () =
+  (* 5% point mutations, no indels: the certificate should accept long
+     before the band covers the matrix. *)
+  let rng = Fsa_util.Rng.create 92 in
+  let a = Dna.random rng 400 in
+  let b = Dna.point_mutate rng ~rate:0.05 a in
+  let ad = Dna_align.adaptive_global a b in
+  check_bool "no fallback" true (not ad.Pairwise.fell_back);
+  check_bool "band stayed narrow" true (ad.Pairwise.band_used < 400);
+  let full = Dna_align.global a b in
+  check_float "score equal" full.Pairwise.score ad.Pairwise.result.Pairwise.score
+
 let test_xdrop_stops () =
   (* matches then a long run of mismatches: extension must stop early. *)
   let score i j = if i = j && i < 5 then 1.0 else -1.0 in
@@ -235,13 +325,13 @@ let test_index_lookup () =
   let idx = Seed.build_index ~k:4 t in
   check_int "k" 4 (Seed.index_k idx);
   let kmer = Dna.pack_kmer t ~pos:0 ~k:4 in
-  Alcotest.(check (list int)) "positions of ACGT" [ 0; 4 ] (Seed.lookup idx kmer)
+  Alcotest.(check (array int)) "positions of ACGT" [| 0; 4 |] (Seed.lookup idx kmer)
 
 let test_index_max_occ () =
   let t = Dna.of_string (String.concat "" (List.init 50 (fun _ -> "A"))) in
   let idx = Seed.build_index ~max_occ:8 ~k:4 t in
   let kmer = Dna.pack_kmer t ~pos:0 ~k:4 in
-  check_int "repeat kmer dropped" 0 (List.length (Seed.lookup idx kmer))
+  check_int "repeat kmer dropped" 0 (Array.length (Seed.lookup idx kmer))
 
 let test_anchor_forward () =
   let rng = Fsa_util.Rng.create 44 in
@@ -300,6 +390,152 @@ let test_filter_dominated () =
   check_bool "big kept" true (List.mem big kept);
   check_bool "outside kept" true (List.mem outside kept)
 
+(* Reference for the sweep: the original quadratic fold, verbatim. *)
+let filter_dominated_quadratic anchors =
+  let contains (lo1, hi1) (lo2, hi2) = lo1 <= lo2 && hi2 <= hi1 in
+  let keep kept (a : Seed.anchor) =
+    let dominated =
+      List.exists
+        (fun (b : Seed.anchor) ->
+          contains (b.t_lo, b.t_hi) (a.t_lo, a.t_hi)
+          && contains (b.q_lo, b.q_hi) (a.q_lo, a.q_hi))
+        kept
+    in
+    if dominated then kept else a :: kept
+  in
+  List.rev (List.fold_left keep [] anchors)
+
+let random_anchor_set seed =
+  (* Small coordinate universe so containment chains actually occur. *)
+  let rng = Fsa_util.Rng.create seed in
+  let n = Fsa_util.Rng.int rng 60 in
+  List.init n (fun i ->
+      let iv () =
+        let lo = Fsa_util.Rng.int rng 40 in
+        (lo, lo + Fsa_util.Rng.int rng 25)
+      in
+      let t_lo, t_hi = iv () and q_lo, q_hi = iv () in
+      {
+        Seed.t_lo;
+        t_hi;
+        q_lo;
+        q_hi;
+        forward = Fsa_util.Rng.int rng 2 = 0;
+        score = float_of_int (100 - i);
+      })
+
+let test_filter_dominated_sweep_qcheck =
+  QCheck.Test.make ~name:"filter_dominated sweep = quadratic reference"
+    ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let anchors = random_anchor_set seed in
+      Seed.filter_dominated anchors = filter_dominated_quadratic anchors)
+
+(* ------------------------------------------------------------------ *)
+(* Chaining and stitching                                               *)
+
+(* A target/query pair sharing several mutated blocks, some reversed, so
+   seeding yields anchors on both strands with chainable structure. *)
+let homologous_pair seed =
+  let rng = Fsa_util.Rng.create seed in
+  let block () = Dna.random rng (60 + Fsa_util.Rng.int rng 80) in
+  let blocks = List.init (2 + Fsa_util.Rng.int rng 3) (fun _ -> block ()) in
+  let spacer () = Dna.random rng (Fsa_util.Rng.int rng 80) in
+  let target =
+    Dna.concat
+      (List.concat_map (fun b -> [ spacer (); b ]) blocks @ [ spacer () ])
+  in
+  let mutate b =
+    let b = Dna.point_mutate rng ~rate:0.04 b in
+    if Fsa_util.Rng.int rng 4 = 0 then Dna.reverse_complement b else b
+  in
+  let query =
+    Dna.concat
+      (List.concat_map (fun b -> [ spacer (); mutate b ]) blocks @ [ spacer () ])
+  in
+  (target, query)
+
+let anchors_of_pair ?(min_score = 20.0) (target, query) =
+  let idx = Seed.build_index ~k:12 target in
+  Seed.filter_dominated (Seed.anchors ~min_score idx ~target ~query)
+
+let strand_q_key fwd (a : Seed.anchor) = if fwd then a.q_lo else -a.q_hi
+let strand_q_key_hi fwd (a : Seed.anchor) = if fwd then a.q_hi else -a.q_lo
+
+let chain_invariants ~max_gap (c : Chain.t) =
+  let n = Array.length c.anchors in
+  let ok = ref (n > 0) in
+  Array.iter (fun (a : Seed.anchor) -> if a.forward <> c.forward then ok := false) c.anchors;
+  for i = 1 to n - 1 do
+    let p = c.anchors.(i - 1) and a = c.anchors.(i) in
+    if not (p.t_lo < a.t_lo && p.t_hi < a.t_hi) then ok := false;
+    if not (strand_q_key c.forward p < strand_q_key c.forward a) then ok := false;
+    if not (strand_q_key_hi c.forward p < strand_q_key_hi c.forward a) then
+      ok := false;
+    if a.t_lo - p.t_hi - 1 > max_gap then ok := false;
+    if strand_q_key c.forward a - strand_q_key_hi c.forward p - 1 > max_gap then
+      ok := false
+  done;
+  Array.iter
+    (fun (a : Seed.anchor) ->
+      if a.t_lo < c.t_lo || a.t_hi > c.t_hi then ok := false;
+      if a.q_lo < c.q_lo || a.q_hi > c.q_hi then ok := false)
+    c.anchors;
+  !ok
+
+let test_chain_invariants_qcheck =
+  QCheck.Test.make ~name:"chains are colinear, bounded, and partition anchors"
+    ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let pair = homologous_pair seed in
+      let anchors = anchors_of_pair pair in
+      let max_gap = 300 in
+      let cs = Chain.chains ~max_gap anchors in
+      List.for_all (chain_invariants ~max_gap) cs
+      && List.fold_left (fun n (c : Chain.t) -> n + Array.length c.anchors) 0 cs
+         = List.length anchors)
+
+let test_chain_stitch_kernels_agree_qcheck =
+  QCheck.Test.make
+    ~name:"stitch adaptive kernel = full kernel (score bit-identical)"
+    ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let ((target, query) as pair) = homologous_pair seed in
+      let cs = Chain.chains (anchors_of_pair pair) in
+      List.for_all
+        (fun c ->
+          let a = Chain.stitch ~band:4 ~target ~query c in
+          let f = Chain.stitch ~gap_kernel:`Full ~target ~query c in
+          Int64.bits_of_float a.Chain.score = Int64.bits_of_float f.Chain.score)
+        cs)
+
+let test_chain_joins_blocks () =
+  (* Two conserved blocks 40 bases apart on both sequences must land in one
+     chain: the gap is far under max_gap and the blocks are colinear. *)
+  let rng = Fsa_util.Rng.create 77 in
+  let a = Dna.random rng 120 and b = Dna.random rng 120 in
+  let target = Dna.concat [ Dna.random rng 50; a; Dna.random rng 40; b ] in
+  let query =
+    Dna.concat
+      [
+        Dna.random rng 30;
+        Dna.point_mutate rng ~rate:0.03 a;
+        Dna.random rng 40;
+        Dna.point_mutate rng ~rate:0.03 b;
+        Dna.random rng 30;
+      ]
+  in
+  let cs = Chain.chains (anchors_of_pair (target, query)) in
+  check_bool "some chain" true (cs <> []);
+  let best = List.hd cs in
+  check_bool "top chain spans both blocks" true
+    (best.Chain.t_lo < 170 && best.Chain.t_hi >= 210);
+  let stitched = Chain.stitch ~target ~query best in
+  check_bool "stitched score strongly positive" true (stitched.Chain.score > 150.0)
+
 let () =
   Alcotest.run "fsa_align"
     [
@@ -326,6 +562,13 @@ let () =
           Alcotest.test_case "affine long gap" `Quick test_affine_prefers_one_long_gap;
           qtest test_affine_equals_linear_when_open_zero_qcheck;
           qtest test_affine_traceback_consistent_qcheck;
+          qtest test_adaptive_identical_qcheck;
+          qtest test_adaptive_identical_tiny_band_qcheck;
+          qtest test_adaptive_identical_tiny_cap_qcheck;
+          Alcotest.test_case "adaptive branches covered" `Quick
+            test_adaptive_branches_covered;
+          Alcotest.test_case "adaptive similar stays narrow" `Quick
+            test_adaptive_similar_stays_narrow;
           Alcotest.test_case "xdrop stops" `Quick test_xdrop_stops;
           Alcotest.test_case "xdrop empty" `Quick test_xdrop_empty;
         ] );
@@ -338,5 +581,12 @@ let () =
           Alcotest.test_case "mutated anchor" `Quick test_anchor_with_mutations;
           Alcotest.test_case "no anchors on noise" `Quick test_anchor_none_on_random;
           Alcotest.test_case "dominated filtering" `Quick test_filter_dominated;
+          qtest test_filter_dominated_sweep_qcheck;
+        ] );
+      ( "chain",
+        [
+          qtest test_chain_invariants_qcheck;
+          qtest test_chain_stitch_kernels_agree_qcheck;
+          Alcotest.test_case "chain joins blocks" `Quick test_chain_joins_blocks;
         ] );
     ]

@@ -234,6 +234,118 @@ let test_discovery_recovery_reasonable () =
   check_bool "good accuracy without rearrangements" true
     (Metrics.order_accuracy report >= 0.8)
 
+(* Golden equivalence: the [`Per_anchor] engine must keep producing the
+   exact instance text the pre-chaining builder produced (captured from the
+   historical implementation on seeds 1–3).  This pins the refactored Seed
+   hot path, the sweep-based domination filter, and the fanned-out anchor
+   collection to the old sequential semantics, byte for byte. *)
+let per_anchor_golden =
+  [
+    ( 1,
+      "H h3: h0_0\n\
+       H h2: h1_0\n\
+       H h1: h2_0 h2_1\n\
+       M m6: m2_0 m2_1\n\
+       M m7: m3_0 m3_1\n\
+       M m2: m4_0\n\
+       M m5: m5_0\n\
+       M m3: m6_0\n\
+       S h2_0 m6_0' 112\n\
+       S h2_0 m4_0 265\n\
+       S h2_1 m5_0 213\n\
+       S h1_0 m5_0' 58\n\
+       S h1_0 m3_0' 84\n\
+       S h1_0 m2_1 51\n\
+       S h1_0 m2_1' 172\n\
+       S h1_0 m2_0' 254\n\
+       S h0_0 m3_1' 52\n" );
+    ( 2,
+      "H h3: h0_0\n\
+       H h2: h1_0 h1_1\n\
+       H h1: h2_0\n\
+       M m7: m0_0\n\
+       M m5: m1_0\n\
+       M m1: m2_0\n\
+       M m6: m3_0\n\
+       M m4: m5_0\n\
+       M m2: m6_0\n\
+       S h1_1 m6_0 31\n\
+       S h1_1 m2_0 365\n\
+       S h1_0 m5_0 336\n\
+       S h1_0 m3_0' 31\n\
+       S h1_0 m0_0' 30\n\
+       S h0_0 m5_0' 151\n\
+       S h0_0 m1_0 31\n\
+       S h0_0 m0_0 107\n\
+       S h2_0 m2_0 91\n\
+       S h2_0 m2_0' 234\n" );
+    ( 3,
+      "H h3: h1_0 h1_1 h1_2\n\
+       H h2: h2_0\n\
+       M m2: m0_0\n\
+       M m1: m1_0\n\
+       M m3: m2_0\n\
+       M m4: m4_0\n\
+       M m5: m5_0\n\
+       M m7: m6_0\n\
+       S h1_0 m6_0 53\n\
+       S h1_0 m6_0' 452\n\
+       S h1_1 m5_0' 77\n\
+       S h1_1 m4_0' 74\n\
+       S h1_1 m2_0' 64\n\
+       S h1_1 m0_0 159\n\
+       S h1_1 m0_0' 48\n\
+       S h2_0 m1_0' 106\n\
+       S h1_2 m1_0' 94\n" );
+  ]
+
+let test_per_anchor_engine_golden () =
+  List.iter
+    (fun (seed, expected) ->
+      let rng = Fsa_util.Rng.create seed in
+      let h, m = Pipeline.generate rng Pipeline.default_params in
+      let built = Pipeline.discovery_instance ~engine:`Per_anchor ~h ~m () in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d instance text" seed)
+        expected
+        (Fsa_csr.Instance.to_text built.Pipeline.instance))
+    per_anchor_golden
+
+let test_chained_engine_builds () =
+  let rng = Fsa_util.Rng.create 13 in
+  let h, m = Pipeline.generate rng Pipeline.default_params in
+  let reg = Fsa_obs.Registry.create () in
+  let built =
+    Fsa_obs.Runtime.with_observation ~registry:reg (fun () ->
+        Pipeline.discovery_instance ~engine:`Chained ~h ~m ())
+  in
+  let inst = built.Pipeline.instance in
+  check_bool "h fragments discovered" true
+    (Fsa_csr.Instance.fragment_count inst Fsa_csr.Species.H > 0);
+  check_bool "sigma populated" true
+    (Fsa_seq.Scoring.entries inst.Fsa_csr.Instance.sigma <> []);
+  let c name =
+    match Fsa_obs.Registry.counter_value reg name with Some v -> v | None -> 0.0
+  in
+  check_bool "chains were built" true (c "chain.chains_built" > 0.0);
+  check_bool "anchors were chained" true (c "chain.anchors_chained" > 0.0)
+
+let test_engines_agree_on_structure () =
+  (* The three engines see the same anchors, so on an easy instance (no
+     rearrangements) they should discover comparable structure and a solver
+     should recover accurate order from any of them. *)
+  let p = { Pipeline.default_params with inversions = 0; translocations = 0 } in
+  List.iter
+    (fun engine ->
+      let rng = Fsa_util.Rng.create 14 in
+      let h, m = Pipeline.generate rng p in
+      let built = Pipeline.discovery_instance ~engine ~h ~m () in
+      let sol = Fsa_csr.Csr_improve.solve_best built.Pipeline.instance in
+      let report = Metrics.evaluate built sol in
+      check_bool "good accuracy without rearrangements" true
+        (Metrics.order_accuracy report >= 0.8))
+    [ `Chained; `Per_anchor; `Per_anchor_full ]
+
 let test_metrics_counts () =
   let rng = Fsa_util.Rng.create 15 in
   let built, sol, report =
@@ -295,6 +407,9 @@ let () =
           qtest test_oracle_survives_rearrangements_qcheck;
           Alcotest.test_case "discovery instance" `Quick test_discovery_instance_finds_regions;
           Alcotest.test_case "discovery recovery" `Quick test_discovery_recovery_reasonable;
+          Alcotest.test_case "per-anchor engine golden" `Quick test_per_anchor_engine_golden;
+          Alcotest.test_case "chained engine builds" `Quick test_chained_engine_builds;
+          Alcotest.test_case "engines agree on structure" `Quick test_engines_agree_on_structure;
           Alcotest.test_case "metrics counts" `Quick test_metrics_counts;
           Alcotest.test_case "empty solver" `Quick test_empty_solver_vacuous_metrics;
         ] );

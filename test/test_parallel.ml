@@ -109,6 +109,30 @@ let test_prepend_chunks_deterministic () =
         [ 1; 2; 4 ])
     [ 0; 1; 5; 37; 128 ]
 
+let test_static_slot_domain_mapping () =
+  (* Slot s must land on the same domain in every batch: the domain-local
+     Cmatch/Bound caches warmed by one fan-out are only reusable if a
+     repeat of the same fan-out routes chunk s to the same worker.  The
+     old shared job queue let any free worker grab any slot (the
+     test_bound "repeat solve rebuilds nothing" flake at FSA_DOMAINS=4). *)
+  Pool.with_domains 4 (fun () ->
+      let mapping () =
+        Array.map
+          (fun (slot, did) -> (slot, did))
+          (Pool.fan_out ~n:8 ~chunk:(fun ~slot ~lo:_ ~hi:_ ->
+               (slot, (Domain.self () :> int))))
+      in
+      let first = mapping () in
+      for round = 2 to 6 do
+        let again = mapping () in
+        check_bool
+          (Printf.sprintf "round %d: slot->domain mapping unchanged" round)
+          true (again = first)
+      done;
+      let ids = Array.map snd first in
+      let distinct = List.sort_uniq compare (Array.to_list ids) in
+      check_int "4 slots on 4 distinct domains" 4 (List.length distinct))
+
 let test_exception_lowest_slot_wins () =
   Pool.with_domains 4 (fun () ->
       match
@@ -491,6 +515,8 @@ let () =
             test_with_domains_restores;
           Alcotest.test_case "fan_out coverage" `Quick test_fan_out_coverage;
           Alcotest.test_case "fan_out empty" `Quick test_fan_out_empty;
+          Alcotest.test_case "static slot->domain mapping" `Quick
+            test_static_slot_domain_mapping;
           Alcotest.test_case "prepend_chunks order" `Quick
             test_prepend_chunks_deterministic;
           Alcotest.test_case "lowest-slot exception wins" `Quick
